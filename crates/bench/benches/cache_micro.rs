@@ -1,0 +1,64 @@
+//! Microbenchmarks of the set-associative cache model and the three-level
+//! hierarchy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pomtlb_cache::{CacheConfig, Hierarchy, HierarchyConfig, LineKind, SetAssocCache};
+use pomtlb_types::{CoreId, Hpa};
+
+fn set_assoc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("set_assoc");
+
+    g.bench_function("l2_geometry_hit", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::new(256 << 10, 4, 12));
+        for i in 0..4096u64 {
+            cache.access(Hpa::new(i * 64), false, LineKind::Data);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(cache.access(Hpa::new(i * 64), false, LineKind::Data))
+        });
+    });
+
+    g.bench_function("l3_geometry_streaming_miss", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::new(8 << 20, 16, 42));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.access(Hpa::new(i * 64), false, LineKind::Data))
+        });
+    });
+    g.finish();
+}
+
+fn hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy");
+
+    g.bench_function("data_access_l1_hit", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::default(), 8);
+        h.access_data(CoreId(0), Hpa::new(0x1000), false);
+        b.iter(|| black_box(h.access_data(CoreId(0), Hpa::new(0x1000), false)));
+    });
+
+    g.bench_function("data_access_streaming", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::default(), 8);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(h.access_data(CoreId((i % 8) as u16), Hpa::new(i * 64), false))
+        });
+    });
+
+    g.bench_function("tlb_line_probe", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::default(), 8);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(h.access_tlb_line(CoreId(0), Hpa::new(0x60_0000_0000 + (i % 1024) * 64), false))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, set_assoc, hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Microbenchmarks of the DRAM channel model: row-hit, conflict and random
+//! access service throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pomtlb_dram::{Channel, DramTiming};
+use pomtlb_types::{Cycles, Hpa};
+
+fn channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_channel");
+
+    g.bench_function("die_stacked_row_hits", |b| {
+        let mut ch = Channel::new(DramTiming::die_stacked(4.0), 32);
+        let mut now = Cycles::ZERO;
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 32; // stay within one 2KB row
+            let r = ch.access(Hpa::new(i * 64), now);
+            now = r.completes_at;
+            black_box(r)
+        });
+    });
+
+    g.bench_function("die_stacked_random", |b| {
+        let mut ch = Channel::new(DramTiming::die_stacked(4.0), 32);
+        let mut now = Cycles::ZERO;
+        let mut x = 0x2545f4914f6cdd1du64;
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let r = ch.access(Hpa::new(x % (1 << 24) & !63), now);
+            now = r.completes_at;
+            black_box(r)
+        });
+    });
+
+    g.bench_function("ddr4_streaming", |b| {
+        let mut ch = Channel::new(DramTiming::ddr4_2133(4.0), 16);
+        let mut now = Cycles::ZERO;
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let r = ch.access(Hpa::new(i * 64), now);
+            now = r.completes_at;
+            black_box(r)
+        });
+    });
+
+    g.bench_function("address_mapping", |b| {
+        let ch = Channel::new(DramTiming::die_stacked(4.0), 32);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            black_box(ch.map(Hpa::new(i)))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, channel);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Microbenchmarks of the 512×2-bit size/bypass predictor.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pom_tlb::SizeBypassPredictor;
+use pomtlb_types::{Gva, PageSize};
+
+fn predictor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+
+    g.bench_function("predict_size", |b| {
+        let p = SizeBypassPredictor::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(p.predict_size(Gva::new(i << 12)))
+        });
+    });
+
+    g.bench_function("predict_bypass", |b| {
+        let p = SizeBypassPredictor::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(p.predict_bypass(Gva::new(i << 12)))
+        });
+    });
+
+    g.bench_function("train_size_alternating", |b| {
+        let mut p = SizeBypassPredictor::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let actual = if i % 3 == 0 { PageSize::Large2M } else { PageSize::Small4K };
+            let va = Gva::new(i << 12);
+            let predicted = p.predict_size(va);
+            p.train_size(va, predicted, actual);
+            black_box(&p);
+        });
+    });
+
+    g.bench_function("train_with_hysteresis_3", |b| {
+        let mut p = SizeBypassPredictor::with_hysteresis(3);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let va = Gva::new(i << 12);
+            p.train_bypass(va, p.predict_bypass(va), i % 2 == 0);
+            black_box(&p);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, predictor);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! End-to-end simulator throughput: memory references per second through
+//! the full system under each translation scheme, plus trace-generation
+//! speed. These bound how much simulated work the experiment harness can
+//! afford.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pom_tlb::{Scheme, SimConfig, Simulation};
+use pomtlb_trace::{Interleaver, TraceGenerator};
+use pomtlb_workloads::by_name;
+
+fn trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    let w = by_name("mcf").unwrap();
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("generate_ref", |b| {
+        let mut gen = TraceGenerator::new(&w.spec, 1);
+        b.iter(|| black_box(gen.next_ref()));
+    });
+
+    g.bench_function("interleave_8_cores", |b| {
+        let gens: Vec<_> = (0..8).map(|i| TraceGenerator::new(&w.spec, i)).collect();
+        let mut il = Interleaver::new(gens);
+        b.iter(|| black_box(il.next()));
+    });
+    g.finish();
+}
+
+fn full_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_system");
+    g.sample_size(10);
+    let refs = 2_000u64;
+    let cfg = SimConfig { refs_per_core: refs, warmup_per_core: 500, seed: 5 };
+
+    for scheme in [Scheme::Baseline, Scheme::pom_tlb(), Scheme::SharedL2, Scheme::Tsb] {
+        let w = by_name("canneal").unwrap();
+        g.throughput(Throughput::Elements(refs * 8));
+        g.bench_with_input(
+            BenchmarkId::new("canneal_8core", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    black_box(
+                        Simulation::new(&w.spec, scheme, cfg)
+                            .shared_memory(w.suite.shares_memory())
+                            .run(),
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, trace_generation, full_system);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Microbenchmarks of the SRAM TLB and POM-TLB structures: lookup and
+//! insert throughput of the simulator's hottest data structures.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pom_tlb::{PomTlb, PomTlbConfig};
+use pomtlb_tlb::{SramTlb, TlbConfig};
+use pomtlb_types::{AddressSpace, Gva, Hpa, PageSize};
+
+fn sram_tlb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sram_tlb");
+    let space = AddressSpace::default();
+
+    g.bench_function("lookup_hit_l2_geometry", |b| {
+        let mut tlb = SramTlb::new(TlbConfig::new(1536, 12, 17));
+        for i in 0..1536u64 {
+            tlb.insert(space, Gva::new(i << 12), PageSize::Small4K, Hpa::new(i << 12));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1536;
+            black_box(tlb.lookup(space, Gva::new(i << 12), PageSize::Small4K))
+        });
+    });
+
+    g.bench_function("lookup_miss", |b| {
+        let mut tlb = SramTlb::new(TlbConfig::new(1536, 12, 17));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(tlb.lookup(space, Gva::new(i << 12), PageSize::Small4K))
+        });
+    });
+
+    g.bench_function("insert_with_eviction", |b| {
+        let mut tlb = SramTlb::new(TlbConfig::new(1536, 12, 17));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(tlb.insert(space, Gva::new(i << 12), PageSize::Small4K, Hpa::new(i << 12)))
+        });
+    });
+    g.finish();
+}
+
+fn pom_tlb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pom_tlb");
+    let space = AddressSpace::default();
+
+    g.bench_function("set_addr_eq1", |b| {
+        let pom = PomTlb::new(PomTlbConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(pom.set_addr(space, Gva::new(i << 12), PageSize::Small4K))
+        });
+    });
+
+    g.bench_function("lookup_hit_16mb", |b| {
+        let mut pom = PomTlb::new(PomTlbConfig::default());
+        for i in 0..100_000u64 {
+            pom.insert(space, Gva::new(i << 12), PageSize::Small4K, Hpa::new(i << 12));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            black_box(pom.lookup(space, Gva::new(i << 12), PageSize::Small4K))
+        });
+    });
+
+    g.bench_function("insert_16mb", |b| {
+        let mut pom = PomTlb::new(PomTlbConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(pom.insert(space, Gva::new(i << 12), PageSize::Small4K, Hpa::new(i << 12)))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sram_tlb, pom_tlb);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Microbenchmarks of the nested page walker: cold vs warm walk service
+//! rates and PSC effectiveness.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pomtlb_cache::{Hierarchy, HierarchyConfig};
+use pomtlb_dram::{Channel, DramTiming};
+use pomtlb_tlb::{NestedWalker, PscConfig, VirtTables, WalkMode};
+use pomtlb_types::{AddressSpace, CoreId, Cycles, Gva, PageSize};
+
+fn walker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("walker");
+    let space = AddressSpace::default();
+
+    g.bench_function("virtualized_warm_walk", |b| {
+        let mut tables = VirtTables::new(WalkMode::Virtualized);
+        let pages: Vec<Gva> =
+            (0..4096u64).map(|i| Gva::new(0x1000_0000_0000 + (i << 12))).collect();
+        for p in &pages {
+            tables.ensure_mapped(*p, PageSize::Small4K);
+        }
+        let mut hier = Hierarchy::new(HierarchyConfig::default(), 1);
+        let mut dram = Channel::new(DramTiming::ddr4_2133(4.0), 16);
+        let mut walker = NestedWalker::new(PscConfig::default());
+        let mut i = 0usize;
+        let mut now = Cycles::ZERO;
+        b.iter(|| {
+            i = (i + 1) % pages.len();
+            now += Cycles::new(100);
+            black_box(
+                walker
+                    .walk(CoreId(0), space, pages[i], &tables, &mut hier, &mut dram, now)
+                    .unwrap(),
+            )
+        });
+    });
+
+    g.bench_function("native_warm_walk", |b| {
+        let mut tables = VirtTables::new(WalkMode::Native);
+        let pages: Vec<Gva> =
+            (0..4096u64).map(|i| Gva::new(0x1000_0000_0000 + (i << 12))).collect();
+        for p in &pages {
+            tables.ensure_mapped(*p, PageSize::Small4K);
+        }
+        let mut hier = Hierarchy::new(HierarchyConfig::default(), 1);
+        let mut dram = Channel::new(DramTiming::ddr4_2133(4.0), 16);
+        let mut walker = NestedWalker::new(PscConfig::default());
+        let mut i = 0usize;
+        let mut now = Cycles::ZERO;
+        b.iter(|| {
+            i = (i + 1) % pages.len();
+            now += Cycles::new(100);
+            black_box(
+                walker
+                    .walk(CoreId(0), space, pages[i], &tables, &mut hier, &mut dram, now)
+                    .unwrap(),
+            )
+        });
+    });
+
+    g.bench_function("page_table_walk_path_only", |b| {
+        let mut tables = VirtTables::new(WalkMode::Virtualized);
+        let gva = Gva::new(0x1000_0000_0000);
+        tables.ensure_mapped(gva, PageSize::Small4K);
+        b.iter(|| black_box(tables.guest_walk(gva)));
+    });
+
+    g.bench_function("ensure_mapped", |b| {
+        // Bounded window: the first lap exercises demand allocation, later
+        // laps the already-mapped fast path (criterion's iteration count is
+        // unbounded, and simulated physical memory is not).
+        let mut tables = VirtTables::new(WalkMode::Virtualized);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 200_000;
+            black_box(tables.ensure_mapped(
+                Gva::new(0x1000_0000_0000 + (i << 12)),
+                PageSize::Small4K,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, walker);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] [--json DIR] [ARTIFACT...]
+//!
+//! ARTIFACT: table1 table2 fig1 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12
+//!           capacity cores assoc predictor-sweep all   (default: all)
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use pomtlb_bench::figures::{self, Figure};
+use pomtlb_bench::matrix::{ExpConfig, Matrix};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut json_dir: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => match it.next() {
+                Some(dir) => json_dir = Some(dir),
+                None => {
+                    eprintln!("--json needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                print_help();
+                return ExitCode::FAILURE;
+            }
+            artifact => wanted.push(artifact.to_string()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = ALL_ARTIFACTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::standard() };
+    let mut matrix = Matrix::new(cfg);
+    let mut produced: Vec<Figure> = Vec::new();
+
+    for name in &wanted {
+        let fig = match name.as_str() {
+            "table1" => figures::table1(),
+            "table2" => figures::table2(),
+            "fig1" => figures::fig1(),
+            "fig2" => figures::fig2(&mut matrix),
+            "fig3" => figures::fig3(&mut matrix),
+            "fig4" => figures::fig4(),
+            "fig8" => figures::fig8(&mut matrix),
+            "fig9" => figures::fig9(&mut matrix),
+            "fig10" => figures::fig10(&mut matrix),
+            "fig11" => figures::fig11(&mut matrix),
+            "fig12" => figures::fig12(&mut matrix),
+            "capacity" => figures::capacity(&mut matrix),
+            "cores" => figures::cores(&mut matrix),
+            "assoc" => figures::assoc(&mut matrix),
+            "predictor-sweep" => figures::predictor_sweep(&mut matrix),
+            "tlb-aware" => figures::ext_tlb_aware(&mut matrix),
+            "skew" => figures::skew(),
+            "vm-switching" => figures::vm_switching(),
+            other => {
+                eprintln!("unknown artifact `{other}`");
+                print_help();
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", fig.render());
+        produced.push(fig);
+    }
+
+    if let Some(dir) = json_dir {
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for fig in &produced {
+            let path = format!("{dir}/{}.json", fig.id);
+            if let Err(e) = fs::write(&path, serde_json::to_string_pretty(&fig.to_json()).unwrap())
+            {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("wrote {} JSON artifacts to {dir}", produced.len());
+    }
+    ExitCode::SUCCESS
+}
+
+const ALL_ARTIFACTS: &[&str] = &[
+    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "capacity", "cores", "assoc", "predictor-sweep", "tlb-aware", "skew",
+    "vm-switching",
+];
+
+fn print_help() {
+    eprintln!("usage: experiments [--quick] [--json DIR] [ARTIFACT...]");
+    eprintln!("artifacts: {}", ALL_ARTIFACTS.join(" "));
+}

@@ -1,0 +1,113 @@
+//! Cache geometry and latency configuration.
+
+use pomtlb_types::{Cycles, CACHE_LINE_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Geometry and access latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Lookup latency in CPU cycles.
+    pub latency: Cycles,
+    /// §5.1 "TLB-Aware Caching": when choosing a victim, prefer evicting
+    /// data lines over resident POM-TLB entry lines (an L2 TLB miss is a
+    /// blocking event; a data miss usually overlaps). Off by default — the
+    /// paper proposes this as an unlockable benefit, not part of the
+    /// evaluated design.
+    pub protect_tlb_lines: bool,
+}
+
+impl CacheConfig {
+    /// Creates a config (TLB-aware replacement off).
+    pub const fn new(capacity_bytes: u64, ways: u32, latency_cycles: u64) -> CacheConfig {
+        CacheConfig {
+            capacity_bytes,
+            ways,
+            latency: Cycles::new(latency_cycles),
+            protect_tlb_lines: false,
+        }
+    }
+
+    /// The same geometry with §5.1 TLB-aware replacement enabled.
+    pub const fn with_tlb_protection(mut self) -> CacheConfig {
+        self.protect_tlb_lines = true;
+        self
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (capacity not divisible into a
+    /// power-of-two number of sets of `ways` lines).
+    pub fn sets(&self) -> u64 {
+        let lines = self.capacity_bytes / CACHE_LINE_BYTES;
+        assert!(self.ways > 0, "cache needs at least one way");
+        assert!(
+            lines % self.ways as u64 == 0,
+            "capacity {} not divisible by ways {}",
+            self.capacity_bytes,
+            self.ways
+        );
+        let sets = lines / self.ways as u64;
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        sets
+    }
+}
+
+/// The Table 1 data-cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Per-core L1 data cache: 32 KB, 8-way, 4 cycles.
+    pub l1: CacheConfig,
+    /// Per-core unified L2: 256 KB, 4-way, 12 cycles.
+    pub l2: CacheConfig,
+    /// Shared L3: 8 MB, 16-way, 42 cycles.
+    pub l3: CacheConfig,
+    /// Next-line prefetch on MMU probe streams: the L2 streamer prefetcher
+    /// tracks the sequential 64-byte set probes a page-adjacent TLB-miss
+    /// stream produces, exactly as it tracks sequential data streams.
+    pub mmu_next_line_prefetch: bool,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::new(32 << 10, 8, 4),
+            l2: CacheConfig::new(256 << 10, 4, 12),
+            l3: CacheConfig::new(8 << 20, 16, 42),
+            mmu_next_line_prefetch: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometries() {
+        let h = HierarchyConfig::default();
+        assert_eq!(h.l1.sets(), 64); // 32KB / 64B / 8
+        assert_eq!(h.l2.sets(), 1024); // 256KB / 64B / 4
+        assert_eq!(h.l3.sets(), 8192); // 8MB / 64B / 16
+        assert_eq!(h.l1.latency, Cycles::new(4));
+        assert_eq!(h.l2.latency, Cycles::new(12));
+        assert_eq!(h.l3.latency, Cycles::new(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_sets() {
+        CacheConfig::new(3 * 64 * 4, 4, 1).sets();
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_indivisible_ways() {
+        CacheConfig::new(64 * 10, 3, 1).sets();
+    }
+}

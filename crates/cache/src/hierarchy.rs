@@ -1,0 +1,338 @@
+//! The three-level data-cache hierarchy of Table 1.
+
+use pomtlb_types::{CoreId, Cycles, Hpa};
+use serde::{Deserialize, Serialize};
+
+use crate::config::HierarchyConfig;
+use crate::set_assoc::{LineKind, SetAssocCache};
+use crate::stats::CacheStats;
+
+/// Which level serviced a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// Per-core L1 data cache.
+    L1,
+    /// Per-core unified L2.
+    L2,
+    /// Shared L3.
+    L3,
+    /// Missed every probed level; the caller must go to memory.
+    Memory,
+}
+
+/// Result of walking a request down the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeResult {
+    /// The level that hit, or [`Level::Memory`].
+    pub level: Level,
+    /// Sum of lookup latencies of every level probed. Memory latency is
+    /// *not* included — the caller charges the DRAM model.
+    pub latency: Cycles,
+}
+
+impl ProbeResult {
+    /// Whether the request was satisfied on-chip.
+    pub fn hit(&self) -> bool {
+        self.level != Level::Memory
+    }
+}
+
+/// Per-core L1 + L2 and a shared L3, with the paper's probe paths:
+///
+/// * [`Hierarchy::access_data`] — core loads/stores: L1 → L2 → L3,
+/// * [`Hierarchy::access_tlb_line`] — MMU probes for POM-TLB set lines:
+///   **L2 → L3** ("the MMU then issues a load request to the L2D$", §2.1.3),
+/// * [`Hierarchy::access_page_table`] — page-walker PTE fetches: L2 → L3
+///   (PTEs are cached in data caches, §1).
+///
+/// All paths are allocate-on-miss at every probed level (mostly-inclusive,
+/// no back-invalidation, §2.2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hierarchy {
+    config: HierarchyConfig,
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    l3: SetAssocCache,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy for `n_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero or a cache geometry is degenerate.
+    pub fn new(config: HierarchyConfig, n_cores: usize) -> Hierarchy {
+        assert!(n_cores > 0, "need at least one core");
+        Hierarchy {
+            config,
+            l1: (0..n_cores).map(|_| SetAssocCache::new(config.l1)).collect(),
+            l2: (0..n_cores).map(|_| SetAssocCache::new(config.l2)).collect(),
+            l3: SetAssocCache::new(config.l3),
+        }
+    }
+
+    /// Number of cores the hierarchy was built for.
+    pub fn n_cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// A core's load/store: probes L1 → L2 → L3, filling on the way.
+    pub fn access_data(&mut self, core: CoreId, addr: Hpa, write: bool) -> ProbeResult {
+        let c = core.index();
+        let mut latency = self.config.l1.latency;
+        if self.l1[c].access(addr, write, LineKind::Data).hit {
+            return ProbeResult { level: Level::L1, latency };
+        }
+        latency += self.config.l2.latency;
+        if self.l2[c].access(addr, write, LineKind::Data).hit {
+            return ProbeResult { level: Level::L2, latency };
+        }
+        latency += self.config.l3.latency;
+        if self.l3.access(addr, write, LineKind::Data).hit {
+            return ProbeResult { level: Level::L3, latency };
+        }
+        ProbeResult { level: Level::Memory, latency }
+    }
+
+    /// An MMU probe for a POM-TLB set line: L2 → L3 only.
+    ///
+    /// `write` models the MMU updating entry metadata (LRU bits) or
+    /// installing a new translation into the cached line.
+    pub fn access_tlb_line(&mut self, core: CoreId, addr: Hpa, write: bool) -> ProbeResult {
+        self.mmu_access(core, addr, write, LineKind::TlbEntry)
+    }
+
+    /// A page-walker PTE fetch: L2 → L3 only.
+    pub fn access_page_table(&mut self, core: CoreId, addr: Hpa) -> ProbeResult {
+        self.mmu_access(core, addr, false, LineKind::PageTable)
+    }
+
+    fn mmu_access(&mut self, core: CoreId, addr: Hpa, write: bool, kind: LineKind) -> ProbeResult {
+        let c = core.index();
+        // The L2 streamer prefetches the next line of sequential MMU probe
+        // streams (TLB set lines for page-adjacent misses) off the critical
+        // path.
+        if self.config.mmu_next_line_prefetch && kind == LineKind::TlbEntry {
+            let next = Hpa::new(addr.line_base().raw() + 64);
+            self.l2[c].fill_quiet(next, kind);
+            self.l3.fill_quiet(next, kind);
+        }
+        let mut latency = self.config.l2.latency;
+        if self.l2[c].access(addr, write, kind).hit {
+            return ProbeResult { level: Level::L2, latency };
+        }
+        latency += self.config.l3.latency;
+        if self.l3.access(addr, write, kind).hit {
+            return ProbeResult { level: Level::L3, latency };
+        }
+        ProbeResult { level: Level::Memory, latency }
+    }
+
+    /// Non-disturbing residency check along the MMU probe path (the
+    /// requesting core's L2, then the shared L3). Used as the oracle when
+    /// training the cache-bypass predictor after a bypassed access — the
+    /// hardware equivalent is a snoop that costs nothing on the critical
+    /// path.
+    pub fn contains_line(&self, core: CoreId, addr: Hpa) -> bool {
+        self.l2[core.index()].contains(addr) || self.l3.contains(addr)
+    }
+
+    /// Invalidates a line everywhere (TLB shootdown of a cached POM-TLB
+    /// line). Returns the number of copies found.
+    pub fn invalidate_line(&mut self, addr: Hpa) -> u32 {
+        let mut found = 0;
+        for cache in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+            if cache.invalidate(addr) {
+                found += 1;
+            }
+        }
+        if self.l3.invalidate(addr) {
+            found += 1;
+        }
+        found
+    }
+
+    /// A core's L1 statistics.
+    pub fn l1_stats(&self, core: CoreId) -> &CacheStats {
+        self.l1[core.index()].stats()
+    }
+
+    /// A core's L2 statistics.
+    pub fn l2_stats(&self, core: CoreId) -> &CacheStats {
+        self.l2[core.index()].stats()
+    }
+
+    /// L2 statistics summed over all cores.
+    pub fn l2_stats_total(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for c in &self.l2 {
+            total.merge(c.stats());
+        }
+        total
+    }
+
+    /// The shared L3's statistics.
+    pub fn l3_stats(&self) -> &CacheStats {
+        self.l3.stats()
+    }
+
+    /// Direct access to a core's L2 model (occupancy reports).
+    pub fn l2_cache(&self, core: CoreId) -> &SetAssocCache {
+        &self.l2[core.index()]
+    }
+
+    /// Direct access to the shared L3 model.
+    pub fn l3_cache(&self) -> &SetAssocCache {
+        &self.l3
+    }
+
+    /// Resets every level's statistics (post-warmup) without flushing.
+    pub fn reset_stats(&mut self) {
+        for cache in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+            cache.reset_stats();
+        }
+        self.l3.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(cores: usize) -> Hierarchy {
+        Hierarchy::new(HierarchyConfig::default(), cores)
+    }
+
+    #[test]
+    fn data_latencies_accumulate() {
+        let mut hier = h(1);
+        let core = CoreId(0);
+        let addr = Hpa::new(0x1000);
+        // Cold: miss everywhere -> 4 + 12 + 42.
+        let cold = hier.access_data(core, addr, false);
+        assert_eq!(cold.level, Level::Memory);
+        assert_eq!(cold.latency, Cycles::new(58));
+        // Warm: L1 hit -> 4.
+        let warm = hier.access_data(core, addr, false);
+        assert_eq!(warm.level, Level::L1);
+        assert_eq!(warm.latency, Cycles::new(4));
+    }
+
+    #[test]
+    fn tlb_probe_skips_l1() {
+        let mut hier = h(1);
+        let core = CoreId(0);
+        let addr = Hpa::new(0x2000);
+        let cold = hier.access_tlb_line(core, addr, false);
+        assert_eq!(cold.level, Level::Memory);
+        assert_eq!(cold.latency, Cycles::new(12 + 42));
+        let warm = hier.access_tlb_line(core, addr, false);
+        assert_eq!(warm.level, Level::L2);
+        assert_eq!(warm.latency, Cycles::new(12));
+        // The line never entered L1.
+        let data = hier.access_data(core, addr, false);
+        assert_eq!(data.level, Level::L2, "TLB line resident in L2, not L1");
+    }
+
+    #[test]
+    fn fills_propagate_to_all_probed_levels() {
+        let mut hier = h(1);
+        let core = CoreId(0);
+        let addr = Hpa::new(0x3000);
+        hier.access_data(core, addr, false);
+        // L3 must now hold the line: another core's access hits there.
+        let mut hier2cores = h(2);
+        hier2cores.access_data(CoreId(0), addr, false);
+        let other = hier2cores.access_data(CoreId(1), addr, false);
+        assert_eq!(other.level, Level::L3);
+        assert_eq!(other.latency, Cycles::new(58));
+    }
+
+    #[test]
+    fn per_core_l1_l2_are_private() {
+        let mut hier = h(2);
+        let addr = Hpa::new(0x4000);
+        hier.access_data(CoreId(0), addr, false);
+        assert_eq!(hier.l1_stats(CoreId(1)).total_misses(), 0);
+        assert_eq!(hier.l2_stats(CoreId(1)).total_misses(), 0);
+    }
+
+    #[test]
+    fn page_table_lines_tagged() {
+        let mut hier = h(1);
+        hier.access_page_table(CoreId(0), Hpa::new(0x5000));
+        assert_eq!(hier.l3_cache().occupancy(LineKind::PageTable), 1);
+        assert_eq!(hier.l2_cache(CoreId(0)).occupancy(LineKind::PageTable), 1);
+    }
+
+    #[test]
+    fn mmu_prefetch_covers_next_line() {
+        let mut hier = h(1);
+        let addr = Hpa::new(0x9000);
+        hier.access_tlb_line(CoreId(0), addr, false);
+        // The sequential next set line was prefetched: it now hits in L2.
+        let next = hier.access_tlb_line(CoreId(0), Hpa::new(0x9040), false);
+        assert_eq!(next.level, Level::L2);
+        // Prefetching can be disabled.
+        let mut cfg = HierarchyConfig::default();
+        cfg.mmu_next_line_prefetch = false;
+        let mut plain = Hierarchy::new(cfg, 1);
+        plain.access_tlb_line(CoreId(0), addr, false);
+        let cold = plain.access_tlb_line(CoreId(0), Hpa::new(0x9040), false);
+        assert_eq!(cold.level, Level::Memory);
+    }
+
+    #[test]
+    fn shootdown_invalidates_all_levels() {
+        let mut hier = h(2);
+        let addr = Hpa::new(0x6000);
+        hier.access_tlb_line(CoreId(0), addr, false); // L2(0) + L3
+        hier.access_tlb_line(CoreId(1), addr, false); // L2(1) + L3 hit
+        let found = hier.invalidate_line(addr);
+        assert_eq!(found, 3, "two private L2 copies plus L3");
+        let after = hier.access_tlb_line(CoreId(0), addr, false);
+        assert_eq!(after.level, Level::Memory);
+    }
+
+    #[test]
+    fn l2_total_sums_cores() {
+        let mut hier = h(2);
+        hier.access_data(CoreId(0), Hpa::new(0x100), false);
+        hier.access_data(CoreId(1), Hpa::new(0x200), false);
+        let total = hier.l2_stats_total();
+        assert_eq!(total.total_misses(), 2);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut hier = h(1);
+        let addr = Hpa::new(0x7000);
+        hier.access_data(CoreId(0), addr, false);
+        hier.reset_stats();
+        assert_eq!(hier.l3_stats().total_misses(), 0);
+        let warm = hier.access_data(CoreId(0), addr, false);
+        assert_eq!(warm.level, Level::L1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn rejects_zero_cores() {
+        h(0);
+    }
+
+    #[test]
+    fn tlb_write_dirties_line() {
+        let mut hier = h(1);
+        let addr = Hpa::new(0x8000);
+        hier.access_tlb_line(CoreId(0), addr, true);
+        // The probed line is resident (plus the streamer's next-line
+        // prefetch).
+        assert_eq!(hier.l2_cache(CoreId(0)).occupancy(LineKind::TlbEntry), 2);
+        assert!(hier.contains_line(CoreId(0), addr));
+    }
+}

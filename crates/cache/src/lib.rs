@@ -1,0 +1,33 @@
+//! Set-associative cache models and the paper's three-level data-cache
+//! hierarchy.
+//!
+//! POM-TLB's central trick is that the in-memory TLB is *addressable*, so
+//! TLB entries are cached in the ordinary L2/L3 **data** caches alongside
+//! program data (§2.1.3). That makes the data-cache model a first-class
+//! substrate here:
+//!
+//! * [`SetAssocCache`] — a generic write-back, write-allocate,
+//!   LRU-replacement cache keyed by 64-byte line address; every resident
+//!   line is tagged with a [`LineKind`] (`Data`, `TlbEntry`, `PageTable`) so
+//!   the simulator can report the TLB-entry hit ratios of Figure 9 and the
+//!   pollution effects of §4.5,
+//! * [`Hierarchy`] — per-core L1/L2 plus a shared L3 with the Table 1
+//!   geometry and latencies; data accesses probe L1→L2→L3, while POM-TLB
+//!   set probes start at the L2 (the MMU issues them below the core, §2.1.3)
+//!   and page-walker PTE fetches likewise go through L2→L3.
+//!
+//! Inclusion is *mostly inclusive* as in x86 (§2.2): each level fills and
+//! evicts independently; no back-invalidation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod hierarchy;
+mod set_assoc;
+mod stats;
+
+pub use config::{CacheConfig, HierarchyConfig};
+pub use hierarchy::{Hierarchy, Level, ProbeResult};
+pub use set_assoc::{AccessOutcome, LineKind, SetAssocCache, Victim};
+pub use stats::{CacheStats, KindStats};

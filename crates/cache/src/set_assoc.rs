@@ -1,0 +1,451 @@
+//! The generic set-associative cache.
+
+use pomtlb_types::Hpa;
+use serde::{Deserialize, Serialize};
+
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+
+/// What kind of content a cache line holds.
+///
+/// POM-TLB makes TLB entries cacheable, so the same physical cache holds
+/// program data, in-memory TLB entries and page-table entries; Figure 9 and
+/// §4.5 report statistics split along this axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LineKind {
+    /// Ordinary program data.
+    Data,
+    /// A line of four POM-TLB entries.
+    TlbEntry,
+    /// A page-table entry line fetched by the page walker.
+    PageTable,
+}
+
+/// A line evicted to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// Line-aligned physical address of the evicted line.
+    pub addr: Hpa,
+    /// Whether it was dirty (needs write-back).
+    pub dirty: bool,
+    /// What it held.
+    pub kind: LineKind,
+}
+
+/// Outcome of one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was already resident.
+    pub hit: bool,
+    /// On a filling miss, the line that was displaced (if the way was
+    /// occupied).
+    pub victim: Option<Victim>,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    kind: LineKind,
+    /// LRU stamp: larger = more recently used.
+    stamp: u64,
+}
+
+const INVALID: Line =
+    Line { tag: 0, valid: false, dirty: false, kind: LineKind::Data, stamp: 0 };
+
+/// A write-back, write-allocate, true-LRU set-associative cache over
+/// 64-byte lines.
+///
+/// Addresses are host-physical; the unit of storage is the line. The cache
+/// does not store data bytes — it is a timing and residency model, as in
+/// the paper's simulator — but it tracks residency, dirtiness and content
+/// kind exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: u64,
+    ways: usize,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (see [`CacheConfig::sets`]).
+    pub fn new(config: CacheConfig) -> SetAssocCache {
+        let sets = config.sets();
+        let ways = config.ways as usize;
+        SetAssocCache {
+            config,
+            sets,
+            ways,
+            lines: vec![INVALID; (sets as usize) * ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn set_and_tag(&self, addr: Hpa) -> (usize, u64) {
+        let line = addr.line_index();
+        ((line % self.sets) as usize, line / self.sets)
+    }
+
+    #[inline]
+    fn set_slice(&mut self, set: usize) -> &mut [Line] {
+        let start = set * self.ways;
+        &mut self.lines[start..start + self.ways]
+    }
+
+    /// Accesses (and on miss, fills) the line containing `addr`.
+    ///
+    /// `write` marks the line dirty on hit or fill. `kind` tags the fill;
+    /// the paper's data caches are agnostic, the tag exists purely for
+    /// statistics.
+    pub fn access(&mut self, addr: Hpa, write: bool, kind: LineKind) -> AccessOutcome {
+        self.clock += 1;
+        let clock = self.clock;
+        let protect = self.config.protect_tlb_lines;
+        let (set, tag) = self.set_and_tag(addr);
+        let ways = self.ways;
+        let lines = self.set_slice(set);
+
+        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.stamp = clock;
+            line.dirty |= write;
+            let hit_kind = line.kind;
+            self.stats.record(hit_kind, true);
+            return AccessOutcome { hit: true, victim: None };
+        }
+
+        // Miss: choose the invalid way or the victim. Under §5.1
+        // TLB-aware replacement, LRU runs over data lines first and only
+        // falls back to TLB-entry lines when the whole set holds
+        // translations.
+        let victim_way = (0..ways)
+            .find(|&w| !lines[w].valid)
+            .or_else(|| {
+                if protect {
+                    (0..ways)
+                        .filter(|&w| lines[w].kind != LineKind::TlbEntry)
+                        .min_by_key(|&w| lines[w].stamp)
+                } else {
+                    None
+                }
+            })
+            .unwrap_or_else(|| {
+                (0..ways)
+                    .min_by_key(|&w| lines[w].stamp)
+                    .expect("nonzero associativity")
+            });
+        let old = lines[victim_way];
+        lines[victim_way] = Line { tag, valid: true, dirty: write, kind, stamp: clock };
+        self.stats.record(kind, false);
+        let victim = old.valid.then(|| Victim {
+            addr: self.line_addr(set, old.tag),
+            dirty: old.dirty,
+            kind: old.kind,
+        });
+        if let Some(v) = &victim {
+            self.stats.record_eviction(v.kind, v.dirty);
+        }
+        AccessOutcome { hit: false, victim }
+    }
+
+    /// Fills the line containing `addr` if absent, without touching the
+    /// hit/miss statistics — the prefetcher's path. Victim evictions are
+    /// still recorded (they are real traffic).
+    pub fn fill_quiet(&mut self, addr: Hpa, kind: LineKind) {
+        self.clock += 1;
+        let clock = self.clock;
+        let protect = self.config.protect_tlb_lines;
+        let (set, tag) = self.set_and_tag(addr);
+        let ways = self.ways;
+        let lines = self.set_slice(set);
+        if lines.iter().any(|l| l.valid && l.tag == tag) {
+            return;
+        }
+        let victim_way = (0..ways)
+            .find(|&w| !lines[w].valid)
+            .or_else(|| {
+                if protect {
+                    (0..ways)
+                        .filter(|&w| lines[w].kind != LineKind::TlbEntry)
+                        .min_by_key(|&w| lines[w].stamp)
+                } else {
+                    None
+                }
+            })
+            .unwrap_or_else(|| {
+                (0..ways).min_by_key(|&w| lines[w].stamp).expect("nonzero associativity")
+            });
+        let old = lines[victim_way];
+        lines[victim_way] = Line { tag, valid: true, dirty: false, kind, stamp: clock };
+        if old.valid {
+            self.stats.record_eviction(old.kind, old.dirty);
+        }
+    }
+
+    /// Checks residency without updating LRU or statistics.
+    pub fn contains(&self, addr: Hpa) -> bool {
+        let (set, tag) = {
+            let line = addr.line_index();
+            ((line % self.sets) as usize, line / self.sets)
+        };
+        let start = set * self.ways;
+        self.lines[start..start + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the line containing `addr` if resident; returns whether
+    /// it was present. Used for TLB shootdowns of cached POM-TLB lines.
+    pub fn invalidate(&mut self, addr: Hpa) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        for line in self.set_slice(set) {
+            if line.valid && line.tag == tag {
+                *line = INVALID;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of resident lines of each kind, for occupancy reports.
+    pub fn occupancy(&self, kind: LineKind) -> u64 {
+        self.lines.iter().filter(|l| l.valid && l.kind == kind).count() as u64
+    }
+
+    /// Total resident lines.
+    pub fn resident_lines(&self) -> u64 {
+        self.lines.iter().filter(|l| l.valid).count() as u64
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics without touching contents (post-warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn line_addr(&self, set: usize, tag: u64) -> Hpa {
+        Hpa::new((tag * self.sets + set as u64) * 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small() -> SetAssocCache {
+        // 4 sets x 2 ways x 64B = 512B.
+        SetAssocCache::new(CacheConfig::new(512, 2, 1))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(Hpa::new(0x100), false, LineKind::Data).hit);
+        assert!(c.access(Hpa::new(0x100), false, LineKind::Data).hit);
+        assert!(c.access(Hpa::new(0x13f), false, LineKind::Data).hit, "same line");
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small();
+        // Three lines mapping to set 0 (set stride = 4 lines = 256B).
+        let a = Hpa::new(0);
+        let b = Hpa::new(256 * 1);
+        let d = Hpa::new(256 * 2);
+        c.access(a, false, LineKind::Data);
+        c.access(b, false, LineKind::Data);
+        c.access(a, false, LineKind::Data); // a now MRU
+        let out = c.access(d, false, LineKind::Data);
+        let victim = out.victim.expect("full set must evict");
+        assert_eq!(victim.addr.line_index(), b.line_index());
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+    }
+
+    #[test]
+    fn dirty_propagates_to_victim() {
+        let mut c = small();
+        c.access(Hpa::new(0), true, LineKind::Data);
+        c.access(Hpa::new(256), false, LineKind::Data);
+        let out = c.access(Hpa::new(512), false, LineKind::Data);
+        let v = out.victim.unwrap();
+        assert!(v.dirty, "written line must come out dirty");
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.access(Hpa::new(0), false, LineKind::Data);
+        c.access(Hpa::new(0), true, LineKind::Data);
+        c.access(Hpa::new(256), false, LineKind::Data);
+        let out = c.access(Hpa::new(512), false, LineKind::Data);
+        assert!(out.victim.unwrap().dirty);
+    }
+
+    #[test]
+    fn kinds_tracked_separately() {
+        let mut c = small();
+        c.access(Hpa::new(0), false, LineKind::TlbEntry);
+        c.access(Hpa::new(64), false, LineKind::Data);
+        c.access(Hpa::new(128), false, LineKind::PageTable);
+        assert_eq!(c.occupancy(LineKind::TlbEntry), 1);
+        assert_eq!(c.occupancy(LineKind::Data), 1);
+        assert_eq!(c.occupancy(LineKind::PageTable), 1);
+        assert_eq!(c.resident_lines(), 3);
+    }
+
+    #[test]
+    fn hit_records_resident_kind_not_request_kind() {
+        let mut c = small();
+        c.access(Hpa::new(0), false, LineKind::TlbEntry);
+        c.access(Hpa::new(0), false, LineKind::TlbEntry);
+        assert_eq!(c.stats().kind(LineKind::TlbEntry).hits, 1);
+        assert_eq!(c.stats().kind(LineKind::TlbEntry).misses, 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        c.access(Hpa::new(0x40), false, LineKind::TlbEntry);
+        assert!(c.invalidate(Hpa::new(0x40)));
+        assert!(!c.contains(Hpa::new(0x40)));
+        assert!(!c.invalidate(Hpa::new(0x40)), "double invalidate is a no-op");
+    }
+
+    #[test]
+    fn contains_does_not_disturb_lru() {
+        let mut c = small();
+        let a = Hpa::new(0);
+        let b = Hpa::new(256);
+        c.access(a, false, LineKind::Data);
+        c.access(b, false, LineKind::Data);
+        // Peek at `a` (would make it MRU if it updated LRU state).
+        assert!(c.contains(a));
+        let out = c.access(Hpa::new(512), false, LineKind::Data);
+        // True LRU order is still a,b -> a is the victim.
+        assert_eq!(out.victim.unwrap().addr.line_index(), a.line_index());
+    }
+
+    #[test]
+    fn victim_address_reconstructs_correctly() {
+        let mut c = small();
+        let addr = Hpa::new(0x1040);
+        c.access(addr, false, LineKind::Data);
+        // Fill the same set until `addr` is evicted, and check the victim
+        // address matches bit for bit (line-aligned).
+        let mut evicted = None;
+        for i in 0..8u64 {
+            let other = Hpa::new(0x1040 + 256 * (i + 1));
+            if let Some(v) = c.access(other, false, LineKind::Data).victim {
+                if v.addr.line_index() == addr.line_index() {
+                    evicted = Some(v);
+                    break;
+                }
+            }
+        }
+        let v = evicted.expect("line must eventually be evicted");
+        assert_eq!(v.addr, addr.line_base());
+    }
+
+    #[test]
+    fn stats_hits_plus_misses_equals_accesses() {
+        let mut c = small();
+        let mut x = 7u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            c.access(Hpa::new(x % 4096), false, LineKind::Data);
+        }
+        let s = c.stats();
+        assert_eq!(s.total_hits() + s.total_misses(), 1000);
+    }
+
+    #[test]
+    fn tlb_aware_policy_protects_translation_lines() {
+        // 2-way set: one TLB line + one data line; a data fill must evict
+        // the data line, not the translation.
+        let mut c = SetAssocCache::new(CacheConfig::new(512, 2, 1).with_tlb_protection());
+        c.access(Hpa::new(0), false, LineKind::TlbEntry);
+        c.access(Hpa::new(256), false, LineKind::Data);
+        // Make the TLB line the LRU of the set.
+        c.access(Hpa::new(256), false, LineKind::Data);
+        let out = c.access(Hpa::new(512), false, LineKind::Data);
+        let v = out.victim.expect("full set evicts");
+        assert_eq!(v.kind, LineKind::Data, "data evicted despite being MRU-adjacent");
+        assert!(c.contains(Hpa::new(0)), "TLB line survives");
+    }
+
+    #[test]
+    fn tlb_aware_policy_falls_back_when_set_is_all_tlb() {
+        let mut c = SetAssocCache::new(CacheConfig::new(512, 2, 1).with_tlb_protection());
+        c.access(Hpa::new(0), false, LineKind::TlbEntry);
+        c.access(Hpa::new(256), false, LineKind::TlbEntry);
+        let out = c.access(Hpa::new(512), false, LineKind::TlbEntry);
+        assert_eq!(out.victim.expect("evicts").kind, LineKind::TlbEntry);
+    }
+
+    #[test]
+    fn default_policy_ignores_kind() {
+        let mut c = small();
+        c.access(Hpa::new(0), false, LineKind::TlbEntry);
+        c.access(Hpa::new(256), false, LineKind::Data);
+        // TLB line is LRU; without protection it goes.
+        let out = c.access(Hpa::new(512), false, LineKind::Data);
+        assert_eq!(out.victim.expect("evicts").kind, LineKind::TlbEntry);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_resident_after_access(addr in any::<u64>()) {
+            let mut c = small();
+            c.access(Hpa::new(addr), false, LineKind::Data);
+            prop_assert!(c.contains(Hpa::new(addr)));
+        }
+
+        #[test]
+        fn prop_occupancy_bounded_by_capacity(addrs in proptest::collection::vec(any::<u64>(), 1..200)) {
+            let mut c = small();
+            for a in addrs {
+                c.access(Hpa::new(a), false, LineKind::Data);
+            }
+            prop_assert!(c.resident_lines() <= 8); // 4 sets x 2 ways
+        }
+
+        #[test]
+        fn prop_eviction_conserves_lines(addrs in proptest::collection::vec(0u64..8192, 1..300)) {
+            let mut c = small();
+            let mut fills = 0u64;
+            let mut evictions = 0u64;
+            for a in addrs {
+                let out = c.access(Hpa::new(a), false, LineKind::Data);
+                if !out.hit {
+                    fills += 1;
+                }
+                if out.victim.is_some() {
+                    evictions += 1;
+                }
+            }
+            prop_assert_eq!(fills - evictions, c.resident_lines());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-kind cache statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::set_assoc::LineKind;
+
+/// Hit/miss/eviction counters for one [`LineKind`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindStats {
+    /// Accesses that found the line resident.
+    pub hits: u64,
+    /// Accesses that filled the line.
+    pub misses: u64,
+    /// Lines of this kind displaced by any fill.
+    pub evictions: u64,
+    /// Dirty lines of this kind displaced (write-back traffic).
+    pub dirty_evictions: u64,
+}
+
+impl KindStats {
+    /// Hit rate in [0, 1]; zero if there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Statistics for one cache, split by content kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    data: KindStats,
+    tlb: KindStats,
+    page_table: KindStats,
+}
+
+impl CacheStats {
+    /// Counters for one kind.
+    pub fn kind(&self, kind: LineKind) -> &KindStats {
+        match kind {
+            LineKind::Data => &self.data,
+            LineKind::TlbEntry => &self.tlb,
+            LineKind::PageTable => &self.page_table,
+        }
+    }
+
+    fn kind_mut(&mut self, kind: LineKind) -> &mut KindStats {
+        match kind {
+            LineKind::Data => &mut self.data,
+            LineKind::TlbEntry => &mut self.tlb,
+            LineKind::PageTable => &mut self.page_table,
+        }
+    }
+
+    /// Records a hit or a filling miss.
+    pub fn record(&mut self, kind: LineKind, hit: bool) {
+        let k = self.kind_mut(kind);
+        if hit {
+            k.hits += 1;
+        } else {
+            k.misses += 1;
+        }
+    }
+
+    /// Records an eviction of a resident line.
+    pub fn record_eviction(&mut self, kind: LineKind, dirty: bool) {
+        let k = self.kind_mut(kind);
+        k.evictions += 1;
+        if dirty {
+            k.dirty_evictions += 1;
+        }
+    }
+
+    /// Hits across all kinds.
+    pub fn total_hits(&self) -> u64 {
+        self.data.hits + self.tlb.hits + self.page_table.hits
+    }
+
+    /// Misses across all kinds.
+    pub fn total_misses(&self) -> u64 {
+        self.data.misses + self.tlb.misses + self.page_table.misses
+    }
+
+    /// Overall hit rate; zero with no accesses.
+    pub fn overall_hit_rate(&self) -> f64 {
+        let total = self.total_hits() + self.total_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_hits() as f64 / total as f64
+        }
+    }
+
+    /// Folds another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        for kind in [LineKind::Data, LineKind::TlbEntry, LineKind::PageTable] {
+            let o = *other.kind(kind);
+            let k = self.kind_mut(kind);
+            k.hits += o.hits;
+            k.misses += o.misses;
+            k.evictions += o.evictions;
+            k.dirty_evictions += o.dirty_evictions;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_kind_isolation() {
+        let mut s = CacheStats::default();
+        s.record(LineKind::Data, true);
+        s.record(LineKind::TlbEntry, false);
+        assert_eq!(s.kind(LineKind::Data).hits, 1);
+        assert_eq!(s.kind(LineKind::Data).misses, 0);
+        assert_eq!(s.kind(LineKind::TlbEntry).misses, 1);
+        assert_eq!(s.kind(LineKind::PageTable).hits, 0);
+    }
+
+    #[test]
+    fn hit_rates() {
+        let mut s = CacheStats::default();
+        for _ in 0..3 {
+            s.record(LineKind::TlbEntry, true);
+        }
+        s.record(LineKind::TlbEntry, false);
+        assert_eq!(s.kind(LineKind::TlbEntry).hit_rate(), 0.75);
+        assert_eq!(s.overall_hit_rate(), 0.75);
+        assert_eq!(KindStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn eviction_counters() {
+        let mut s = CacheStats::default();
+        s.record_eviction(LineKind::Data, true);
+        s.record_eviction(LineKind::Data, false);
+        assert_eq!(s.kind(LineKind::Data).evictions, 2);
+        assert_eq!(s.kind(LineKind::Data).dirty_evictions, 1);
+    }
+
+    #[test]
+    fn merge_sums_all_kinds() {
+        let mut a = CacheStats::default();
+        a.record(LineKind::Data, true);
+        let mut b = CacheStats::default();
+        b.record(LineKind::TlbEntry, false);
+        b.record_eviction(LineKind::PageTable, true);
+        a.merge(&b);
+        assert_eq!(a.total_hits(), 1);
+        assert_eq!(a.total_misses(), 1);
+        assert_eq!(a.kind(LineKind::PageTable).dirty_evictions, 1);
+    }
+}

@@ -1,0 +1,293 @@
+//! `pomtlb` — run one simulation from the command line.
+//!
+//! ```text
+//! pomtlb list
+//! pomtlb sim --workload mcf [--scheme pom-tlb] [--cores 8] [--refs 40000]
+//!            [--warmup 15000] [--seed N] [--capacity-mb 16] [--native]
+//!            [--no-prepopulate] [--json]
+//! pomtlb compare --workload gups [--cores 8] [--refs 40000] [--json]
+//! ```
+
+use std::process::ExitCode;
+
+use pom_tlb::{PomTlbConfig, Scheme, SimConfig, SimReport, Simulation, SystemConfig};
+use pomtlb_tlb::WalkMode;
+use pomtlb_workloads::{by_name, names, PaperWorkload};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some("sim") => run_command(&args[1..], CommandKind::Sim),
+        Some("compare") => run_command(&args[1..], CommandKind::Compare),
+        Some("--help") | Some("-h") | None => {
+            help();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n");
+            help();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum CommandKind {
+    Sim,
+    Compare,
+}
+
+#[derive(Debug)]
+struct Options {
+    workload: Option<String>,
+    scheme: Scheme,
+    cores: usize,
+    refs: u64,
+    warmup: u64,
+    seed: u64,
+    capacity_mb: u64,
+    native: bool,
+    prepopulate: bool,
+    json: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            workload: None,
+            scheme: Scheme::pom_tlb(),
+            cores: 8,
+            refs: 40_000,
+            warmup: 15_000,
+            seed: 0x90af,
+            capacity_mb: 16,
+            native: false,
+            prepopulate: true,
+            json: false,
+        }
+    }
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--workload" | "-w" => o.workload = Some(value("--workload")?),
+            "--scheme" | "-s" => {
+                o.scheme = parse_scheme(&value("--scheme")?)?;
+            }
+            "--cores" => o.cores = num(&value("--cores")?)? as usize,
+            "--refs" => o.refs = num(&value("--refs")?)?,
+            "--warmup" => o.warmup = num(&value("--warmup")?)?,
+            "--seed" => o.seed = num(&value("--seed")?)?,
+            "--capacity-mb" => o.capacity_mb = num(&value("--capacity-mb")?)?,
+            "--native" => o.native = true,
+            "--no-prepopulate" => o.prepopulate = false,
+            "--json" => o.json = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("`{s}` is not a number"))
+}
+
+fn parse_scheme(s: &str) -> Result<Scheme, String> {
+    match s {
+        "baseline" => Ok(Scheme::Baseline),
+        "pom-tlb" | "pom" => Ok(Scheme::pom_tlb()),
+        "pom-uncached" => Ok(Scheme::pom_tlb_uncached()),
+        "shared-l2" => Ok(Scheme::SharedL2),
+        "tsb" => Ok(Scheme::Tsb),
+        other => Err(format!(
+            "unknown scheme `{other}` (baseline | pom-tlb | pom-uncached | shared-l2 | tsb)"
+        )),
+    }
+}
+
+fn run_command(args: &[String], kind: CommandKind) -> ExitCode {
+    let opts = match parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n");
+            help();
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(name) = opts.workload.clone() else {
+        eprintln!("--workload is required (see `pomtlb list`)");
+        return ExitCode::FAILURE;
+    };
+    let Some(w) = by_name(&name) else {
+        eprintln!("unknown workload `{name}`; known: {}", names().join(" "));
+        return ExitCode::FAILURE;
+    };
+
+    match kind {
+        CommandKind::Sim => {
+            let report = simulate(&w, opts.scheme, &opts);
+            emit(&w, &[report], &opts);
+        }
+        CommandKind::Compare => {
+            let reports: Vec<SimReport> =
+                [Scheme::Baseline, Scheme::pom_tlb(), Scheme::SharedL2, Scheme::Tsb]
+                    .into_iter()
+                    .map(|s| simulate(&w, s, &opts))
+                    .collect();
+            emit(&w, &reports, &opts);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn simulate(w: &PaperWorkload, scheme: Scheme, o: &Options) -> SimReport {
+    let sys = SystemConfig {
+        n_cores: o.cores,
+        walk_mode: if o.native { WalkMode::Native } else { WalkMode::Virtualized },
+        pom: PomTlbConfig { capacity_bytes: o.capacity_mb << 20, ..Default::default() },
+        ..Default::default()
+    };
+    let sim = SimConfig { refs_per_core: o.refs, warmup_per_core: o.warmup, seed: o.seed };
+    Simulation::new(&w.spec, scheme, sim)
+        .shared_memory(w.suite.shares_memory())
+        .with_system_config(sys)
+        .prepopulate(o.prepopulate)
+        .run()
+}
+
+fn emit(w: &PaperWorkload, reports: &[SimReport], o: &Options) {
+    if o.json {
+        let value = serde_json::json!({
+            "workload": w.name,
+            "suite": format!("{:?}", w.suite),
+            "table2": w.table2,
+            "reports": reports,
+        });
+        println!("{}", serde_json::to_string_pretty(&value).expect("reports serialize"));
+        return;
+    }
+    println!(
+        "workload {} ({:?}), {} cores, {} refs/core",
+        w.name,
+        w.suite,
+        reports[0].n_cores,
+        o.refs
+    );
+    println!(
+        "{:>12} {:>12} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "scheme", "p_avg(cyc)", "misses", "walks", "L2D$%", "L3D$%", "RBH%"
+    );
+    for r in reports {
+        println!(
+            "{:>12} {:>12.1} {:>10} {:>10} {:>9.1} {:>9.1} {:>9.1}",
+            r.scheme.label(),
+            r.p_avg(),
+            r.l2_tlb_misses,
+            r.page_walks,
+            r.fig9_l2d_hit_rate() * 100.0,
+            r.fig9_l3d_hit_rate() * 100.0,
+            r.fig11_rbh() * 100.0,
+        );
+    }
+}
+
+fn list() {
+    println!("{:<14} {:>8} {:>10} {:>12} {:>8}", "workload", "suite", "ovh virt%", "cyc/miss", "large%");
+    for w in pomtlb_workloads::all() {
+        println!(
+            "{:<14} {:>8} {:>10.2} {:>12.0} {:>8.1}",
+            w.name,
+            format!("{:?}", w.suite),
+            w.table2.overhead_virtual_pct,
+            w.table2.cycles_per_miss_virtual,
+            w.table2.frac_large_pages_pct
+        );
+    }
+}
+
+fn help() {
+    eprintln!(
+        "pomtlb — POM-TLB simulator driver
+
+USAGE:
+  pomtlb list
+  pomtlb sim     --workload NAME [flags]   one scheme, full report
+  pomtlb compare --workload NAME [flags]   all four schemes side by side
+
+FLAGS:
+  --scheme S        baseline | pom-tlb | pom-uncached | shared-l2 | tsb
+  --cores N         simulated cores (default 8)
+  --refs N          post-warmup references per core (default 40000)
+  --warmup N        warmup references per core (default 15000)
+  --seed N          RNG seed
+  --capacity-mb N   POM-TLB capacity (default 16)
+  --native          bare-metal 1-D walks instead of virtualized 2-D
+  --no-prepopulate  cold-start in-DRAM structures
+  --json            machine-readable output"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.cores, 8);
+        assert!(o.prepopulate);
+        assert!(!o.json);
+    }
+
+    #[test]
+    fn parse_full_flag_set() {
+        let args: Vec<String> = [
+            "--workload", "mcf", "--scheme", "tsb", "--cores", "4", "--refs", "100",
+            "--warmup", "50", "--seed", "9", "--capacity-mb", "8", "--native",
+            "--no-prepopulate", "--json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse(&args).unwrap();
+        assert_eq!(o.workload.as_deref(), Some("mcf"));
+        assert_eq!(o.scheme, Scheme::Tsb);
+        assert_eq!(o.cores, 4);
+        assert_eq!(o.refs, 100);
+        assert_eq!(o.capacity_mb, 8);
+        assert!(o.native && !o.prepopulate && o.json);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!(parse(&["--bogus".into()]).is_err());
+        assert!(parse(&["--cores".into()]).is_err());
+        assert!(parse(&["--cores".into(), "x".into()]).is_err());
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(parse_scheme("baseline").unwrap(), Scheme::Baseline);
+        assert_eq!(parse_scheme("pom").unwrap(), Scheme::pom_tlb());
+        assert_eq!(parse_scheme("shared-l2").unwrap(), Scheme::SharedL2);
+        assert!(parse_scheme("nope").is_err());
+    }
+
+    #[test]
+    fn simulate_smoke() {
+        let w = by_name("streamcluster").unwrap();
+        let o = Options { cores: 2, refs: 1_000, warmup: 300, ..Default::default() };
+        let r = simulate(&w, Scheme::pom_tlb(), &o);
+        assert!(r.refs > 0);
+        assert!(r.walks_eliminated() > 0.9);
+    }
+}

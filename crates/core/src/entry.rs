@@ -1,0 +1,164 @@
+//! The 16-byte POM-TLB entry format of Figure 5.
+//!
+//! Each die-stacked DRAM row (2 KB) holds 128 entries; each 64-byte burst
+//! carries one 4-way set of four entries. The format packs:
+//!
+//! ```text
+//! | valid (1b) | VM ID (12b) | Process ID (12b) | VPN (36b) |  -> word 0
+//! | PPN (36b)  | attr (28b: 2 LRU + protection/replacement) |  -> word 1
+//! ```
+//!
+//! The simulator stores entries as structured data but [`PomEntry::pack`] /
+//! [`PomEntry::unpack`] prove the format genuinely fits the 16 bytes the
+//! paper budgets — the property all the capacity math rests on.
+
+use pomtlb_types::{AddressSpace, PageSize, ProcessId, VmId};
+use serde::{Deserialize, Serialize};
+
+/// One POM-TLB entry (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PomEntry {
+    /// The owning VM and process.
+    pub space: AddressSpace,
+    /// Virtual page number (in units of the partition's page size).
+    pub vpn: u64,
+    /// Physical page number.
+    pub ppn: u64,
+    /// 2-bit LRU age used for within-set replacement (§2.2 "Entry
+    /// Replacement"): 0 = most recently used.
+    pub lru: u8,
+    /// Protection/attribute bits (modeled, not interpreted).
+    pub attr: u8,
+}
+
+impl PomEntry {
+    /// Serialized size of one entry.
+    pub const BYTES: usize = 16;
+
+    /// Creates an entry with MRU age and empty attributes.
+    pub fn new(space: AddressSpace, vpn: u64, ppn: u64) -> PomEntry {
+        PomEntry { space, vpn, ppn, lru: 0, attr: 0 }
+    }
+
+    /// Packs into the 16-byte on-DRAM format. The valid bit is bit 63 of
+    /// word 0 (an invalid slot is all-zero words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` or `ppn` exceed their 36-bit fields (a 36-bit 4 KB
+    /// VPN covers a 48-bit virtual address space, matching x86-64).
+    pub fn pack(&self) -> [u8; Self::BYTES] {
+        assert!(self.vpn < 1 << 36, "VPN {:#x} exceeds 36 bits", self.vpn);
+        assert!(self.ppn < 1 << 36, "PPN {:#x} exceeds 36 bits", self.ppn);
+        assert!(self.lru < 4, "LRU is a 2-bit field");
+        let w0: u64 = (1 << 63)
+            | ((self.space.vm.0 as u64 & 0xfff) << 48)
+            | ((self.space.process.0 as u64 & 0xfff) << 36)
+            | self.vpn;
+        let w1: u64 = (self.ppn << 28) | ((self.lru as u64) << 26) | (self.attr as u64);
+        let mut out = [0u8; Self::BYTES];
+        out[..8].copy_from_slice(&w0.to_le_bytes());
+        out[8..].copy_from_slice(&w1.to_le_bytes());
+        out
+    }
+
+    /// Unpacks the on-DRAM format; `None` if the valid bit is clear.
+    pub fn unpack(bytes: &[u8; Self::BYTES]) -> Option<PomEntry> {
+        let w0 = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let w1 = u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes"));
+        if w0 >> 63 == 0 {
+            return None;
+        }
+        Some(PomEntry {
+            space: AddressSpace::new(
+                VmId(((w0 >> 48) & 0xfff) as u16),
+                ProcessId(((w0 >> 36) & 0xfff) as u16),
+            ),
+            vpn: w0 & ((1 << 36) - 1),
+            ppn: w1 >> 28,
+            lru: ((w1 >> 26) & 0b11) as u8,
+            attr: (w1 & 0xff) as u8,
+        })
+    }
+
+    /// Whether this entry translates `(space, vpn)`.
+    #[inline]
+    pub fn matches(&self, space: AddressSpace, vpn: u64) -> bool {
+        self.space == space && self.vpn == vpn
+    }
+
+    /// Reach of one entry in bytes for a given partition page size.
+    pub fn reach_bytes(size: PageSize) -> u64 {
+        size.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn space(vm: u16, pid: u16) -> AddressSpace {
+        AddressSpace::new(VmId(vm), ProcessId(pid))
+    }
+
+    #[test]
+    fn sixteen_bytes_exactly() {
+        assert_eq!(PomEntry::BYTES, 16);
+        let e = PomEntry::new(space(1, 2), 0x12345, 0x6789a);
+        assert_eq!(e.pack().len(), 16);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let e = PomEntry {
+            space: space(0xabc, 0x123),
+            vpn: 0xf_dead_beef,
+            ppn: 0xe_cafe_f00d,
+            lru: 3,
+            attr: 0x5a,
+        };
+        assert_eq!(PomEntry::unpack(&e.pack()), Some(e));
+    }
+
+    #[test]
+    fn zeroed_slot_is_invalid() {
+        assert_eq!(PomEntry::unpack(&[0u8; 16]), None);
+    }
+
+    #[test]
+    fn matches_requires_space_and_vpn() {
+        let e = PomEntry::new(space(1, 2), 100, 200);
+        assert!(e.matches(space(1, 2), 100));
+        assert!(!e.matches(space(1, 3), 100));
+        assert!(!e.matches(space(1, 2), 101));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 36 bits")]
+    fn oversized_vpn_rejected() {
+        PomEntry::new(space(0, 0), 1 << 36, 0).pack();
+    }
+
+    #[test]
+    fn four_entries_per_line() {
+        assert_eq!(64 / PomEntry::BYTES, 4);
+    }
+
+    #[test]
+    fn reach_math() {
+        // A 16 MB POM-TLB of 4 KB entries reaches 4 GB of memory.
+        let entries = (16u64 << 20) / PomEntry::BYTES as u64;
+        assert_eq!(entries * PomEntry::reach_bytes(PageSize::Small4K), 4 << 30);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(vm in 0u16..0xfff, pid in 0u16..0xfff,
+                           vpn in 0u64..1 << 36, ppn in 0u64..1 << 36,
+                           lru in 0u8..4, attr in any::<u8>()) {
+            let e = PomEntry { space: space(vm, pid), vpn, ppn, lru, attr };
+            prop_assert_eq!(PomEntry::unpack(&e.pack()), Some(e));
+        }
+    }
+}

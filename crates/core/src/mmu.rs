@@ -1,0 +1,234 @@
+//! The per-core SRAM TLB front end: split L1 TLBs and a unified L2 TLB
+//! (Table 1), shared by every scheme.
+//!
+//! The paper's performance metric — average penalty cycles per L2 TLB miss
+//! (Eq. 3) — is defined at this front end's boundary: whatever translation
+//! machinery sits below (page walker, Shared_L2, TSB, or the POM-TLB), the
+//! population of requests it serves is "accesses that missed the unified
+//! L2 TLB".
+
+use pomtlb_tlb::{MmuConfig, SramTlb};
+use pomtlb_types::{AddressSpace, Gva, Hpa, PageSize, VmId};
+use serde::{Deserialize, Serialize};
+
+/// Where a translation request was satisfied in the SRAM front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmuHit {
+    /// Hit in the per-size L1 TLB.
+    L1(PageSize),
+    /// Missed L1, hit the unified L2 TLB.
+    L2(PageSize),
+    /// Missed both — the scheme below must translate. Carries nothing;
+    /// the requester still holds the VA.
+    Miss,
+}
+
+impl MmuHit {
+    /// Whether the request leaves the SRAM front end unsatisfied.
+    pub fn is_miss(&self) -> bool {
+        matches!(self, MmuHit::Miss)
+    }
+}
+
+/// One core's L1 + L2 TLB complex.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreMmu {
+    l1_small: SramTlb,
+    l1_large: SramTlb,
+    l2: SramTlb,
+    /// L1 lookups (total translation requests).
+    pub requests: u64,
+    /// Requests that missed both L1s.
+    pub l1_misses: u64,
+    /// Requests that also missed the unified L2.
+    pub l2_misses: u64,
+}
+
+impl CoreMmu {
+    /// Builds the front end from Table 1 geometry.
+    pub fn new(config: &MmuConfig) -> CoreMmu {
+        CoreMmu {
+            l1_small: SramTlb::new(config.l1_small),
+            l1_large: SramTlb::new(config.l1_large),
+            l2: SramTlb::new(config.l2_unified),
+            requests: 0,
+            l1_misses: 0,
+            l2_misses: 0,
+        }
+    }
+
+    /// Translates `va` through L1 then L2, returning where it hit. On a
+    /// hit, returns the translated page base too.
+    pub fn lookup(&mut self, space: AddressSpace, va: Gva) -> (MmuHit, Option<Hpa>) {
+        self.requests += 1;
+        // Split L1s probe in parallel in hardware.
+        if let Some(hit) = self.l1_small.lookup(space, va, PageSize::Small4K) {
+            return (MmuHit::L1(PageSize::Small4K), Some(hit.page_base));
+        }
+        if let Some(hit) = self.l1_large.lookup(space, va, PageSize::Large2M) {
+            return (MmuHit::L1(PageSize::Large2M), Some(hit.page_base));
+        }
+        self.l1_misses += 1;
+        // The unified L2 holds both sizes; probe both VPN interpretations.
+        for size in PageSize::POM_SIZES {
+            if let Some(hit) = self.l2.lookup(space, va, size) {
+                // Refill the size-matching L1.
+                self.l1_for(size).insert(space, va, size, hit.page_base);
+                return (MmuHit::L2(size), Some(hit.page_base));
+            }
+        }
+        self.l2_misses += 1;
+        (MmuHit::Miss, None)
+    }
+
+    /// Fills a translation resolved below the front end into L2 and the
+    /// matching L1.
+    pub fn fill(&mut self, space: AddressSpace, va: Gva, size: PageSize, page_base: Hpa) {
+        self.l2.insert(space, va, size, page_base);
+        self.l1_for(size).insert(space, va, size, page_base);
+    }
+
+    /// Shootdown of one page across all levels. Returns how many levels
+    /// held it.
+    pub fn invalidate_page(&mut self, space: AddressSpace, va: Gva, size: PageSize) -> u32 {
+        let mut n = 0;
+        if self.l1_for(size).invalidate_page(space, va, size) {
+            n += 1;
+        }
+        if self.l2.invalidate_page(space, va, size) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Flushes a VM from all levels (teardown).
+    pub fn flush_vm(&mut self, vm: VmId) -> u64 {
+        self.l1_small.flush_vm(vm) + self.l1_large.flush_vm(vm) + self.l2.flush_vm(vm)
+    }
+
+    fn l1_for(&mut self, size: PageSize) -> &mut SramTlb {
+        match size {
+            PageSize::Small4K => &mut self.l1_small,
+            PageSize::Large2M => &mut self.l1_large,
+            PageSize::Huge1G => panic!("1 GB pages are not simulated"),
+        }
+    }
+
+    /// L2 TLB miss rate over all requests; zero with none.
+    pub fn l2_miss_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.requests as f64
+        }
+    }
+
+    /// Resets counters (post-warmup) without flushing entries.
+    pub fn reset_stats(&mut self) {
+        self.requests = 0;
+        self.l1_misses = 0;
+        self.l2_misses = 0;
+        self.l1_small.reset_stats();
+        self.l1_large.reset_stats();
+        self.l2.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pomtlb_types::ProcessId;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(VmId(0), ProcessId(0))
+    }
+
+    fn mmu() -> CoreMmu {
+        CoreMmu::new(&MmuConfig::default())
+    }
+
+    #[test]
+    fn cold_miss_then_l1_hit() {
+        let mut m = mmu();
+        let va = Gva::new(0x1234_5000);
+        let (hit, pa) = m.lookup(space(), va);
+        assert!(hit.is_miss());
+        assert!(pa.is_none());
+        m.fill(space(), va, PageSize::Small4K, Hpa::new(0x9000));
+        let (hit, pa) = m.lookup(space(), va);
+        assert_eq!(hit, MmuHit::L1(PageSize::Small4K));
+        assert_eq!(pa, Some(Hpa::new(0x9000)));
+    }
+
+    #[test]
+    fn large_pages_use_their_own_l1() {
+        let mut m = mmu();
+        let va = Gva::new(0x4000_0000);
+        m.fill(space(), va, PageSize::Large2M, Hpa::new(0x8000_0000));
+        let (hit, _) = m.lookup(space(), va);
+        assert_eq!(hit, MmuHit::L1(PageSize::Large2M));
+        // An offset deep into the 2 MB page still hits.
+        let (hit, pa) = m.lookup(space(), Gva::new(0x4000_0000 + 0x1f_0000));
+        assert_eq!(hit, MmuHit::L1(PageSize::Large2M));
+        assert_eq!(pa, Some(Hpa::new(0x8000_0000)));
+    }
+
+    #[test]
+    fn l2_hit_refills_l1() {
+        let mut m = mmu();
+        let va = Gva::new(0x7000);
+        m.fill(space(), va, PageSize::Small4K, Hpa::new(0x1000));
+        // Evict from the 64-entry L1 by filling 64+ conflicting pages, then
+        // confirm an L2 hit (1536 entries keeps it) that refills L1.
+        for i in 1..=256u64 {
+            m.fill(space(), Gva::new(va.raw() + (i << 12)), PageSize::Small4K, Hpa::new(i << 12));
+        }
+        let (hit, _) = m.lookup(space(), va);
+        assert_eq!(hit, MmuHit::L2(PageSize::Small4K));
+        let (hit, _) = m.lookup(space(), va);
+        assert_eq!(hit, MmuHit::L1(PageSize::Small4K), "L2 hit must refill L1");
+    }
+
+    #[test]
+    fn miss_counters_partition() {
+        let mut m = mmu();
+        m.fill(space(), Gva::new(0x1000), PageSize::Small4K, Hpa::new(0x1000));
+        m.lookup(space(), Gva::new(0x1000)); // L1 hit
+        m.lookup(space(), Gva::new(0xdead_0000)); // full miss
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.l1_misses, 1);
+        assert_eq!(m.l2_misses, 1);
+        assert_eq!(m.l2_miss_rate(), 0.5);
+    }
+
+    #[test]
+    fn invalidate_page_hits_both_levels() {
+        let mut m = mmu();
+        let va = Gva::new(0x3000);
+        m.fill(space(), va, PageSize::Small4K, Hpa::new(0x1000));
+        assert_eq!(m.invalidate_page(space(), va, PageSize::Small4K), 2);
+        let (hit, _) = m.lookup(space(), va);
+        assert!(hit.is_miss());
+    }
+
+    #[test]
+    fn flush_vm_clears_everything() {
+        let mut m = mmu();
+        m.fill(space(), Gva::new(0x1000), PageSize::Small4K, Hpa::new(0x1000));
+        m.fill(space(), Gva::new(0x40_0000), PageSize::Large2M, Hpa::new(0x4000_0000));
+        assert!(m.flush_vm(VmId(0)) >= 3, "L1 + L2 copies");
+        assert!(m.lookup(space(), Gva::new(0x1000)).0.is_miss());
+    }
+
+    #[test]
+    fn reset_stats_preserves_entries() {
+        let mut m = mmu();
+        let va = Gva::new(0x5000);
+        m.fill(space(), va, PageSize::Small4K, Hpa::new(0x1000));
+        m.lookup(space(), va);
+        m.reset_stats();
+        assert_eq!(m.requests, 0);
+        let (hit, _) = m.lookup(space(), va);
+        assert!(!hit.is_miss());
+    }
+}

@@ -1,0 +1,518 @@
+//! The POM-TLB structure: a very large, addressable, DRAM-resident L3 TLB.
+//!
+//! Organization (§2.1.1–2.1.3):
+//!
+//! * statically partitioned between 4 KB entries (`POM_TLB_small`) and 2 MB
+//!   entries (`POM_TLB_large`);
+//! * 4-way set associative, with one set exactly filling one 64-byte
+//!   die-stacked DRAM burst (no memory-controller changes needed);
+//! * **addressable**: each set has a real host-physical address, computed
+//!   by Eq. (1) from the faulting virtual address and the VM ID, so sets
+//!   can be probed through — and cached by — the regular data caches;
+//! * replacement within a set uses the 2 LRU bits stored in each entry's
+//!   attribute field, fetched for free in the same burst (§2.2).
+//!
+//! This module models the structure's *contents*; timing for its DRAM
+//! accesses comes from the die-stacked [`pomtlb_dram::Channel`] the system
+//! simulator owns.
+
+use pomtlb_types::{AddressSpace, Gva, Hpa, PageSize, Ppn, Vpn};
+use serde::{Deserialize, Serialize};
+
+use crate::config::PomTlbConfig;
+use crate::entry::PomEntry;
+
+/// Result of a POM-TLB set probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PomLookup {
+    /// Base host-physical address of the translated page.
+    pub page_base: Hpa,
+    /// The partition that hit.
+    pub size: PageSize,
+}
+
+/// Occupancy and traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PomTlbStats {
+    /// Probes that found a matching entry.
+    pub hits: u64,
+    /// Probes that found none.
+    pub misses: u64,
+    /// Inserts that displaced a live entry.
+    pub evictions: u64,
+    /// Entries removed by shootdowns.
+    pub invalidations: u64,
+}
+
+impl PomTlbStats {
+    /// Hit rate over all probes; zero with none.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Partition {
+    size: PageSize,
+    base: Hpa,
+    n_sets: u64,
+    /// Bytes one set occupies in the address space (16 × ways).
+    set_bytes: u64,
+    /// `n_sets × ways` slots; LRU ages live in each entry (2 bits).
+    slots: Vec<Option<PomEntry>>,
+    ways: usize,
+}
+
+impl Partition {
+    fn new(size: PageSize, base: Hpa, bytes: u64, ways: u32) -> Partition {
+        assert!(ways > 0, "associativity must be nonzero");
+        // A set occupies `ways` 16-byte entries; with the paper's 4 ways a
+        // set is exactly one 64-byte burst. The associativity ablation
+        // (DESIGN.md abl1) varies this.
+        let set_bytes = 16 * ways as u64;
+        let n_sets = bytes / set_bytes;
+        assert!(n_sets > 0 && n_sets.is_power_of_two(), "partition needs a power-of-two set count, got {n_sets}");
+        Partition {
+            size,
+            base,
+            n_sets,
+            set_bytes,
+            slots: vec![None; (n_sets * ways as u64) as usize],
+            ways: ways as usize,
+        }
+    }
+
+    /// Eq. (1): the set index for `va` in this partition.
+    ///
+    /// The paper XORs the VM ID into the address before extracting
+    /// `log2 N` index bits "to distribute the set-mapping evenly"; we apply
+    /// the shift at page granularity (the printed formula's `>> 6` would
+    /// fold sub-page bits into the index and alias every line of a page to
+    /// a different set), and we fold a multiplicative hash of the VM and
+    /// process IDs in as well so that SPECrate-style same-layout copies
+    /// spread across the whole set space, as ASLR'd processes do on real
+    /// systems — see DESIGN.md.
+    fn set_index(&self, space: AddressSpace, va: Gva) -> u64 {
+        let vpn = Vpn::of(va, self.size).0;
+        let salt = space.vm.as_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ space.process.as_u64().wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+        (vpn ^ (salt >> 32)) & (self.n_sets - 1)
+    }
+
+    fn set_addr(&self, index: u64) -> Hpa {
+        Hpa::new(self.base.raw() + index * self.set_bytes)
+    }
+
+    fn set_slots(&mut self, index: u64) -> &mut [Option<PomEntry>] {
+        let start = (index * self.ways as u64) as usize;
+        &mut self.slots[start..start + self.ways]
+    }
+
+    fn set_slots_ref(&self, index: u64) -> &[Option<PomEntry>] {
+        let start = (index * self.ways as u64) as usize;
+        &self.slots[start..start + self.ways]
+    }
+}
+
+/// The two-partition POM-TLB.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PomTlb {
+    config: PomTlbConfig,
+    small: Partition,
+    large: Partition,
+    stats: PomTlbStats,
+}
+
+impl PomTlb {
+    /// Builds an empty POM-TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either partition's geometry is degenerate.
+    pub fn new(config: PomTlbConfig) -> PomTlb {
+        PomTlb {
+            config,
+            small: Partition::new(
+                PageSize::Small4K,
+                config.base_small,
+                config.small_bytes(),
+                config.ways,
+            ),
+            large: Partition::new(
+                PageSize::Large2M,
+                config.base_large(),
+                config.large_bytes(),
+                config.ways,
+            ),
+            stats: PomTlbStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PomTlbConfig {
+        &self.config
+    }
+
+    fn partition(&self, size: PageSize) -> &Partition {
+        match size {
+            PageSize::Small4K => &self.small,
+            PageSize::Large2M => &self.large,
+            PageSize::Huge1G => panic!("1 GB pages have no POM-TLB partition"),
+        }
+    }
+
+    fn partition_mut(&mut self, size: PageSize) -> &mut Partition {
+        match size {
+            PageSize::Small4K => &mut self.small,
+            PageSize::Large2M => &mut self.large,
+            PageSize::Huge1G => panic!("1 GB pages have no POM-TLB partition"),
+        }
+    }
+
+    /// Eq. (1): the host-physical address of the set `va` maps to in the
+    /// `size` partition. This is the address the MMU probes the data caches
+    /// with, and the address the die-stacked DRAM services on a cache miss.
+    pub fn set_addr(&self, space: AddressSpace, va: Gva, size: PageSize) -> Hpa {
+        let p = self.partition(size);
+        p.set_addr(p.set_index(space, va))
+    }
+
+    /// Whether `addr` falls inside the POM-TLB's reserved physical range.
+    pub fn owns_addr(&self, addr: Hpa) -> bool {
+        let start = self.config.base_small.raw();
+        addr.raw() >= start && addr.raw() < start + self.config.capacity_bytes
+    }
+
+    /// Probes one partition's set for a translation, updating entry LRU
+    /// ages on a hit (the burst carries all four entries, so this costs no
+    /// extra DRAM access).
+    pub fn lookup(&mut self, space: AddressSpace, va: Gva, size: PageSize) -> Option<PomLookup> {
+        let p = self.partition_mut(size);
+        let vpn = Vpn::of(va, size).0;
+        let index = p.set_index(space, va);
+        let ways = p.ways;
+        let slots = p.set_slots(index);
+        let hit_way = (0..ways).find(|&w| slots[w].is_some_and(|e| e.matches(space, vpn)));
+        match hit_way {
+            Some(w) => {
+                age_update(slots, w);
+                let e = slots[w].expect("hit way is occupied");
+                self.stats.hits += 1;
+                Some(PomLookup { page_base: Ppn(e.ppn).base(size), size })
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs a translation resolved by a page walk. Returns `true` if a
+    /// live entry was displaced (LRU within the set).
+    pub fn insert(&mut self, space: AddressSpace, va: Gva, size: PageSize, page_base: Hpa) -> bool {
+        let p = self.partition_mut(size);
+        let vpn = Vpn::of(va, size).0;
+        let ppn = Ppn::of(page_base, size).0;
+        let index = p.set_index(space, va);
+        let ways = p.ways;
+        let slots = p.set_slots(index);
+        // Refresh in place.
+        if let Some(w) = (0..ways).find(|&w| slots[w].is_some_and(|e| e.matches(space, vpn))) {
+            let mut e = slots[w].expect("occupied");
+            e.ppn = ppn;
+            slots[w] = Some(e);
+            age_update(slots, w);
+            return false;
+        }
+        let victim = (0..ways)
+            .find(|&w| slots[w].is_none())
+            .unwrap_or_else(|| {
+                (0..ways)
+                    .max_by_key(|&w| slots[w].map(|e| e.lru).unwrap_or(u8::MAX))
+                    .expect("ways > 0")
+            });
+        let displaced = slots[victim].is_some();
+        slots[victim] = Some(PomEntry::new(space, vpn, ppn));
+        age_update(slots, victim);
+        if displaced {
+            self.stats.evictions += 1;
+        }
+        displaced
+    }
+
+    /// Shootdown of one translation. Returns whether it was present.
+    pub fn invalidate_page(&mut self, space: AddressSpace, va: Gva, size: PageSize) -> bool {
+        let p = self.partition_mut(size);
+        let vpn = Vpn::of(va, size).0;
+        let index = p.set_index(space, va);
+        let slots = p.set_slots(index);
+        for slot in slots.iter_mut() {
+            if slot.is_some_and(|e| e.matches(space, vpn)) {
+                *slot = None;
+                self.stats.invalidations += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drops every entry of a VM (teardown). Returns entries removed.
+    pub fn flush_vm(&mut self, vm: pomtlb_types::VmId) -> u64 {
+        let mut dropped = 0;
+        for slot in self.small.slots.iter_mut().chain(self.large.slots.iter_mut()) {
+            if slot.is_some_and(|e| e.space.vm == vm) {
+                *slot = None;
+                dropped += 1;
+            }
+        }
+        self.stats.invalidations += dropped;
+        dropped
+    }
+
+    /// Valid entries in the given partition.
+    pub fn occupancy(&self, size: PageSize) -> u64 {
+        self.partition(size).slots.iter().flatten().count() as u64
+    }
+
+    /// Total entry capacity across both partitions.
+    pub fn capacity_entries(&self) -> u64 {
+        (self.small.slots.len() + self.large.slots.len()) as u64
+    }
+
+    /// Non-timing peek used by tests and the bypass-predictor oracle.
+    pub fn contains(&self, space: AddressSpace, va: Gva, size: PageSize) -> bool {
+        let p = self.partition(size);
+        let vpn = Vpn::of(va, size).0;
+        p.set_slots_ref(p.set_index(space, va))
+            .iter()
+            .any(|s| s.is_some_and(|e| e.matches(space, vpn)))
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &PomTlbStats {
+        &self.stats
+    }
+
+    /// Resets statistics (post-warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = PomTlbStats::default();
+    }
+}
+
+/// Sets way `mru` to age 0 and ages everything younger by one, keeping the
+/// 2-bit saturation of the attr-field LRU (§2.2).
+fn age_update(slots: &mut [Option<PomEntry>], mru: usize) {
+    let mru_age = slots[mru].map(|e| e.lru).unwrap_or(0);
+    for (w, slot) in slots.iter_mut().enumerate() {
+        if let Some(e) = slot {
+            if w == mru {
+                e.lru = 0;
+            } else if e.lru < mru_age || mru_age == 0 {
+                e.lru = (e.lru + 1).min(3);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pomtlb_types::{ProcessId, VmId};
+    use proptest::prelude::*;
+
+    fn space(vm: u16) -> AddressSpace {
+        AddressSpace::new(VmId(vm), ProcessId(0))
+    }
+
+    fn tiny() -> PomTlb {
+        // 4 KB partition: 2 KB = 32 sets; large partition: 2 KB = 32 sets.
+        PomTlb::new(PomTlbConfig {
+            capacity_bytes: 4 << 10,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn default_geometry_matches_paper() {
+        let pom = PomTlb::new(PomTlbConfig::default());
+        // 16 MB / 16 B = 1 M entries.
+        assert_eq!(pom.capacity_entries(), 1 << 20);
+        // 8 MB per partition / 64 B per set = 128 Ki sets each.
+        assert_eq!(pom.small.n_sets, 128 << 10);
+        assert_eq!(pom.large.n_sets, 128 << 10);
+    }
+
+    #[test]
+    fn set_addr_is_line_aligned_and_in_range() {
+        let pom = PomTlb::new(PomTlbConfig::default());
+        for (va, size) in [
+            (Gva::new(0x1234_5000), PageSize::Small4K),
+            (Gva::new(0x8_0000_0000), PageSize::Large2M),
+        ] {
+            let addr = pom.set_addr(space(3), va, size);
+            assert_eq!(addr.raw() % 64, 0);
+            assert!(pom.owns_addr(addr), "{addr} outside POM range");
+        }
+    }
+
+    #[test]
+    fn partitions_have_disjoint_addresses() {
+        let pom = PomTlb::new(PomTlbConfig::default());
+        let a = pom.set_addr(space(0), Gva::new(0x1000), PageSize::Small4K);
+        let b = pom.set_addr(space(0), Gva::new(0x1000), PageSize::Large2M);
+        assert!(a.raw() < pom.config().base_large().raw());
+        assert!(b.raw() >= pom.config().base_large().raw());
+    }
+
+    #[test]
+    fn same_page_same_set_addr() {
+        // Every line of a page must map to the same set (the deviation from
+        // the paper's literal ">> 6" — see module docs).
+        let pom = PomTlb::new(PomTlbConfig::default());
+        let a = pom.set_addr(space(0), Gva::new(0x1234_5000), PageSize::Small4K);
+        let b = pom.set_addr(space(0), Gva::new(0x1234_5fc0), PageSize::Small4K);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vm_id_perturbs_set_index() {
+        let pom = PomTlb::new(PomTlbConfig::default());
+        let a = pom.set_addr(space(0), Gva::new(0x1000), PageSize::Small4K);
+        let b = pom.set_addr(space(1), Gva::new(0x1000), PageSize::Small4K);
+        assert_ne!(a, b, "Eq. (1) XORs the VM ID into the index");
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut pom = tiny();
+        let s = space(0);
+        let va = Gva::new(0x7000);
+        assert!(pom.lookup(s, va, PageSize::Small4K).is_none());
+        pom.insert(s, va, PageSize::Small4K, Hpa::new(0x12_3000));
+        let hit = pom.lookup(s, va, PageSize::Small4K).unwrap();
+        assert_eq!(hit.page_base, Hpa::new(0x12_3000));
+        assert_eq!(hit.size, PageSize::Small4K);
+        assert_eq!(pom.stats().hits, 1);
+        assert_eq!(pom.stats().misses, 1);
+    }
+
+    #[test]
+    fn sizes_do_not_alias() {
+        let mut pom = tiny();
+        let s = space(0);
+        let va = Gva::new(0x40_0000);
+        pom.insert(s, va, PageSize::Large2M, Hpa::new(0x4000_0000));
+        assert!(pom.lookup(s, va, PageSize::Small4K).is_none());
+        assert!(pom.lookup(s, va, PageSize::Large2M).is_some());
+    }
+
+    #[test]
+    fn four_way_lru_replacement() {
+        let mut pom = tiny();
+        let s = space(0);
+        let n_sets = pom.small.n_sets;
+        // Five pages hitting the same set of the 32-set small partition.
+        let vas: Vec<Gva> = (0..5).map(|i| Gva::new((7 + i * n_sets) << 12)).collect();
+        for (i, va) in vas.iter().enumerate() {
+            pom.insert(s, *va, PageSize::Small4K, Hpa::new((i as u64 + 1) << 12));
+        }
+        // First-inserted page was LRU and must be gone; the rest survive.
+        assert!(!pom.contains(s, vas[0], PageSize::Small4K));
+        for va in &vas[1..] {
+            assert!(pom.contains(s, *va, PageSize::Small4K));
+        }
+        assert_eq!(pom.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lookup_refreshes_lru() {
+        let mut pom = tiny();
+        let s = space(0);
+        let n_sets = pom.small.n_sets;
+        let vas: Vec<Gva> = (0..4).map(|i| Gva::new((3 + i * n_sets) << 12)).collect();
+        for va in &vas {
+            pom.insert(s, *va, PageSize::Small4K, Hpa::new(0x1000));
+        }
+        // Touch the oldest; the second-oldest becomes the victim.
+        pom.lookup(s, vas[0], PageSize::Small4K);
+        pom.insert(s, Gva::new((3 + 4 * n_sets) << 12), PageSize::Small4K, Hpa::new(0x2000));
+        assert!(pom.contains(s, vas[0], PageSize::Small4K), "refreshed entry survives");
+        assert!(!pom.contains(s, vas[1], PageSize::Small4K), "LRU entry evicted");
+    }
+
+    #[test]
+    fn insert_refresh_does_not_duplicate() {
+        let mut pom = tiny();
+        let s = space(0);
+        let va = Gva::new(0x9000);
+        pom.insert(s, va, PageSize::Small4K, Hpa::new(0x1000));
+        pom.insert(s, va, PageSize::Small4K, Hpa::new(0x2000));
+        assert_eq!(pom.occupancy(PageSize::Small4K), 1);
+        assert_eq!(
+            pom.lookup(s, va, PageSize::Small4K).unwrap().page_base,
+            Hpa::new(0x2000)
+        );
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut pom = tiny();
+        pom.insert(space(1), Gva::new(0x1000), PageSize::Small4K, Hpa::new(0x1000));
+        pom.insert(space(1), Gva::new(0x2000), PageSize::Small4K, Hpa::new(0x2000));
+        pom.insert(space(2), Gva::new(0x3000), PageSize::Small4K, Hpa::new(0x3000));
+        assert!(pom.invalidate_page(space(1), Gva::new(0x1000), PageSize::Small4K));
+        assert!(!pom.invalidate_page(space(1), Gva::new(0x1000), PageSize::Small4K));
+        assert_eq!(pom.flush_vm(VmId(1)), 1);
+        assert_eq!(pom.occupancy(PageSize::Small4K), 1);
+        assert!(pom.contains(space(2), Gva::new(0x3000), PageSize::Small4K));
+    }
+
+    #[test]
+    fn sixteen_mb_reaches_millions_of_pages() {
+        let pom = PomTlb::new(PomTlbConfig::default());
+        // Insert far more 4 KB translations than any on-chip TLB holds and
+        // verify they are all retained (width of reach, §4.6).
+        let mut pom = pom;
+        let s = space(0);
+        let n = 100_000u64;
+        for i in 0..n {
+            pom.insert(s, Gva::new(i << 12), PageSize::Small4K, Hpa::new(i << 12));
+        }
+        let mut present = 0u64;
+        for i in 0..n {
+            if pom.contains(s, Gva::new(i << 12), PageSize::Small4K) {
+                present += 1;
+            }
+        }
+        assert!(present as f64 / n as f64 > 0.99, "retained {present}/{n}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_set_addr_within_partition(varaw in any::<u64>(), vm in 0u16..16) {
+            let pom = PomTlb::new(PomTlbConfig::default());
+            for size in PageSize::POM_SIZES {
+                let addr = pom.set_addr(space(vm), Gva::new(varaw), size);
+                prop_assert!(pom.owns_addr(addr));
+                prop_assert_eq!(addr.raw() % 64, 0);
+            }
+        }
+
+        #[test]
+        fn prop_inserted_found_until_evicted(vpns in proptest::collection::vec(0u64..4096, 1..64)) {
+            let mut pom = tiny();
+            let s = space(0);
+            for vpn in &vpns {
+                pom.insert(s, Gva::new(vpn << 12), PageSize::Small4K, Hpa::new(vpn << 12));
+                prop_assert!(pom.contains(s, Gva::new(vpn << 12), PageSize::Small4K));
+            }
+            prop_assert!(pom.occupancy(PageSize::Small4K) as usize <= 32 * 4);
+        }
+    }
+}

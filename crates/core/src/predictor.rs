@@ -1,0 +1,269 @@
+//! The page-size + cache-bypass predictor (§2.1.4, §2.1.5).
+//!
+//! One 512-entry table of 2-bit cells, indexed by bits `[20:12]` of the
+//! virtual address of an L2 TLB miss:
+//!
+//! * bit 0 predicts the page size (0 = 4 KB, 1 = 2 MB), so the MMU probes
+//!   the right POM-TLB partition first and almost always needs only a
+//!   single DRAM/cache access;
+//! * bit 1 predicts whether to bypass the L2/L3 data caches and go straight
+//!   to the POM-TLB's DRAM (useful when data traffic has evicted all cached
+//!   TLB lines).
+//!
+//! Both bits are single-bit (no hysteresis): a misprediction flips the bit,
+//! exactly as the paper describes (footnote 2 suggests multi-bit counters
+//! as an extension — available here via [`SizeBypassPredictor::with_hysteresis`]
+//! for the ablation benchmark).
+//!
+//! Storage cost: 512 × 2 bits = 128 bytes per core, as the paper states.
+
+use pomtlb_types::{Gva, PageSize};
+use serde::{Deserialize, Serialize};
+
+/// Accuracy counters for one predictor dimension.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorStats {
+    /// Correct predictions.
+    pub correct: u64,
+    /// Mispredictions.
+    pub wrong: u64,
+}
+
+impl PredictorStats {
+    /// Accuracy in [0,1]; zero with no predictions.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.correct + self.wrong;
+        if total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / total as f64
+        }
+    }
+
+    fn record(&mut self, correct: bool) {
+        if correct {
+            self.correct += 1;
+        } else {
+            self.wrong += 1;
+        }
+    }
+}
+
+/// The combined 512-entry size/bypass predictor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SizeBypassPredictor {
+    /// Per-entry saturating counters; with `max_count == 1` these are the
+    /// paper's single bits.
+    size_counters: Vec<u8>,
+    bypass_counters: Vec<u8>,
+    max_count: u8,
+    size_stats: PredictorStats,
+    bypass_stats: PredictorStats,
+}
+
+/// Entries in the prediction table (fixed by the paper).
+pub const PREDICTOR_ENTRIES: usize = 512;
+
+impl SizeBypassPredictor {
+    /// The paper's single-bit predictor.
+    pub fn new() -> SizeBypassPredictor {
+        Self::with_hysteresis(1)
+    }
+
+    /// A saturating-counter variant: predictions flip only after
+    /// `max_count` consecutive mispredictions (footnote 2's suggested
+    /// improvement). `max_count = 1` is the paper's design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_count` is zero.
+    pub fn with_hysteresis(max_count: u8) -> SizeBypassPredictor {
+        assert!(max_count >= 1, "hysteresis depth must be at least 1");
+        SizeBypassPredictor {
+            size_counters: vec![0; PREDICTOR_ENTRIES],
+            bypass_counters: vec![0; PREDICTOR_ENTRIES],
+            max_count,
+            size_stats: PredictorStats::default(),
+            bypass_stats: PredictorStats::default(),
+        }
+    }
+
+    /// Table index: VA bits [20:12] (ignore the page offset, take 9 bits).
+    #[inline]
+    pub fn index(va: Gva) -> usize {
+        ((va.raw() >> 12) & 0x1ff) as usize
+    }
+
+    /// Predicts the page size for an L2 TLB miss on `va`.
+    pub fn predict_size(&self, va: Gva) -> PageSize {
+        let c = self.size_counters[Self::index(va)];
+        PageSize::from_predictor_bit(c > self.max_count / 2)
+    }
+
+    /// Predicts whether to bypass the data caches.
+    pub fn predict_bypass(&self, va: Gva) -> bool {
+        self.bypass_counters[Self::index(va)] > self.max_count / 2
+    }
+
+    /// Trains the size bit with the resolved truth and records accuracy
+    /// for the prediction that was made.
+    pub fn train_size(&mut self, va: Gva, predicted: PageSize, actual: PageSize) {
+        let correct = predicted == actual;
+        self.size_stats.record(correct);
+        let c = &mut self.size_counters[Self::index(va)];
+        if actual.predictor_bit() {
+            *c = (*c + 1).min(self.max_count);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Trains the bypass bit: `should_have_bypassed` is true when the
+    /// probed POM-TLB line was absent from both data caches.
+    pub fn train_bypass(&mut self, va: Gva, predicted: bool, should_have_bypassed: bool) {
+        self.bypass_stats.record(predicted == should_have_bypassed);
+        let c = &mut self.bypass_counters[Self::index(va)];
+        if should_have_bypassed {
+            *c = (*c + 1).min(self.max_count);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Size-prediction accuracy counters (Figure 10, left bars).
+    pub fn size_stats(&self) -> &PredictorStats {
+        &self.size_stats
+    }
+
+    /// Bypass-prediction accuracy counters (Figure 10, right bars).
+    pub fn bypass_stats(&self) -> &PredictorStats {
+        &self.bypass_stats
+    }
+
+    /// Resets accuracy counters (post-warmup) without clearing the table.
+    pub fn reset_stats(&mut self) {
+        self.size_stats = PredictorStats::default();
+        self.bypass_stats = PredictorStats::default();
+    }
+
+    /// SRAM cost in bytes (128 for the paper's configuration).
+    pub fn storage_bytes(&self) -> usize {
+        PREDICTOR_ENTRIES * 2 / 8
+    }
+}
+
+impl Default for SizeBypassPredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_predict_small_and_no_bypass() {
+        let p = SizeBypassPredictor::new();
+        assert_eq!(p.predict_size(Gva::new(0x1000)), PageSize::Small4K);
+        assert!(!p.predict_bypass(Gva::new(0x1000)));
+    }
+
+    #[test]
+    fn index_uses_bits_20_to_12() {
+        assert_eq!(SizeBypassPredictor::index(Gva::new(0)), 0);
+        assert_eq!(SizeBypassPredictor::index(Gva::new(0xfff)), 0, "offset ignored");
+        assert_eq!(SizeBypassPredictor::index(Gva::new(1 << 12)), 1);
+        assert_eq!(SizeBypassPredictor::index(Gva::new(0x1ff << 12)), 0x1ff);
+        assert_eq!(SizeBypassPredictor::index(Gva::new(1 << 21)), 0, "bit 21 ignored");
+    }
+
+    #[test]
+    fn single_misprediction_flips_bit() {
+        let mut p = SizeBypassPredictor::new();
+        let va = Gva::new(0x4000);
+        p.train_size(va, PageSize::Small4K, PageSize::Large2M);
+        assert_eq!(p.predict_size(va), PageSize::Large2M);
+        p.train_size(va, PageSize::Large2M, PageSize::Small4K);
+        assert_eq!(p.predict_size(va), PageSize::Small4K);
+    }
+
+    #[test]
+    fn hysteresis_resists_single_flip() {
+        let mut p = SizeBypassPredictor::with_hysteresis(3);
+        let va = Gva::new(0x4000);
+        // Strongly train toward large.
+        for _ in 0..3 {
+            p.train_size(va, p.predict_size(va), PageSize::Large2M);
+        }
+        assert_eq!(p.predict_size(va), PageSize::Large2M);
+        // One small observation does not flip it.
+        p.train_size(va, PageSize::Large2M, PageSize::Small4K);
+        assert_eq!(p.predict_size(va), PageSize::Large2M);
+        // Two more do.
+        p.train_size(va, PageSize::Large2M, PageSize::Small4K);
+        p.train_size(va, PageSize::Large2M, PageSize::Small4K);
+        assert_eq!(p.predict_size(va), PageSize::Small4K);
+    }
+
+    #[test]
+    fn accuracy_tracking() {
+        let mut p = SizeBypassPredictor::new();
+        let va = Gva::new(0x8000);
+        p.train_size(va, PageSize::Small4K, PageSize::Small4K);
+        p.train_size(va, PageSize::Small4K, PageSize::Large2M);
+        assert_eq!(p.size_stats().correct, 1);
+        assert_eq!(p.size_stats().wrong, 1);
+        assert_eq!(p.size_stats().accuracy(), 0.5);
+    }
+
+    #[test]
+    fn bypass_training_independent_of_size() {
+        let mut p = SizeBypassPredictor::new();
+        let va = Gva::new(0xa000);
+        p.train_bypass(va, false, true);
+        assert!(p.predict_bypass(va));
+        assert_eq!(p.predict_size(va), PageSize::Small4K, "size bit untouched");
+    }
+
+    #[test]
+    fn different_indices_are_independent() {
+        let mut p = SizeBypassPredictor::new();
+        p.train_size(Gva::new(0x1000), PageSize::Small4K, PageSize::Large2M);
+        assert_eq!(p.predict_size(Gva::new(0x2000)), PageSize::Small4K);
+        assert_eq!(p.predict_size(Gva::new(0x1000)), PageSize::Large2M);
+    }
+
+    #[test]
+    fn aliased_addresses_share_entry() {
+        // Addresses 2 MB apart alias in the 512-entry table — the source of
+        // the (rare) size mispredictions the paper reports.
+        let mut p = SizeBypassPredictor::new();
+        let a = Gva::new(0x12000);
+        let b = Gva::new(0x12000 + (1 << 21));
+        assert_eq!(SizeBypassPredictor::index(a), SizeBypassPredictor::index(b));
+        p.train_size(a, PageSize::Small4K, PageSize::Large2M);
+        assert_eq!(p.predict_size(b), PageSize::Large2M);
+    }
+
+    #[test]
+    fn storage_is_128_bytes() {
+        assert_eq!(SizeBypassPredictor::new().storage_bytes(), 128);
+    }
+
+    #[test]
+    fn reset_stats_keeps_learned_bits() {
+        let mut p = SizeBypassPredictor::new();
+        let va = Gva::new(0x3000);
+        p.train_size(va, PageSize::Small4K, PageSize::Large2M);
+        p.reset_stats();
+        assert_eq!(p.size_stats().correct + p.size_stats().wrong, 0);
+        assert_eq!(p.predict_size(va), PageSize::Large2M);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_hysteresis_rejected() {
+        SizeBypassPredictor::with_hysteresis(0);
+    }
+}

@@ -1,0 +1,107 @@
+//! The translation schemes compared in §4.
+
+use serde::{Deserialize, Serialize};
+
+/// What handles an L2 TLB miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// The measured Skylake-like baseline: a 2-D nested page walk with
+    /// paging-structure caches and PTE caching in the data caches.
+    Baseline,
+    /// Bhattacharjee-style shared last-level SRAM TLB: the private L2
+    /// capacities are pooled into one shared structure; misses page-walk.
+    SharedL2,
+    /// SPARC's software-managed Translation Storage Buffer: trap +
+    /// direct-mapped DRAM buffer, one probe per translation dimension;
+    /// misses fall back to a (software) page walk.
+    Tsb,
+    /// The paper's contribution.
+    PomTlb {
+        /// Whether POM-TLB lines are cached in the L2/L3 data caches
+        /// (Figure 12 ablates this off).
+        cache_entries: bool,
+        /// Whether the cache-bypass predictor is active.
+        bypass_predictor: bool,
+    },
+}
+
+impl Scheme {
+    /// The paper's full POM-TLB configuration.
+    pub fn pom_tlb() -> Scheme {
+        Scheme::PomTlb { cache_entries: true, bypass_predictor: true }
+    }
+
+    /// POM-TLB with data-cache caching disabled (Figure 12's "without data
+    /// caching" bars).
+    pub fn pom_tlb_uncached() -> Scheme {
+        Scheme::PomTlb { cache_entries: false, bypass_predictor: false }
+    }
+
+    /// POM-TLB with caching but no bypass predictor (predictor ablation).
+    pub fn pom_tlb_no_bypass() -> Scheme {
+        Scheme::PomTlb { cache_entries: true, bypass_predictor: false }
+    }
+
+    /// Short display name used in reports (matches the paper's labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Baseline => "Baseline",
+            Scheme::SharedL2 => "Shared_L2",
+            Scheme::Tsb => "TSB",
+            Scheme::PomTlb { cache_entries: true, .. } => "POM-TLB",
+            Scheme::PomTlb { cache_entries: false, .. } => "POM-TLB (no $)",
+        }
+    }
+
+    /// The comparison set of Figure 8.
+    pub fn figure8() -> [Scheme; 3] {
+        [Scheme::pom_tlb(), Scheme::SharedL2, Scheme::Tsb]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Scheme::Baseline.label(), "Baseline");
+        assert_eq!(Scheme::SharedL2.label(), "Shared_L2");
+        assert_eq!(Scheme::Tsb.label(), "TSB");
+        assert_eq!(Scheme::pom_tlb().label(), "POM-TLB");
+        assert_eq!(Scheme::pom_tlb_uncached().label(), "POM-TLB (no $)");
+    }
+
+    #[test]
+    fn constructors_set_flags() {
+        assert_eq!(
+            Scheme::pom_tlb(),
+            Scheme::PomTlb { cache_entries: true, bypass_predictor: true }
+        );
+        assert_eq!(
+            Scheme::pom_tlb_uncached(),
+            Scheme::PomTlb { cache_entries: false, bypass_predictor: false }
+        );
+        assert_eq!(
+            Scheme::pom_tlb_no_bypass(),
+            Scheme::PomTlb { cache_entries: true, bypass_predictor: false }
+        );
+    }
+
+    #[test]
+    fn figure8_has_three_schemes() {
+        let set = Scheme::figure8();
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(&Scheme::SharedL2));
+        assert!(set.contains(&Scheme::Tsb));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for s in [Scheme::Baseline, Scheme::SharedL2, Scheme::Tsb, Scheme::pom_tlb()] {
+            let json = serde_json::to_string(&s).unwrap();
+            let back: Scheme = serde_json::from_str(&json).unwrap();
+            assert_eq!(s, back);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Footnote 1's future work: a **skew-associative, unified** POM-TLB.
+//!
+//! The paper's shipped design statically partitions the in-memory TLB
+//! between 4 KB and 2 MB entries and notes that a "unified design with more
+//! complex addressing schemes such as skew-associativity could be
+//! explored". This module explores it:
+//!
+//! * one structure holds both page sizes (entries carry their size tag);
+//! * each way hashes the (VPN, size, address-space) key with a *different*
+//!   function (Seznec-style skewing), so a set of pages that conflicts in
+//!   one way is scattered in every other way — conflict sets do not align;
+//! * capacity is never wasted on the partition the workload doesn't use:
+//!   a 97 %-small workload gets the whole 16 MB.
+//!
+//! The price — and the reason the paper deferred it — is addressability:
+//! the four candidate entries live in **four different DRAM lines**, so a
+//! lookup probes up to `ways` lines instead of one 64-byte burst
+//! ([`SkewPomTlb::lines_probed`] tracks this). The `experiments skew`
+//! artifact quantifies both sides of the trade.
+
+use pomtlb_types::{AddressSpace, Gva, Hpa, PageSize, Ppn, Vpn};
+use serde::{Deserialize, Serialize};
+
+use crate::entry::PomEntry;
+use crate::pom_tlb::PomTlbStats;
+
+/// Per-way multiplicative hash constants (distinct odd 64-bit constants —
+/// golden-ratio family).
+const WAY_SALTS: [u64; 8] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xc2b2_ae3d_27d4_eb4f,
+    0x1656_67b1_9e37_79f9,
+    0x27d4_eb2f_1656_67c5,
+    0x94d0_49bb_1331_11eb,
+    0xff51_afd7_ed55_8ccd,
+    0xc4ce_b9fe_1a85_ec53,
+    0x2545_f491_4f6c_dd1d,
+];
+
+/// A skew-associative unified POM-TLB with the same 16-byte entries and
+/// total capacity as the partitioned design.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SkewPomTlb {
+    base: Hpa,
+    ways: usize,
+    sets_per_way: u64,
+    /// `ways` banks of `sets_per_way` slots each.
+    slots: Vec<Option<PomEntry>>,
+    /// Entry page sizes ride along (the packed format's attr field would
+    /// carry this bit in hardware).
+    sizes: Vec<PageSize>,
+    clock: u64,
+    stamps: Vec<u64>,
+    stats: PomTlbStats,
+    lines_probed: u64,
+    lookups: u64,
+}
+
+impl SkewPomTlb {
+    /// Builds an empty skewed TLB of `capacity_bytes` with `ways` hash
+    /// functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is 0 or exceeds 8, or if the per-way set count is
+    /// not a nonzero power of two.
+    pub fn new(capacity_bytes: u64, ways: u32, base: Hpa) -> SkewPomTlb {
+        assert!((1..=8).contains(&ways), "skew design supports 1..=8 ways");
+        let entries = capacity_bytes / PomEntry::BYTES as u64;
+        let sets_per_way = entries / ways as u64;
+        assert!(
+            sets_per_way > 0 && sets_per_way.is_power_of_two(),
+            "per-way set count must be a nonzero power of two, got {sets_per_way}"
+        );
+        SkewPomTlb {
+            base,
+            ways: ways as usize,
+            sets_per_way,
+            slots: vec![None; entries as usize],
+            sizes: vec![PageSize::Small4K; entries as usize],
+            clock: 0,
+            stamps: vec![0; entries as usize],
+            stats: PomTlbStats::default(),
+            lines_probed: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity_entries(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    fn index(&self, way: usize, space: AddressSpace, vpn: u64, size: PageSize) -> usize {
+        let size_bit = match size {
+            PageSize::Small4K => 0u64,
+            PageSize::Large2M => 1 << 58,
+            PageSize::Huge1G => panic!("1 GB pages are not supported"),
+        };
+        let key = vpn
+            ^ size_bit
+            ^ space.vm.as_u64().rotate_left(40)
+            ^ space.process.as_u64().rotate_left(24);
+        let h = key.wrapping_mul(WAY_SALTS[way]);
+        let set = (h >> 32) & (self.sets_per_way - 1);
+        way * self.sets_per_way as usize + set as usize
+    }
+
+    /// Host-physical address of way `way`'s candidate entry for this key —
+    /// each way is its own contiguous region, so the `ways` candidates land
+    /// in `ways` distinct 64-byte lines (the addressability cost).
+    pub fn entry_addr(&self, way: u32, space: AddressSpace, va: Gva, size: PageSize) -> Hpa {
+        let vpn = Vpn::of(va, size).0;
+        let idx = self.index(way as usize, space, vpn, size);
+        Hpa::new(self.base.raw() + idx as u64 * PomEntry::BYTES as u64)
+    }
+
+    /// Probes all ways for a translation; counts the distinct lines
+    /// touched.
+    pub fn lookup(&mut self, space: AddressSpace, va: Gva, size: PageSize) -> Option<Hpa> {
+        self.clock += 1;
+        self.lookups += 1;
+        self.lines_probed += self.ways as u64;
+        let vpn = Vpn::of(va, size).0;
+        for way in 0..self.ways {
+            let idx = self.index(way, space, vpn, size);
+            if self.sizes[idx] == size && self.slots[idx].is_some_and(|e| e.matches(space, vpn)) {
+                self.stamps[idx] = self.clock;
+                let e = self.slots[idx].expect("matched");
+                self.stats.hits += 1;
+                return Some(Ppn(e.ppn).base(size));
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Installs a translation: into an empty candidate slot if any way has
+    /// one, else over the least-recently-used candidate across ways.
+    pub fn insert(&mut self, space: AddressSpace, va: Gva, size: PageSize, page_base: Hpa) -> bool {
+        self.clock += 1;
+        let vpn = Vpn::of(va, size).0;
+        let ppn = Ppn::of(page_base, size).0;
+        // Refresh in place.
+        for way in 0..self.ways {
+            let idx = self.index(way, space, vpn, size);
+            if self.sizes[idx] == size && self.slots[idx].is_some_and(|e| e.matches(space, vpn)) {
+                let mut e = self.slots[idx].expect("matched");
+                e.ppn = ppn;
+                self.slots[idx] = Some(e);
+                self.stamps[idx] = self.clock;
+                return false;
+            }
+        }
+        let victim = (0..self.ways)
+            .map(|way| self.index(way, space, vpn, size))
+            .min_by_key(|&idx| if self.slots[idx].is_none() { 0 } else { self.stamps[idx] + 1 })
+            .expect("ways > 0");
+        let displaced = self.slots[victim].is_some();
+        self.slots[victim] = Some(PomEntry::new(space, vpn, ppn));
+        self.sizes[victim] = size;
+        self.stamps[victim] = self.clock;
+        if displaced {
+            self.stats.evictions += 1;
+        }
+        displaced
+    }
+
+    /// Non-disturbing residency check.
+    pub fn contains(&self, space: AddressSpace, va: Gva, size: PageSize) -> bool {
+        let vpn = Vpn::of(va, size).0;
+        (0..self.ways).any(|way| {
+            let idx = self.index(way, space, vpn, size);
+            self.sizes[idx] == size && self.slots[idx].is_some_and(|e| e.matches(space, vpn))
+        })
+    }
+
+    /// Valid entries currently resident.
+    pub fn occupancy(&self) -> u64 {
+        self.slots.iter().flatten().count() as u64
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> &PomTlbStats {
+        &self.stats
+    }
+
+    /// Mean distinct DRAM lines probed per lookup — 1.0 for the paper's
+    /// partitioned burst design, `ways` here.
+    pub fn mean_lines_probed(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.lines_probed as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pomtlb_types::{ProcessId, VmId};
+    use proptest::prelude::*;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(VmId(0), ProcessId(0))
+    }
+
+    fn tiny() -> SkewPomTlb {
+        // 4 KB capacity = 256 entries, 4 ways x 64 sets.
+        SkewPomTlb::new(4 << 10, 4, Hpa::new(0x60_0000_0000))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = tiny();
+        let va = Gva::new(0x1234_5000);
+        assert!(t.lookup(space(), va, PageSize::Small4K).is_none());
+        t.insert(space(), va, PageSize::Small4K, Hpa::new(0x9000));
+        assert_eq!(t.lookup(space(), va, PageSize::Small4K), Some(Hpa::new(0x9000)));
+    }
+
+    #[test]
+    fn sizes_coexist_in_one_structure() {
+        let mut t = tiny();
+        let va = Gva::new(0x4000_0000);
+        t.insert(space(), va, PageSize::Small4K, Hpa::new(0x1000));
+        t.insert(space(), va, PageSize::Large2M, Hpa::new(0x4020_0000 & !((2 << 20) - 1)));
+        assert!(t.contains(space(), va, PageSize::Small4K));
+        assert!(t.contains(space(), va, PageSize::Large2M));
+        assert_eq!(t.occupancy(), 2);
+    }
+
+    #[test]
+    fn skewing_breaks_aligned_conflict_sets() {
+        // Pages whose VPNs collide under way 0's hash must not collide in
+        // every other way — the defining property of skew associativity.
+        let t = tiny();
+        let vpn0 = 7u64;
+        let idx0 = t.index(0, space(), vpn0, PageSize::Small4K);
+        // Find other VPNs colliding with vpn0 in way 0.
+        let colliders: Vec<u64> = (8..100_000u64)
+            .filter(|&v| t.index(0, space(), v, PageSize::Small4K) == idx0)
+            .take(8)
+            .collect();
+        assert!(!colliders.is_empty(), "hash must have collisions at 64 sets");
+        // In way 1 they scatter: not all land on vpn0's way-1 set.
+        let idx1 = t.index(1, space(), vpn0, PageSize::Small4K);
+        let still_colliding = colliders
+            .iter()
+            .filter(|&&v| t.index(1, space(), v, PageSize::Small4K) == idx1)
+            .count();
+        assert!(
+            still_colliding < colliders.len(),
+            "way-1 hash must scatter way-0 conflicts"
+        );
+    }
+
+    #[test]
+    fn unified_capacity_adapts_to_size_mix() {
+        // A 95%-small workload overflows the partitioned design's small
+        // half but fits a unified structure of the same total capacity.
+        let total_entries = 256u64;
+        let small_pages = 200u64; // > 128 (a half-capacity partition)
+        let mut unified = tiny();
+        for i in 0..small_pages {
+            unified.insert(space(), Gva::new(i << 12), PageSize::Small4K, Hpa::new(i << 12));
+        }
+        let retained = (0..small_pages)
+            .filter(|&i| unified.contains(space(), Gva::new(i << 12), PageSize::Small4K))
+            .count() as u64;
+        assert!(
+            retained > small_pages * 9 / 10,
+            "unified retains {retained}/{small_pages} (capacity {total_entries})"
+        );
+    }
+
+    #[test]
+    fn lines_probed_cost_is_visible() {
+        let mut t = tiny();
+        t.insert(space(), Gva::new(0x1000), PageSize::Small4K, Hpa::new(0x1000));
+        t.lookup(space(), Gva::new(0x1000), PageSize::Small4K);
+        t.lookup(space(), Gva::new(0x2000), PageSize::Small4K);
+        assert_eq!(t.mean_lines_probed(), 4.0, "4 ways -> 4 lines per lookup");
+    }
+
+    #[test]
+    fn entry_addr_distinct_per_way() {
+        let t = tiny();
+        let va = Gva::new(0x5000);
+        let addrs: std::collections::HashSet<u64> = (0..4)
+            .map(|w| t.entry_addr(w, space(), va, PageSize::Small4K).raw())
+            .collect();
+        assert_eq!(addrs.len(), 4, "each way probes its own location");
+        // None of them share a 64-byte line (ways live in disjoint banks).
+        let lines: std::collections::HashSet<u64> = addrs.iter().map(|a| a >> 6).collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn insert_refresh_does_not_duplicate() {
+        let mut t = tiny();
+        let va = Gva::new(0x7000);
+        t.insert(space(), va, PageSize::Small4K, Hpa::new(0x1000));
+        t.insert(space(), va, PageSize::Small4K, Hpa::new(0x2000));
+        assert_eq!(t.occupancy(), 1);
+        assert_eq!(t.lookup(space(), va, PageSize::Small4K), Some(Hpa::new(0x2000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8 ways")]
+    fn rejects_too_many_ways() {
+        SkewPomTlb::new(4 << 10, 16, Hpa::new(0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_inserted_found(vpn in 0u64..1 << 36) {
+            let mut t = tiny();
+            let va = Gva::new(vpn << 12);
+            t.insert(space(), va, PageSize::Small4K, Hpa::new(0xaaaa_0000));
+            prop_assert!(t.contains(space(), va, PageSize::Small4K));
+        }
+
+        #[test]
+        fn prop_occupancy_bounded(vpns in proptest::collection::vec(0u64..100_000, 1..400)) {
+            let mut t = tiny();
+            for vpn in vpns {
+                t.insert(space(), Gva::new(vpn << 12), PageSize::Small4K, Hpa::new(vpn << 12));
+            }
+            prop_assert!(t.occupancy() <= t.capacity_entries());
+        }
+    }
+}

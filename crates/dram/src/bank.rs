@@ -1,0 +1,149 @@
+//! The per-bank open-row state machine.
+
+use pomtlb_types::Cycles;
+use serde::{Deserialize, Serialize};
+
+use crate::timing::DramTiming;
+
+/// What the row buffer did for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowBufferOutcome {
+    /// The requested row was already open — CAS only.
+    Hit,
+    /// The bank was precharged (no open row) — activate + CAS.
+    Closed,
+    /// A different row was open — precharge + activate + CAS.
+    Conflict,
+}
+
+/// One DRAM bank under an open-page policy: the last-activated row stays in
+/// the row buffer until a conflicting access precharges it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Bank {
+    open_row: Option<u64>,
+    /// The bank can accept the next command at this CPU-cycle timestamp.
+    ready_at: Cycles,
+}
+
+impl Bank {
+    /// Creates a precharged (closed) bank.
+    pub fn new() -> Bank {
+        Bank::default()
+    }
+
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Services an access to `row` issued at CPU time `now`.
+    ///
+    /// Returns the row-buffer outcome and the time the data burst completes.
+    /// The access starts when both the request has arrived (`now`) and the
+    /// bank is free (`ready_at`). Row-buffer hits pipeline: back-to-back
+    /// column reads to an open row are limited only by the data burst
+    /// (tCCD-style spacing), while activations and precharges occupy the
+    /// bank for their full duration.
+    pub fn access(&mut self, row: u64, now: Cycles, timing: &DramTiming) -> (RowBufferOutcome, Cycles) {
+        let start = now.max(self.ready_at);
+        let (outcome, service) = match self.open_row {
+            Some(open) if open == row => (RowBufferOutcome::Hit, timing.row_hit_latency()),
+            Some(_) => (RowBufferOutcome::Conflict, timing.row_conflict_latency()),
+            None => (RowBufferOutcome::Closed, timing.row_closed_latency()),
+        };
+        let completes_at = start + service;
+        self.open_row = Some(row);
+        self.ready_at = match outcome {
+            RowBufferOutcome::Hit => start + timing.burst_cpu_cycles(),
+            _ => completes_at,
+        };
+        (outcome, completes_at)
+    }
+
+    /// Precharges the bank (e.g. on refresh), closing the open row.
+    pub fn precharge(&mut self, now: Cycles, timing: &DramTiming) {
+        self.open_row = None;
+        self.ready_at = self.ready_at.max(now) + timing.bus_to_cpu(timing.t_rp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> DramTiming {
+        DramTiming::die_stacked(4.0)
+    }
+
+    #[test]
+    fn first_access_is_closed() {
+        let mut b = Bank::new();
+        let (outcome, done) = b.access(5, Cycles::ZERO, &t());
+        assert_eq!(outcome, RowBufferOutcome::Closed);
+        assert_eq!(done, t().row_closed_latency());
+        assert_eq!(b.open_row(), Some(5));
+    }
+
+    #[test]
+    fn same_row_hits() {
+        let mut b = Bank::new();
+        let (_, done) = b.access(5, Cycles::ZERO, &t());
+        let (outcome, done2) = b.access(5, done, &t());
+        assert_eq!(outcome, RowBufferOutcome::Hit);
+        assert_eq!(done2 - done, t().row_hit_latency());
+    }
+
+    #[test]
+    fn different_row_conflicts() {
+        let mut b = Bank::new();
+        let (_, done) = b.access(5, Cycles::ZERO, &t());
+        let (outcome, _) = b.access(6, done, &t());
+        assert_eq!(outcome, RowBufferOutcome::Conflict);
+        assert_eq!(b.open_row(), Some(6));
+    }
+
+    #[test]
+    fn busy_bank_queues_request() {
+        let mut b = Bank::new();
+        // Two immediate accesses to different rows: the second waits for
+        // the first activation to fully complete.
+        let (_, done) = b.access(1, Cycles::ZERO, &t());
+        let (outcome, done2) = b.access(2, Cycles::new(1), &t());
+        assert_eq!(outcome, RowBufferOutcome::Conflict);
+        assert_eq!(done2, done + t().row_conflict_latency());
+    }
+
+    #[test]
+    fn open_row_hits_pipeline_at_burst_rate() {
+        let mut b = Bank::new();
+        // Open the row, then issue two back-to-back column reads.
+        let (_, opened) = b.access(1, Cycles::ZERO, &t());
+        let (o1, first_hit) = b.access(1, opened, &t());
+        let (o2, second_hit) = b.access(1, opened + Cycles::new(1), &t());
+        assert_eq!(o1, RowBufferOutcome::Hit);
+        assert_eq!(o2, RowBufferOutcome::Hit);
+        // The second hit starts one burst slot after the first, not after
+        // the first's full CAS latency.
+        assert_eq!(second_hit, first_hit - t().row_hit_latency() + t().burst_cpu_cycles() + t().row_hit_latency());
+        assert!(second_hit < first_hit + t().row_hit_latency());
+    }
+
+    #[test]
+    fn idle_bank_starts_immediately() {
+        let mut b = Bank::new();
+        let (_, done) = b.access(1, Cycles::ZERO, &t());
+        let late = done + Cycles::new(100);
+        let (_, done2) = b.access(1, late, &t());
+        assert_eq!(done2, late + t().row_hit_latency());
+    }
+
+    #[test]
+    fn precharge_closes_row() {
+        let mut b = Bank::new();
+        let (_, done) = b.access(7, Cycles::ZERO, &t());
+        b.precharge(done, &t());
+        assert_eq!(b.open_row(), None);
+        let (outcome, _) = b.access(7, done + Cycles::new(1000), &t());
+        assert_eq!(outcome, RowBufferOutcome::Closed);
+    }
+}

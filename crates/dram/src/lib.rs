@@ -1,0 +1,45 @@
+//! A Ramulator-like DRAM timing model.
+//!
+//! The paper evaluates the POM-TLB with "PIN-based and Ramulator-like
+//! simulation" (§3): DRAM accesses are charged latencies that depend on
+//! row-buffer state (hit / closed / conflict) and bank availability, using
+//! the Table 1 timing parameters. This crate implements that class of model
+//! from scratch:
+//!
+//! * [`DramTiming`] — clock-domain conversion and the tCAS/tRCD/tRP/burst
+//!   parameters, with the paper's two presets:
+//!   [`DramTiming::die_stacked`] (1 GHz DDR, 128-bit bus, 2 KB rows,
+//!   11-11-11) and [`DramTiming::ddr4_2133`] (1066 MHz, 64-bit, 14-14-14);
+//! * [`Bank`] — per-bank open-row state machine with open-page policy;
+//! * [`Channel`] — address interleaving across banks, per-access latency,
+//!   and the row-buffer-hit statistics behind Figure 11.
+//!
+//! The model is deliberately at the fidelity the paper uses: latency from
+//! row-buffer state and bank/bus occupancy, not full command scheduling.
+//!
+//! # Examples
+//!
+//! ```
+//! use pomtlb_dram::{Channel, DramTiming};
+//! use pomtlb_types::{Cycles, Hpa};
+//!
+//! let mut chan = Channel::new(DramTiming::die_stacked(4.0), 8);
+//! // Two accesses to the same 2 KB row: the second is a row-buffer hit.
+//! let first = chan.access(Hpa::new(0x0), Cycles::ZERO);
+//! let second = chan.access(Hpa::new(0x40), first.completes_at);
+//! assert!(second.latency < first.latency);
+//! assert!(second.row_hit);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod channel;
+mod stats;
+mod timing;
+
+pub use bank::{Bank, RowBufferOutcome};
+pub use channel::{AccessResult, Channel};
+pub use stats::DramStats;
+pub use timing::DramTiming;

@@ -1,0 +1,100 @@
+//! Channel statistics: the numbers behind Figure 11.
+
+use pomtlb_types::Cycles;
+use serde::{Deserialize, Serialize};
+
+use crate::bank::RowBufferOutcome;
+
+/// Accumulated counters for one DRAM channel.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Total accesses serviced.
+    pub accesses: u64,
+    /// Accesses that hit the open row.
+    pub row_hits: u64,
+    /// Accesses to a precharged bank.
+    pub row_closed: u64,
+    /// Accesses that had to precharge another row first.
+    pub row_conflicts: u64,
+    /// Sum of end-to-end latencies (including bank queuing), in cycles.
+    pub total_latency: Cycles,
+}
+
+impl DramStats {
+    /// Records one completed access.
+    pub fn record(&mut self, outcome: RowBufferOutcome, latency: Cycles) {
+        self.accesses += 1;
+        match outcome {
+            RowBufferOutcome::Hit => self.row_hits += 1,
+            RowBufferOutcome::Closed => self.row_closed += 1,
+            RowBufferOutcome::Conflict => self.row_conflicts += 1,
+        }
+        self.total_latency += latency;
+    }
+
+    /// Row-buffer hit rate in [0, 1] — Figure 11's metric. Zero if no
+    /// accesses were made.
+    pub fn row_buffer_hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Mean access latency in cycles; zero if no accesses were made.
+    pub fn mean_latency(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.total_latency.as_f64() / self.accesses as f64
+        }
+    }
+
+    /// Folds another stats block into this one.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.accesses += other.accesses;
+        self.row_hits += other.row_hits;
+        self.row_closed += other.row_closed;
+        self.row_conflicts += other.row_conflicts;
+        self.total_latency += other.total_latency;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_partition_accesses() {
+        let mut s = DramStats::default();
+        s.record(RowBufferOutcome::Hit, Cycles::new(52));
+        s.record(RowBufferOutcome::Closed, Cycles::new(96));
+        s.record(RowBufferOutcome::Conflict, Cycles::new(140));
+        s.record(RowBufferOutcome::Hit, Cycles::new(52));
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.row_hits + s.row_closed + s.row_conflicts, s.accesses);
+        assert_eq!(s.row_buffer_hit_rate(), 0.5);
+        assert_eq!(s.mean_latency(), (52.0 + 96.0 + 140.0 + 52.0) / 4.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = DramStats::default();
+        assert_eq!(s.row_buffer_hit_rate(), 0.0);
+        assert_eq!(s.mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = DramStats::default();
+        a.record(RowBufferOutcome::Hit, Cycles::new(10));
+        let mut b = DramStats::default();
+        b.record(RowBufferOutcome::Conflict, Cycles::new(30));
+        a.merge(&b);
+        assert_eq!(a.accesses, 2);
+        assert_eq!(a.row_hits, 1);
+        assert_eq!(a.row_conflicts, 1);
+        assert_eq!(a.total_latency, Cycles::new(40));
+    }
+}

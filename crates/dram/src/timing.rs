@@ -1,0 +1,149 @@
+//! DRAM timing parameters and clock-domain conversion.
+
+use pomtlb_types::Cycles;
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of one DRAM channel, expressed in *bus* cycles and
+/// converted to CPU cycles on demand.
+///
+/// Field values for the two presets come straight from the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramTiming {
+    /// CPU core frequency in GHz (Table 1: 4 GHz).
+    pub cpu_ghz: f64,
+    /// DRAM bus frequency in GHz (command clock, not the DDR data rate).
+    pub bus_ghz: f64,
+    /// Data bus width in bits.
+    pub bus_bits: u32,
+    /// Row buffer (page) size in bytes.
+    pub row_bytes: u64,
+    /// Column access strobe latency, in bus cycles.
+    pub t_cas: u32,
+    /// RAS-to-CAS delay (row activation), in bus cycles.
+    pub t_rcd: u32,
+    /// Row precharge time, in bus cycles.
+    pub t_rp: u32,
+}
+
+impl DramTiming {
+    /// The die-stacked DRAM channel of Table 1: 1 GHz bus (2 GHz DDR),
+    /// 128-bit bus, 2 KB rows, 11-11-11.
+    pub fn die_stacked(cpu_ghz: f64) -> DramTiming {
+        DramTiming {
+            cpu_ghz,
+            bus_ghz: 1.0,
+            bus_bits: 128,
+            row_bytes: 2 << 10,
+            t_cas: 11,
+            t_rcd: 11,
+            t_rp: 11,
+        }
+    }
+
+    /// The off-chip DDR4-2133 channel of Table 1: 1066 MHz bus, 64-bit bus,
+    /// 2 KB rows, 14-14-14.
+    pub fn ddr4_2133(cpu_ghz: f64) -> DramTiming {
+        DramTiming {
+            cpu_ghz,
+            bus_ghz: 1.066,
+            bus_bits: 64,
+            row_bytes: 2 << 10,
+            t_cas: 14,
+            t_rcd: 14,
+            t_rp: 14,
+        }
+    }
+
+    /// Converts a bus-cycle count to CPU cycles, rounding up.
+    pub fn bus_to_cpu(&self, bus_cycles: u32) -> Cycles {
+        Cycles::new((bus_cycles as f64 * self.cpu_ghz / self.bus_ghz).ceil() as u64)
+    }
+
+    /// CPU cycles to move one 64-byte burst across the DDR data bus.
+    ///
+    /// DDR transfers on both clock edges, so per bus cycle the channel moves
+    /// `2 * bus_bits / 8` bytes.
+    pub fn burst_cpu_cycles(&self) -> Cycles {
+        let bytes_per_bus_cycle = (self.bus_bits as u64 / 8) * 2;
+        let bus_cycles = (64 + bytes_per_bus_cycle - 1) / bytes_per_bus_cycle;
+        self.bus_to_cpu(bus_cycles as u32)
+    }
+
+    /// CPU-cycle latency of a row-buffer hit (CAS + burst).
+    pub fn row_hit_latency(&self) -> Cycles {
+        self.bus_to_cpu(self.t_cas) + self.burst_cpu_cycles()
+    }
+
+    /// CPU-cycle latency of an access to a closed bank (activate + CAS +
+    /// burst).
+    pub fn row_closed_latency(&self) -> Cycles {
+        self.bus_to_cpu(self.t_rcd + self.t_cas) + self.burst_cpu_cycles()
+    }
+
+    /// CPU-cycle latency of a row conflict (precharge + activate + CAS +
+    /// burst).
+    pub fn row_conflict_latency(&self) -> Cycles {
+        self.bus_to_cpu(self.t_rp + self.t_rcd + self.t_cas) + self.burst_cpu_cycles()
+    }
+
+    /// Cache lines per row (sets-per-row in POM-TLB terms: 32 for 2 KB rows).
+    pub fn lines_per_row(&self) -> u64 {
+        self.row_bytes / 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn die_stacked_matches_table1() {
+        let t = DramTiming::die_stacked(4.0);
+        assert_eq!(t.bus_bits, 128);
+        assert_eq!(t.row_bytes, 2048);
+        assert_eq!((t.t_cas, t.t_rcd, t.t_rp), (11, 11, 11));
+        // 11 bus cycles at 1 GHz = 44 CPU cycles at 4 GHz.
+        assert_eq!(t.bus_to_cpu(11), Cycles::new(44));
+    }
+
+    #[test]
+    fn ddr4_matches_table1() {
+        let t = DramTiming::ddr4_2133(4.0);
+        assert_eq!(t.bus_bits, 64);
+        assert_eq!((t.t_cas, t.t_rcd, t.t_rp), (14, 14, 14));
+    }
+
+    #[test]
+    fn burst_cycles_die_stacked() {
+        // 128-bit DDR: 32 B per bus cycle -> 2 bus cycles for 64 B -> 8 CPU.
+        let t = DramTiming::die_stacked(4.0);
+        assert_eq!(t.burst_cpu_cycles(), Cycles::new(8));
+    }
+
+    #[test]
+    fn burst_cycles_ddr4() {
+        // 64-bit DDR: 16 B per bus cycle -> 4 bus cycles for 64 B.
+        let t = DramTiming::ddr4_2133(4.0);
+        let expect = t.bus_to_cpu(4);
+        assert_eq!(t.burst_cpu_cycles(), expect);
+    }
+
+    #[test]
+    fn latency_ordering() {
+        let t = DramTiming::die_stacked(4.0);
+        assert!(t.row_hit_latency() < t.row_closed_latency());
+        assert!(t.row_closed_latency() < t.row_conflict_latency());
+    }
+
+    #[test]
+    fn ddr4_slower_than_die_stacked() {
+        let hbm = DramTiming::die_stacked(4.0);
+        let ddr = DramTiming::ddr4_2133(4.0);
+        assert!(ddr.row_conflict_latency() > hbm.row_conflict_latency());
+    }
+
+    #[test]
+    fn lines_per_row_is_32() {
+        assert_eq!(DramTiming::die_stacked(4.0).lines_per_row(), 32);
+    }
+}

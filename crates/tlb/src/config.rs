@@ -1,0 +1,95 @@
+//! On-chip MMU configuration (Table 1).
+
+use pomtlb_types::Cycles;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one SRAM TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Total entries.
+    pub entries: u32,
+    /// Ways per set.
+    pub ways: u32,
+    /// Added latency when a lookup at this level misses and must continue
+    /// to the next level (Table 1's "miss penalty").
+    pub miss_penalty: Cycles,
+}
+
+impl TlbConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, `ways` not
+    /// dividing `entries`, or a non-power-of-two set count).
+    pub fn new(entries: u32, ways: u32, miss_penalty_cycles: u64) -> TlbConfig {
+        let cfg = TlbConfig { entries, ways, miss_penalty: Cycles::new(miss_penalty_cycles) };
+        cfg.sets(); // validate eagerly
+        cfg
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate.
+    pub fn sets(&self) -> u32 {
+        assert!(self.entries > 0 && self.ways > 0, "TLB must have entries and ways");
+        assert!(
+            self.entries % self.ways == 0,
+            "{} entries not divisible into {}-way sets",
+            self.entries,
+            self.ways
+        );
+        let sets = self.entries / self.ways;
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        sets
+    }
+}
+
+/// The per-core MMU front end of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmuConfig {
+    /// L1 TLB for 4 KB pages: 64 entries, 4-way, 9-cycle miss penalty.
+    pub l1_small: TlbConfig,
+    /// L1 TLB for 2 MB pages: 32 entries, 4-way, 9-cycle miss penalty.
+    pub l1_large: TlbConfig,
+    /// Unified L2 TLB: 1536 entries, 12-way, 17-cycle miss penalty.
+    pub l2_unified: TlbConfig,
+}
+
+impl Default for MmuConfig {
+    fn default() -> Self {
+        MmuConfig {
+            l1_small: TlbConfig::new(64, 4, 9),
+            l1_large: TlbConfig::new(32, 4, 9),
+            l2_unified: TlbConfig::new(1536, 12, 17),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometries() {
+        let m = MmuConfig::default();
+        assert_eq!(m.l1_small.sets(), 16);
+        assert_eq!(m.l1_large.sets(), 8);
+        assert_eq!(m.l2_unified.sets(), 128);
+        assert_eq!(m.l2_unified.miss_penalty, Cycles::new(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_indivisible() {
+        TlbConfig::new(100, 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_sets() {
+        TlbConfig::new(96, 8, 1); // 12 sets
+    }
+}

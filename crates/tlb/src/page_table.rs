@@ -1,0 +1,620 @@
+//! Real 4-level radix page tables allocated in simulated physical memory.
+//!
+//! The paper's Figure 1 walk geometry — up to 24 memory references per
+//! virtualized translation — emerges from two actual radix tables here, not
+//! from a hard-coded constant:
+//!
+//! * the **guest** table maps gVA → gPA and its nodes live at guest-physical
+//!   addresses, so every guest PTE read needs a nested host walk;
+//! * the **host** table maps gPA → hPA (including the guest table's own
+//!   node pages, which a hypervisor must back with host memory like any
+//!   other guest page).
+//!
+//! A walk of a 4 KB guest mapping therefore touches
+//! `4 guest levels × (4 host PTEs + 1 guest PTE) + 4 host PTEs = 24`
+//! distinct physical locations, each with a realistic address that contends
+//! in the data caches.
+
+use std::collections::HashMap;
+
+use pomtlb_types::{Gpa, Gva, Hpa, PageSize};
+use serde::{Deserialize, Serialize};
+
+/// Whether translation is one-dimensional (bare metal) or two-dimensional
+/// (guest under a hypervisor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WalkMode {
+    /// Bare-metal: one 4-level table, up to 4 references per walk.
+    Native,
+    /// Virtualized: nested guest + host tables, up to 24 references.
+    Virtualized,
+}
+
+/// A bump allocator over a region of (simulated) physical address space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrameAlloc {
+    next: u64,
+    limit: u64,
+}
+
+impl FrameAlloc {
+    /// Creates an allocator over `[base, base + size)`.
+    pub fn new(base: u64, size: u64) -> FrameAlloc {
+        FrameAlloc { next: base, limit: base + size }
+    }
+
+    /// Allocates `bytes` aligned to `bytes` (page-granular allocations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is exhausted — simulated physical memory is
+    /// sized generously, so running out indicates a mis-sized experiment.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        debug_assert!(bytes.is_power_of_two());
+        let aligned = (self.next + bytes - 1) & !(bytes - 1);
+        assert!(
+            aligned + bytes <= self.limit,
+            "physical region exhausted: need {bytes} at {aligned:#x}, limit {:#x}",
+            self.limit
+        );
+        self.next = aligned + bytes;
+        aligned
+    }
+
+    /// Bytes handed out so far (for occupancy reports).
+    pub fn used(&self) -> u64 {
+        self.next
+    }
+}
+
+/// The references a walk of one table makes, root-first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkPath {
+    /// Physical address (in this table's own space) of each PTE read.
+    /// Length 4 for a 4 KB leaf, 3 for a 2 MB leaf.
+    pub pte_addrs: Vec<u64>,
+    /// Base address of the node containing each PTE (same length).
+    pub node_addrs: Vec<u64>,
+    /// Base address the leaf maps to (next address space).
+    pub target_base: u64,
+    /// The mapping's page size.
+    pub size: PageSize,
+}
+
+const NODE_BYTES: u64 = 4 << 10;
+const PTE_BYTES: u64 = 8;
+const IDX_MASK: u64 = 0x1ff;
+
+/// Shifts of the four x86-64 radix levels, root-first.
+const LEVEL_SHIFTS: [u32; 4] = [39, 30, 21, 12];
+
+/// One 4-level x86-style radix page table.
+///
+/// Node pages are allocated from the table's own [`FrameAlloc`]; leaf
+/// mappings are stored by VPN. The table does not model PTE contents
+/// (permissions etc.), only the structure the walker traverses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RadixPageTable {
+    root: u64,
+    /// Interior nodes keyed by (depth, va-prefix). Depth 1 = L3 node
+    /// (pointed to by a root entry), depth 2 = L2 node, depth 3 = L1 node.
+    /// The prefix is `va >> LEVEL_SHIFTS[depth - 1]`.
+    nodes: HashMap<(u8, u64), u64>,
+    maps_small: HashMap<u64, u64>,
+    maps_large: HashMap<u64, u64>,
+    alloc: FrameAlloc,
+    /// Node pages created since the last [`RadixPageTable::take_new_nodes`]
+    /// call — the hypervisor layer must back these with host frames.
+    new_nodes: Vec<u64>,
+}
+
+impl RadixPageTable {
+    /// Creates an empty table whose nodes come from `alloc`.
+    pub fn new(mut alloc: FrameAlloc) -> RadixPageTable {
+        let root = alloc.alloc(NODE_BYTES);
+        let mut t = RadixPageTable {
+            root,
+            nodes: HashMap::new(),
+            maps_small: HashMap::new(),
+            maps_large: HashMap::new(),
+            alloc,
+            new_nodes: Vec::new(),
+        };
+        t.new_nodes.push(root);
+        t
+    }
+
+    /// Physical address of the root node.
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Number of leaf mappings installed.
+    pub fn mapping_count(&self) -> u64 {
+        (self.maps_small.len() + self.maps_large.len()) as u64
+    }
+
+    /// Installs a mapping `va → target_base` of `size`, creating interior
+    /// nodes on demand. Re-mapping an existing page updates it in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on 1 GB pages (unused by the paper's workloads) and if `va`
+    /// or `target_base` are not size-aligned.
+    pub fn map(&mut self, va: u64, size: PageSize, target_base: u64) {
+        assert!(size != PageSize::Huge1G, "1 GB pages are not modeled");
+        assert_eq!(va & (size.bytes() - 1), 0, "va {va:#x} not {size}-aligned");
+        assert_eq!(target_base & (size.bytes() - 1), 0, "target {target_base:#x} not {size}-aligned");
+        let depth_of_leaf = match size {
+            PageSize::Small4K => 3, // nodes at depths 1..=3, leaf entry in L1 node
+            PageSize::Large2M => 2, // leaf entry in L2 node
+            PageSize::Huge1G => unreachable!(),
+        };
+        for depth in 1..=depth_of_leaf {
+            let prefix = va >> LEVEL_SHIFTS[depth as usize - 1];
+            if !self.nodes.contains_key(&(depth, prefix)) {
+                let node = self.alloc.alloc(NODE_BYTES);
+                self.nodes.insert((depth, prefix), node);
+                self.new_nodes.push(node);
+            }
+        }
+        match size {
+            PageSize::Small4K => self.maps_small.insert(va >> 12, target_base),
+            PageSize::Large2M => self.maps_large.insert(va >> 21, target_base),
+            PageSize::Huge1G => unreachable!(),
+        };
+    }
+
+    /// Translates `va` (any offset), returning the mapped base and size.
+    pub fn translate_page(&self, va: u64) -> Option<(u64, PageSize)> {
+        if let Some(&base) = self.maps_large.get(&(va >> 21)) {
+            return Some((base, PageSize::Large2M));
+        }
+        self.maps_small.get(&(va >> 12)).map(|&base| (base, PageSize::Small4K))
+    }
+
+    /// Translates `va` fully, carrying the in-page offset across.
+    pub fn translate(&self, va: u64) -> Option<u64> {
+        self.translate_page(va)
+            .map(|(base, size)| base + (va & (size.bytes() - 1)))
+    }
+
+    /// The PTE references a hardware walk of `va` performs.
+    ///
+    /// Returns `None` for unmapped addresses.
+    pub fn walk(&self, va: u64) -> Option<WalkPath> {
+        let (target_base, size) = self.translate_page(va)?;
+        let levels = match size {
+            PageSize::Small4K => 4,
+            PageSize::Large2M => 3,
+            PageSize::Huge1G => unreachable!("never mapped"),
+        };
+        let mut pte_addrs = Vec::with_capacity(levels);
+        let mut node_addrs = Vec::with_capacity(levels);
+        let mut node = self.root;
+        for (i, shift) in LEVEL_SHIFTS.iter().enumerate().take(levels) {
+            node_addrs.push(node);
+            pte_addrs.push(node + ((va >> shift) & IDX_MASK) * PTE_BYTES);
+            if i + 1 < levels {
+                let depth = (i + 1) as u8;
+                let prefix = va >> LEVEL_SHIFTS[i];
+                node = *self
+                    .nodes
+                    .get(&(depth, prefix))
+                    .expect("interior nodes exist for every mapping");
+            }
+        }
+        Some(WalkPath { pte_addrs, node_addrs, target_base, size })
+    }
+
+    /// Removes a mapping (page unmap / remap during shootdown tests).
+    /// Returns whether it existed. Interior nodes are retained, as real
+    /// kernels retain them.
+    pub fn unmap(&mut self, va: u64, size: PageSize) -> bool {
+        match size {
+            PageSize::Small4K => self.maps_small.remove(&(va >> 12)).is_some(),
+            PageSize::Large2M => self.maps_large.remove(&(va >> 21)).is_some(),
+            PageSize::Huge1G => false,
+        }
+    }
+
+    /// Drains the list of node pages created since the last call.
+    pub fn take_new_nodes(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.new_nodes)
+    }
+
+    /// Bytes of node storage allocated so far.
+    pub fn node_bytes(&self) -> u64 {
+        (self.nodes.len() as u64 + 1) * NODE_BYTES
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Physical address-space layout for the two table pairs.
+// ---------------------------------------------------------------------------
+
+/// Guest-physical region for guest data frames.
+const GPA_DATA_BASE: u64 = 0x0_4000_0000;
+const GPA_DATA_SIZE: u64 = 0x40_0000_0000; // 256 GB
+/// Guest-physical region for guest page-table nodes.
+const GPA_NODE_BASE: u64 = 0x48_0000_0000;
+const GPA_NODE_SIZE: u64 = 0x8_0000_0000; // 32 GB
+
+/// Host-physical region for host data frames (guest pages' backing).
+const HPA_DATA_BASE: u64 = 0x1_0000_0000;
+const HPA_DATA_SIZE: u64 = 0x40_0000_0000;
+/// Host-physical region for host page-table nodes.
+const HPA_NODE_BASE: u64 = 0x48_0000_0000;
+const HPA_NODE_SIZE: u64 = 0x8_0000_0000;
+
+/// The complete translation state of one guest address space: a guest table,
+/// the host (EPT-style) table backing it, and the frame allocators.
+///
+/// In [`WalkMode::Native`] only the host table is used (it maps the
+/// process's virtual addresses straight to host-physical frames), giving the
+/// 1-D walk the paper's Figure 3 compares against.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VirtTables {
+    mode: WalkMode,
+    guest: Option<RadixPageTable>,
+    host: RadixPageTable,
+    guest_data: FrameAlloc,
+    host_data: FrameAlloc,
+}
+
+/// Maximum number of disjoint physical regions (concurrent address
+/// spaces / VMs) one simulation can host.
+pub const MAX_REGIONS: u32 = 64;
+
+impl VirtTables {
+    /// Creates empty tables for the given mode in physical region 0.
+    pub fn new(mode: WalkMode) -> VirtTables {
+        Self::with_region(mode, 0)
+    }
+
+    /// Creates empty tables whose host-physical frames come from region
+    /// `region` — distinct regions never overlap, so concurrent guests
+    /// (SPECrate copies, multiple VMs) occupy disjoint host memory exactly
+    /// as a hypervisor would arrange (§3.1: "we ensure that they do not
+    /// share the physical memory space").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region >= MAX_REGIONS`.
+    pub fn with_region(mode: WalkMode, region: u32) -> VirtTables {
+        assert!(region < MAX_REGIONS, "region {region} out of range");
+        let data_stride = HPA_DATA_SIZE / MAX_REGIONS as u64;
+        let node_stride = HPA_NODE_SIZE / MAX_REGIONS as u64;
+        let data_base = HPA_DATA_BASE + region as u64 * data_stride;
+        let node_base = HPA_NODE_BASE + region as u64 * node_stride;
+        let mut tables = VirtTables {
+            mode,
+            guest: (mode == WalkMode::Virtualized)
+                .then(|| RadixPageTable::new(FrameAlloc::new(GPA_NODE_BASE, GPA_NODE_SIZE))),
+            host: RadixPageTable::new(FrameAlloc::new(node_base, node_stride)),
+            guest_data: FrameAlloc::new(GPA_DATA_BASE, GPA_DATA_SIZE),
+            host_data: FrameAlloc::new(data_base, data_stride),
+        };
+        // The guest table's root page itself needs host backing.
+        tables.back_new_guest_nodes();
+        tables
+    }
+
+    /// The walk mode.
+    pub fn mode(&self) -> WalkMode {
+        self.mode
+    }
+
+    /// Ensures `gva` is mapped with `size`, allocating frames on first
+    /// touch (demand paging at simulation-setup granularity). Returns the
+    /// final host-physical base frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gva` is already mapped with a *different* size.
+    pub fn ensure_mapped(&mut self, gva: Gva, size: PageSize) -> Hpa {
+        let va = gva.page_base(size).raw();
+        if let Some((base, existing_size)) = self.lookup_page(gva) {
+            assert_eq!(
+                existing_size, size,
+                "page at {gva} already mapped with {existing_size}, requested {size}"
+            );
+            return base;
+        }
+        match self.mode {
+            WalkMode::Native => {
+                let hpa = self.host_data.alloc(size.bytes());
+                self.host.map(va, size, hpa);
+                Hpa::new(hpa)
+            }
+            WalkMode::Virtualized => {
+                let gpa = self.guest_data.alloc(size.bytes());
+                let guest = self.guest.as_mut().expect("virtualized mode has a guest table");
+                guest.map(va, size, gpa);
+                let hpa = self.host_data.alloc(size.bytes());
+                self.host.map(gpa, size, hpa);
+                self.back_new_guest_nodes();
+                Hpa::new(hpa)
+            }
+        }
+    }
+
+    fn back_new_guest_nodes(&mut self) {
+        let Some(guest) = self.guest.as_mut() else { return };
+        for node_gpa in guest.take_new_nodes() {
+            let hpa = self.host_data.alloc(NODE_BYTES);
+            self.host.map(node_gpa, PageSize::Small4K, hpa);
+        }
+    }
+
+    /// The host-physical base + size of the page containing `gva`, if
+    /// mapped.
+    pub fn lookup_page(&self, gva: Gva) -> Option<(Hpa, PageSize)> {
+        match self.mode {
+            WalkMode::Native => self
+                .host
+                .translate_page(gva.raw())
+                .map(|(base, size)| (Hpa::new(base), size)),
+            WalkMode::Virtualized => {
+                let guest = self.guest.as_ref().expect("virtualized mode has a guest table");
+                let (gpa_base, size) = guest.translate_page(gva.raw())?;
+                let hpa_base = self
+                    .host
+                    .translate(gpa_base)
+                    .expect("every guest frame is host-backed");
+                Some((Hpa::new(hpa_base), size))
+            }
+        }
+    }
+
+    /// Full translation of `gva` including the page offset.
+    pub fn translate(&self, gva: Gva) -> Option<Hpa> {
+        let (base, size) = self.lookup_page(gva)?;
+        Some(Hpa::new(base.raw() + gva.page_offset(size)))
+    }
+
+    /// The guest-dimension walk path of `gva` (addresses are gPA).
+    ///
+    /// `None` in native mode or for unmapped addresses.
+    pub fn guest_walk(&self, gva: Gva) -> Option<WalkPath> {
+        self.guest.as_ref()?.walk(gva.raw())
+    }
+
+    /// The host-dimension walk path of `gpa` (addresses are hPA). In
+    /// native mode this is the 1-D walk of a virtual address.
+    pub fn host_walk(&self, gpa: Gpa) -> Option<WalkPath> {
+        self.host.walk(gpa.raw())
+    }
+
+    /// Host translation of a guest-physical address (no walk, for
+    /// bookkeeping such as PSC fills).
+    pub fn host_translate(&self, gpa: Gpa) -> Option<Hpa> {
+        self.host.translate(gpa.raw()).map(Hpa::new)
+    }
+
+    /// Guest-dimension page translation: the guest-physical base frame of
+    /// the page containing `gva`. In native mode the address is its own
+    /// "guest-physical" (there is only one dimension) — this is what a
+    /// software TSB handler stores per dimension.
+    pub fn guest_translate_page(&self, gva: Gva) -> Option<(Gpa, PageSize)> {
+        match self.mode {
+            WalkMode::Native => self
+                .host
+                .translate_page(gva.raw())
+                .map(|(_, size)| (Gpa::new(gva.page_base(size).raw()), size)),
+            WalkMode::Virtualized => self
+                .guest
+                .as_ref()
+                .expect("virtualized mode has a guest table")
+                .translate_page(gva.raw())
+                .map(|(base, size)| (Gpa::new(base), size)),
+        }
+    }
+
+    /// Unmaps `gva`, for shootdown tests. Returns whether it was mapped.
+    pub fn unmap(&mut self, gva: Gva, size: PageSize) -> bool {
+        match self.mode {
+            WalkMode::Native => self.host.unmap(gva.page_base(size).raw(), size),
+            WalkMode::Virtualized => self
+                .guest
+                .as_mut()
+                .expect("virtualized mode has a guest table")
+                .unmap(gva.page_base(size).raw(), size),
+        }
+    }
+
+    /// Total page-table node bytes across both dimensions.
+    pub fn node_bytes(&self) -> u64 {
+        self.host.node_bytes() + self.guest.as_ref().map_or(0, |g| g.node_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_alloc_aligns() {
+        let mut a = FrameAlloc::new(0x1000, 1 << 30);
+        let x = a.alloc(4096);
+        assert_eq!(x % 4096, 0);
+        let y = a.alloc(2 << 20);
+        assert_eq!(y % (2 << 20), 0);
+        assert!(y > x);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn frame_alloc_exhausts() {
+        let mut a = FrameAlloc::new(0, 8192);
+        a.alloc(4096);
+        a.alloc(4096);
+        a.alloc(4096);
+    }
+
+    #[test]
+    fn map_then_translate_4k() {
+        let mut t = RadixPageTable::new(FrameAlloc::new(0x10_0000, 1 << 30));
+        t.map(0x7fff_0000_1000, PageSize::Small4K, 0x1234_5000);
+        assert_eq!(t.translate(0x7fff_0000_1abc), Some(0x1234_5abc));
+        assert_eq!(t.translate(0x7fff_0000_2000), None);
+    }
+
+    #[test]
+    fn map_then_translate_2m() {
+        let mut t = RadixPageTable::new(FrameAlloc::new(0x10_0000, 1 << 30));
+        t.map(0x4000_0000, PageSize::Large2M, 0x8000_0000);
+        assert_eq!(t.translate(0x4000_0000 + 0x12345), Some(0x8000_0000 + 0x12345));
+    }
+
+    #[test]
+    fn walk_4k_has_four_levels() {
+        let mut t = RadixPageTable::new(FrameAlloc::new(0x10_0000, 1 << 30));
+        t.map(0x5000_0000_0000, PageSize::Small4K, 0x9000);
+        let w = t.walk(0x5000_0000_0123).unwrap();
+        assert_eq!(w.pte_addrs.len(), 4);
+        assert_eq!(w.node_addrs.len(), 4);
+        assert_eq!(w.size, PageSize::Small4K);
+        assert_eq!(w.target_base, 0x9000);
+        assert_eq!(w.node_addrs[0], t.root());
+        // Every PTE lies inside its node.
+        for (pte, node) in w.pte_addrs.iter().zip(&w.node_addrs) {
+            assert!(pte >= node && *pte < node + 4096);
+            assert_eq!((pte - node) % 8, 0);
+        }
+    }
+
+    #[test]
+    fn walk_2m_has_three_levels() {
+        let mut t = RadixPageTable::new(FrameAlloc::new(0x10_0000, 1 << 30));
+        t.map(0x5000_0020_0000, PageSize::Large2M, 0x4000_0000);
+        let w = t.walk(0x5000_0020_1000).unwrap();
+        assert_eq!(w.pte_addrs.len(), 3);
+        assert_eq!(w.size, PageSize::Large2M);
+    }
+
+    #[test]
+    fn adjacent_pages_share_nodes() {
+        let mut t = RadixPageTable::new(FrameAlloc::new(0x10_0000, 1 << 30));
+        t.map(0x1000_0000_0000, PageSize::Small4K, 0x1000);
+        let nodes_before = t.node_bytes();
+        t.map(0x1000_0000_1000, PageSize::Small4K, 0x2000);
+        assert_eq!(t.node_bytes(), nodes_before, "same L1 node must be reused");
+        let w1 = t.walk(0x1000_0000_0000).unwrap();
+        let w2 = t.walk(0x1000_0000_1000).unwrap();
+        assert_eq!(w1.node_addrs, w2.node_addrs);
+        assert_ne!(w1.pte_addrs[3], w2.pte_addrs[3]);
+        assert_eq!(w1.pte_addrs[..3], w2.pte_addrs[..3]);
+    }
+
+    #[test]
+    fn distant_pages_use_distinct_nodes() {
+        let mut t = RadixPageTable::new(FrameAlloc::new(0x10_0000, 1 << 30));
+        t.map(0x1000_0000_0000, PageSize::Small4K, 0x1000);
+        t.map(0x2000_0000_0000, PageSize::Small4K, 0x2000);
+        let w1 = t.walk(0x1000_0000_0000).unwrap();
+        let w2 = t.walk(0x2000_0000_0000).unwrap();
+        assert_eq!(w1.node_addrs[0], w2.node_addrs[0], "shared root");
+        assert_ne!(w1.node_addrs[1], w2.node_addrs[1]);
+    }
+
+    #[test]
+    fn unmap_removes_only_leaf() {
+        let mut t = RadixPageTable::new(FrameAlloc::new(0x10_0000, 1 << 30));
+        t.map(0x1000, PageSize::Small4K, 0x9000);
+        assert!(t.unmap(0x1000, PageSize::Small4K));
+        assert_eq!(t.translate(0x1000), None);
+        assert!(!t.unmap(0x1000, PageSize::Small4K));
+    }
+
+    #[test]
+    fn virtualized_round_trip() {
+        let mut vt = VirtTables::new(WalkMode::Virtualized);
+        let gva = Gva::new(0x1000_0000_0000);
+        let hpa = vt.ensure_mapped(gva, PageSize::Small4K);
+        assert_eq!(vt.translate(gva), Some(hpa));
+        assert_eq!(
+            vt.translate(Gva::new(gva.raw() + 0x7ff)),
+            Some(Hpa::new(hpa.raw() + 0x7ff))
+        );
+        // Idempotent.
+        assert_eq!(vt.ensure_mapped(gva, PageSize::Small4K), hpa);
+    }
+
+    #[test]
+    fn native_round_trip() {
+        let mut vt = VirtTables::new(WalkMode::Native);
+        let gva = Gva::new(0x2000_0000_0000);
+        let hpa = vt.ensure_mapped(gva, PageSize::Large2M);
+        assert_eq!(vt.lookup_page(gva), Some((hpa, PageSize::Large2M)));
+        assert!(vt.guest_walk(gva).is_none(), "no guest dimension natively");
+        let w = vt.host_walk(Gpa::new(gva.raw())).unwrap();
+        assert_eq!(w.pte_addrs.len(), 3);
+    }
+
+    #[test]
+    fn guest_ptes_are_host_backed() {
+        let mut vt = VirtTables::new(WalkMode::Virtualized);
+        let gva = Gva::new(0x1000_0000_0000);
+        vt.ensure_mapped(gva, PageSize::Small4K);
+        let gw = vt.guest_walk(gva).expect("guest walk exists");
+        assert_eq!(gw.pte_addrs.len(), 4);
+        for pte_gpa in &gw.pte_addrs {
+            let hw = vt.host_walk(Gpa::new(*pte_gpa));
+            assert!(hw.is_some(), "guest PTE at gPA {pte_gpa:#x} must be host-walkable");
+            assert!(vt.host_translate(Gpa::new(*pte_gpa)).is_some());
+        }
+    }
+
+    #[test]
+    fn twenty_four_reference_geometry() {
+        // Figure 1: 4 guest levels x (4 host + 1 guest) + 4 final host = 24.
+        let mut vt = VirtTables::new(WalkMode::Virtualized);
+        let gva = Gva::new(0x1000_0000_0000);
+        vt.ensure_mapped(gva, PageSize::Small4K);
+        let gw = vt.guest_walk(gva).unwrap();
+        let mut refs = 0;
+        for pte_gpa in &gw.pte_addrs {
+            refs += vt.host_walk(Gpa::new(*pte_gpa)).unwrap().pte_addrs.len(); // nested host
+            refs += 1; // the guest PTE itself
+        }
+        let (gpa_base, _) = vt
+            .guest
+            .as_ref()
+            .unwrap()
+            .translate_page(gva.raw())
+            .unwrap();
+        refs += vt.host_walk(Gpa::new(gpa_base)).unwrap().pte_addrs.len();
+        assert_eq!(refs, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "already mapped")]
+    fn remap_with_different_size_panics() {
+        let mut vt = VirtTables::new(WalkMode::Native);
+        vt.ensure_mapped(Gva::new(0x4000_0000), PageSize::Large2M);
+        vt.ensure_mapped(Gva::new(0x4000_0000), PageSize::Small4K);
+    }
+
+    #[test]
+    fn unmap_breaks_translation() {
+        let mut vt = VirtTables::new(WalkMode::Virtualized);
+        let gva = Gva::new(0x1000_0000_0000);
+        vt.ensure_mapped(gva, PageSize::Small4K);
+        assert!(vt.unmap(gva, PageSize::Small4K));
+        assert_eq!(vt.translate(gva), None);
+    }
+
+    #[test]
+    fn data_and_node_regions_disjoint() {
+        let mut vt = VirtTables::new(WalkMode::Virtualized);
+        let hpa = vt.ensure_mapped(Gva::new(0x1000_0000_0000), PageSize::Small4K);
+        let gw = vt.guest_walk(Gva::new(0x1000_0000_0000)).unwrap();
+        let hw = vt.host_walk(Gpa::new(gw.pte_addrs[0])).unwrap();
+        // Host node addresses and host data frames must not overlap.
+        for node in &hw.node_addrs {
+            assert!(*node >= HPA_NODE_BASE);
+        }
+        assert!(hpa.raw() < HPA_NODE_BASE);
+    }
+}

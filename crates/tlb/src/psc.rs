@@ -1,0 +1,289 @@
+//! Intel-style paging-structure caches (Table 1's "PSC" block).
+//!
+//! A PSC entry short-circuits the upper levels of a radix walk: a hit at
+//! level *L* hands the walker the physical address of the next-lower table
+//! node directly, skipping the memory references for every level above. In
+//! virtualized mode the cached pointer is already host-physical, which also
+//! skips the *nested* translations of the skipped guest levels — the big
+//! lever behind Skylake's modest average walk costs, and the behaviour the
+//! paper's measured baseline includes (§3.2).
+
+use pomtlb_types::{AddressSpace, Cycles};
+use serde::{Deserialize, Serialize};
+
+/// Which paging-structure cache a prefix belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PscLevel {
+    /// Caches root-entry resolutions: VA[47:39] → L3 node. Skips 1 level.
+    Pml4,
+    /// Caches VA[47:30] → L2 node. Skips 2 levels.
+    Pdp,
+    /// Caches VA[47:21] → L1 node. Skips 3 levels.
+    Pde,
+}
+
+impl PscLevel {
+    /// Bit shift that produces this level's tag prefix from an address.
+    pub fn prefix_shift(self) -> u32 {
+        match self {
+            PscLevel::Pml4 => 39,
+            PscLevel::Pdp => 30,
+            PscLevel::Pde => 21,
+        }
+    }
+
+    /// How many walk levels a hit at this cache skips (the index of the
+    /// first PTE that still must be read, in a root-first walk).
+    pub fn levels_skipped(self) -> usize {
+        match self {
+            PscLevel::Pml4 => 1,
+            PscLevel::Pdp => 2,
+            PscLevel::Pde => 3,
+        }
+    }
+}
+
+/// Geometry of the three caches (Table 1: PML4 ×2, PDP ×4, PDE ×32, 2
+/// cycles each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PscConfig {
+    /// PML4-cache entries.
+    pub pml4_entries: u32,
+    /// PDP-cache entries.
+    pub pdp_entries: u32,
+    /// PDE-cache entries.
+    pub pde_entries: u32,
+    /// Lookup latency charged per consulted cache.
+    pub latency: Cycles,
+}
+
+impl Default for PscConfig {
+    fn default() -> Self {
+        PscConfig { pml4_entries: 2, pdp_entries: 4, pde_entries: 32, latency: Cycles::new(2) }
+    }
+}
+
+impl PscConfig {
+    /// A configuration with no entries at all: every walk reads its full
+    /// path. Used to demonstrate the raw Figure 1 geometry and as an
+    /// ablation baseline.
+    pub fn disabled() -> PscConfig {
+        PscConfig { pml4_entries: 0, pdp_entries: 0, pde_entries: 0, latency: Cycles::ZERO }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PscEntry {
+    space: AddressSpace,
+    prefix: u64,
+    node_addr: u64,
+    stamp: u64,
+}
+
+/// One dimension's paging-structure caches (fully associative, true LRU).
+///
+/// The walker keeps two instances: one keyed by guest-virtual prefixes, one
+/// keyed by guest-physical prefixes (the host/EPT dimension).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Psc {
+    config: PscConfig,
+    pml4: Vec<PscEntry>,
+    pdp: Vec<PscEntry>,
+    pde: Vec<PscEntry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Psc {
+    /// Creates empty caches.
+    pub fn new(config: PscConfig) -> Psc {
+        Psc { config, pml4: Vec::new(), pdp: Vec::new(), pde: Vec::new(), clock: 0, hits: 0, misses: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PscConfig {
+        &self.config
+    }
+
+    fn bank(&mut self, level: PscLevel) -> (&mut Vec<PscEntry>, usize) {
+        match level {
+            PscLevel::Pml4 => (&mut self.pml4, self.config.pml4_entries as usize),
+            PscLevel::Pdp => (&mut self.pdp, self.config.pdp_entries as usize),
+            PscLevel::Pde => (&mut self.pde, self.config.pde_entries as usize),
+        }
+    }
+
+    /// Looks up the deepest hit for `addr`, searching PDE → PDP → PML4
+    /// (deepest skips the most levels). Returns the level and the cached
+    /// next-node physical address. Counts one hit or one miss.
+    pub fn lookup_deepest(
+        &mut self,
+        space: AddressSpace,
+        addr: u64,
+        deepest_useful: PscLevel,
+    ) -> Option<(PscLevel, u64)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let order: &[PscLevel] = match deepest_useful {
+            PscLevel::Pde => &[PscLevel::Pde, PscLevel::Pdp, PscLevel::Pml4],
+            PscLevel::Pdp => &[PscLevel::Pdp, PscLevel::Pml4],
+            PscLevel::Pml4 => &[PscLevel::Pml4],
+        };
+        for &level in order {
+            let prefix = addr >> level.prefix_shift();
+            let (bank, _) = self.bank(level);
+            if let Some(e) = bank.iter_mut().find(|e| e.space == space && e.prefix == prefix) {
+                e.stamp = clock;
+                let node = e.node_addr;
+                self.hits += 1;
+                return Some((level, node));
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Installs/refreshes an entry mapping `addr`'s prefix at `level` to
+    /// the next-lower node's physical address.
+    pub fn insert(&mut self, space: AddressSpace, addr: u64, level: PscLevel, node_addr: u64) {
+        self.clock += 1;
+        let clock = self.clock;
+        let prefix = addr >> level.prefix_shift();
+        let (bank, cap) = self.bank(level);
+        if let Some(e) = bank.iter_mut().find(|e| e.space == space && e.prefix == prefix) {
+            e.node_addr = node_addr;
+            e.stamp = clock;
+            return;
+        }
+        if bank.len() < cap {
+            bank.push(PscEntry { space, prefix, node_addr, stamp: clock });
+        } else if let Some(lru) = bank.iter_mut().min_by_key(|e| e.stamp) {
+            *lru = PscEntry { space, prefix, node_addr, stamp: clock };
+        }
+        // A zero-capacity bank (PscConfig::disabled) drops the insert.
+    }
+
+    /// Flushes all entries for an address space (CR3 switch / shootdown).
+    pub fn flush_space(&mut self, space: AddressSpace) {
+        self.pml4.retain(|e| e.space != space);
+        self.pdp.retain(|e| e.space != space);
+        self.pde.retain(|e| e.space != space);
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pomtlb_types::{ProcessId, VmId};
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(VmId(0), ProcessId(0))
+    }
+
+    #[test]
+    fn miss_then_deepest_hit() {
+        let mut p = Psc::new(PscConfig::default());
+        let addr = 0x1234_5678_9000u64;
+        assert!(p.lookup_deepest(space(), addr, PscLevel::Pde).is_none());
+        p.insert(space(), addr, PscLevel::Pdp, 0xaa000);
+        p.insert(space(), addr, PscLevel::Pde, 0xbb000);
+        let (level, node) = p.lookup_deepest(space(), addr, PscLevel::Pde).unwrap();
+        assert_eq!(level, PscLevel::Pde);
+        assert_eq!(node, 0xbb000);
+    }
+
+    #[test]
+    fn deepest_useful_caps_search() {
+        let mut p = Psc::new(PscConfig::default());
+        let addr = 0x1234_5678_9000u64;
+        p.insert(space(), addr, PscLevel::Pde, 0xbb000);
+        // A 2MB walk never wants the PDE cache.
+        assert!(p.lookup_deepest(space(), addr, PscLevel::Pdp).is_none());
+        p.insert(space(), addr, PscLevel::Pdp, 0xaa000);
+        let (level, _) = p.lookup_deepest(space(), addr, PscLevel::Pdp).unwrap();
+        assert_eq!(level, PscLevel::Pdp);
+    }
+
+    #[test]
+    fn prefix_sharing_within_2mb() {
+        let mut p = Psc::new(PscConfig::default());
+        p.insert(space(), 0x4000_0000, PscLevel::Pde, 0xcc000);
+        // Another address in the same 2 MB region hits the same entry.
+        let (_, node) = p
+            .lookup_deepest(space(), 0x4000_0000 + 0x1f_f000, PscLevel::Pde)
+            .unwrap();
+        assert_eq!(node, 0xcc000);
+        // An address in the next 2 MB region misses.
+        assert!(p.lookup_deepest(space(), 0x4020_0000, PscLevel::Pde).is_none());
+    }
+
+    #[test]
+    fn capacity_and_lru() {
+        let mut p = Psc::new(PscConfig { pml4_entries: 2, ..Default::default() });
+        let a = 0x0000_8000_0000_0000u64 >> 9; // distinct 39-bit prefixes
+        p.insert(space(), 0 << 39, PscLevel::Pml4, 1);
+        p.insert(space(), 1 << 39, PscLevel::Pml4, 2);
+        p.lookup_deepest(space(), 0 << 39, PscLevel::Pml4); // refresh entry 0
+        p.insert(space(), 2 << 39, PscLevel::Pml4, 3); // evicts prefix 1
+        assert!(p.lookup_deepest(space(), 0 << 39, PscLevel::Pml4).is_some());
+        assert!(p.lookup_deepest(space(), 1 << 39, PscLevel::Pml4).is_none());
+        assert!(p.lookup_deepest(space(), 2 << 39, PscLevel::Pml4).is_some());
+        let _ = a;
+    }
+
+    #[test]
+    fn spaces_are_isolated() {
+        let mut p = Psc::new(PscConfig::default());
+        let other = AddressSpace::new(VmId(1), ProcessId(0));
+        p.insert(space(), 0x1000_0000, PscLevel::Pde, 0xdd000);
+        assert!(p.lookup_deepest(other, 0x1000_0000, PscLevel::Pde).is_none());
+    }
+
+    #[test]
+    fn flush_space_clears_only_that_space() {
+        let mut p = Psc::new(PscConfig::default());
+        let other = AddressSpace::new(VmId(1), ProcessId(0));
+        p.insert(space(), 0x1000_0000, PscLevel::Pde, 1);
+        p.insert(other, 0x1000_0000, PscLevel::Pde, 2);
+        p.flush_space(space());
+        assert!(p.lookup_deepest(space(), 0x1000_0000, PscLevel::Pde).is_none());
+        assert!(p.lookup_deepest(other, 0x1000_0000, PscLevel::Pde).is_some());
+    }
+
+    #[test]
+    fn insert_refreshes_in_place() {
+        let mut p = Psc::new(PscConfig::default());
+        p.insert(space(), 0x1000_0000, PscLevel::Pde, 1);
+        p.insert(space(), 0x1000_0000, PscLevel::Pde, 9);
+        let (_, node) = p.lookup_deepest(space(), 0x1000_0000, PscLevel::Pde).unwrap();
+        assert_eq!(node, 9);
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let mut p = Psc::new(PscConfig::default());
+        p.lookup_deepest(space(), 0x1, PscLevel::Pde);
+        p.insert(space(), 0x1, PscLevel::Pde, 5);
+        p.lookup_deepest(space(), 0x1, PscLevel::Pde);
+        assert_eq!(p.hits(), 1);
+        assert_eq!(p.misses(), 1);
+    }
+
+    #[test]
+    fn levels_skipped_values() {
+        assert_eq!(PscLevel::Pml4.levels_skipped(), 1);
+        assert_eq!(PscLevel::Pdp.levels_skipped(), 2);
+        assert_eq!(PscLevel::Pde.levels_skipped(), 3);
+    }
+}

@@ -1,0 +1,362 @@
+//! The SPARC Translation Storage Buffer baseline (§3.3, §4.1).
+//!
+//! The TSB is the closest existing system feature to the POM-TLB: a very
+//! large translation buffer held in ordinary DRAM. The paper credits its
+//! comparatively poor showing (4.27 % mean improvement vs POM-TLB's 9.57 %)
+//! to three structural properties, all modeled here:
+//!
+//! 1. **software management** — every L2 TLB miss raises an OS trap before
+//!    the TSB can even be indexed;
+//! 2. **direct-mapped organization** — one candidate entry per index, so
+//!    conflict misses are frequent (POM-TLB is 4-way within a single burst);
+//! 3. **per-dimension entries** — TSB entries are not direct gVA→hPA
+//!    translations, so a virtualized lookup needs one access for the guest
+//!    dimension and one for the host dimension.
+//!
+//! TSB lines are ordinary cacheable kernel memory, so the handler's loads
+//! probe the L2/L3 data caches before DRAM — the paper's criticisms are the
+//! trap, the per-dimension double access, and the direct-mapped conflicts,
+//! not uncachedness.
+
+use pomtlb_cache::Hierarchy;
+use pomtlb_dram::Channel;
+use pomtlb_types::{AddressSpace, CoreId, Cycles, Gva, Hpa, PageSize, Vpn};
+use serde::{Deserialize, Serialize};
+
+/// TSB configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TsbConfig {
+    /// Total capacity in bytes (paper: 16 MB, same as the POM-TLB).
+    pub capacity_bytes: u64,
+    /// Bytes per TSB entry (16, as in the POM-TLB entry format).
+    pub entry_bytes: u64,
+    /// Cycles to enter and leave the OS trap handler on an L2 TLB miss.
+    pub trap_cycles: Cycles,
+    /// Base host-physical address of the buffer.
+    pub base: Hpa,
+}
+
+impl Default for TsbConfig {
+    fn default() -> Self {
+        TsbConfig {
+            capacity_bytes: 16 << 20,
+            entry_bytes: 16,
+            // SPARC spill/fill-style trap entry + handler prologue/epilogue.
+            trap_cycles: Cycles::new(40),
+            base: Hpa::new(0x70_0000_0000),
+        }
+    }
+}
+
+/// Result of a TSB translation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TsbOutcome {
+    /// The translation, if both dimensions hit.
+    pub page_base: Option<Hpa>,
+    /// The page size of the hit (valid when `page_base` is `Some`).
+    pub size: PageSize,
+    /// Cycles spent in the trap handler and TSB probes. On a miss the
+    /// caller adds the software page-walk cost on top.
+    pub latency: Cycles,
+    /// DRAM accesses performed (1 per dimension probed).
+    pub accesses: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct TsbEntry {
+    space: AddressSpace,
+    vpn: u64,
+    target: u64,
+    size: PageSize,
+}
+
+/// A direct-mapped, software-managed translation storage buffer in DRAM.
+///
+/// The guest dimension (gVA→gPA) and host dimension (gPA→hPA) share the
+/// buffer, each hashed with a dimension salt, mirroring how SPARC kernels
+/// keep separate TSBs per context in one memory pool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tsb {
+    config: TsbConfig,
+    slots: Vec<Option<TsbEntry>>,
+    hits: u64,
+    misses: u64,
+    conflicts: u64,
+}
+
+const GUEST_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+const HOST_SALT: u64 = 0xc2b2_ae3d_27d4_eb4f;
+
+impl Tsb {
+    /// Builds an empty TSB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot count is not a power of two.
+    pub fn new(config: TsbConfig) -> Tsb {
+        let slots = config.capacity_bytes / config.entry_bytes;
+        assert!(slots.is_power_of_two(), "TSB slot count must be a power of two");
+        Tsb { config, slots: vec![None; slots as usize], hits: 0, misses: 0, conflicts: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TsbConfig {
+        &self.config
+    }
+
+    fn index(&self, space: AddressSpace, vpn: u64, salt: u64) -> usize {
+        let h = (vpn ^ space.vm.as_u64().rotate_left(24) ^ space.process.as_u64().rotate_left(40))
+            .wrapping_mul(salt);
+        (h % self.slots.len() as u64) as usize
+    }
+
+    fn slot_addr(&self, index: usize) -> Hpa {
+        Hpa::new(self.config.base.raw() + index as u64 * self.config.entry_bytes)
+    }
+
+    /// Attempts a full virtualized translation of `gva`: trap, then a
+    /// guest-dimension probe, then (on a guest hit) a host-dimension probe.
+    /// Each probe is an ordinary cacheable load from `core`: L2D$ → L3D$ →
+    /// DRAM, starting at `now`.
+    pub fn translate(
+        &mut self,
+        core: CoreId,
+        space: AddressSpace,
+        gva: Gva,
+        size_hint: PageSize,
+        hier: &mut Hierarchy,
+        dram: &mut Channel,
+        now: Cycles,
+    ) -> TsbOutcome {
+        let mut latency = self.config.trap_cycles;
+        let mut accesses = 0u32;
+
+        // Guest dimension: gVA -> gPA.
+        let gidx = self.index(space, Vpn::of(gva, size_hint).0, GUEST_SALT);
+        latency += self.load(core, self.slot_addr(gidx), hier, dram, now + latency);
+        accesses += 1;
+        let guest_hit = self.probe(gidx, space, Vpn::of(gva, size_hint).0);
+        let Some((gpa_base, size)) = guest_hit else {
+            self.misses += 1;
+            return TsbOutcome { page_base: None, size: size_hint, latency, accesses };
+        };
+
+        // Host dimension: gPA -> hPA.
+        let hvpn = gpa_base >> size.shift();
+        let hidx = self.index(space, hvpn ^ HOST_SALT, HOST_SALT);
+        latency += self.load(core, self.slot_addr(hidx), hier, dram, now + latency);
+        accesses += 1;
+        match self.probe(hidx, space, hvpn ^ HOST_SALT) {
+            Some((hpa_base, _)) => {
+                self.hits += 1;
+                TsbOutcome { page_base: Some(Hpa::new(hpa_base)), size, latency, accesses }
+            }
+            None => {
+                self.misses += 1;
+                TsbOutcome { page_base: None, size, latency, accesses }
+            }
+        }
+    }
+
+    /// One cacheable TSB load: L2D$ → L3D$ → DRAM.
+    fn load(
+        &self,
+        core: CoreId,
+        addr: Hpa,
+        hier: &mut Hierarchy,
+        dram: &mut Channel,
+        now: Cycles,
+    ) -> Cycles {
+        let probe = hier.access_tlb_line(core, addr, false);
+        if probe.hit() {
+            probe.latency
+        } else {
+            probe.latency + dram.access(addr, now + probe.latency).latency
+        }
+    }
+
+    fn probe(&self, index: usize, space: AddressSpace, vpn: u64) -> Option<(u64, PageSize)> {
+        self.slots[index]
+            .filter(|e| e.space == space && e.vpn == vpn)
+            .map(|e| (e.target, e.size))
+    }
+
+    /// Installs both dimensions of a resolved translation (the OS handler
+    /// refills the TSB after a software walk).
+    pub fn fill(
+        &mut self,
+        space: AddressSpace,
+        gva: Gva,
+        size: PageSize,
+        gpa_base: u64,
+        hpa_base: Hpa,
+    ) {
+        let gvpn = Vpn::of(gva, size).0;
+        let gidx = self.index(space, gvpn, GUEST_SALT);
+        if self.slots[gidx].is_some_and(|e| !(e.space == space && e.vpn == gvpn)) {
+            self.conflicts += 1;
+        }
+        self.slots[gidx] = Some(TsbEntry { space, vpn: gvpn, target: gpa_base, size });
+
+        let hvpn = (gpa_base >> size.shift()) ^ HOST_SALT;
+        let hidx = self.index(space, hvpn, HOST_SALT);
+        if self.slots[hidx].is_some_and(|e| !(e.space == space && e.vpn == hvpn)) {
+            self.conflicts += 1;
+        }
+        self.slots[hidx] = Some(TsbEntry { space, vpn: hvpn, target: hpa_base.raw(), size });
+    }
+
+    /// Shootdown of one translation. Returns whether the guest-dimension
+    /// entry was present.
+    pub fn invalidate(&mut self, space: AddressSpace, gva: Gva, size: PageSize) -> bool {
+        let gvpn = Vpn::of(gva, size).0;
+        let gidx = self.index(space, gvpn, GUEST_SALT);
+        if self.slots[gidx].is_some_and(|e| e.space == space && e.vpn == gvpn) {
+            self.slots[gidx] = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Completed translations (both dimensions hit).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Failed translations.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fills that displaced a live entry for a different page.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pomtlb_cache::HierarchyConfig;
+    use pomtlb_dram::DramTiming;
+    use pomtlb_types::{ProcessId, VmId};
+
+    fn small_tsb() -> Tsb {
+        Tsb::new(TsbConfig { capacity_bytes: 1 << 10, ..Default::default() }) // 64 slots
+    }
+
+    fn dram() -> Channel {
+        Channel::new(DramTiming::die_stacked(4.0), 8)
+    }
+
+    fn hier() -> Hierarchy {
+        Hierarchy::new(HierarchyConfig::default(), 1)
+    }
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(VmId(0), ProcessId(0))
+    }
+
+    #[test]
+    fn miss_costs_trap_plus_one_access() {
+        let mut tsb = small_tsb();
+        let mut d = dram();
+        let mut h = hier();
+        let out = tsb.translate(CoreId(0), space(), Gva::new(0x1000), PageSize::Small4K, &mut h, &mut d, Cycles::ZERO);
+        assert!(out.page_base.is_none());
+        assert_eq!(out.accesses, 1, "guest-dimension probe only");
+        assert!(out.latency >= tsb.config().trap_cycles);
+        assert_eq!(tsb.misses(), 1);
+    }
+
+    #[test]
+    fn fill_then_hit_needs_two_accesses() {
+        let mut tsb = small_tsb();
+        let mut d = dram();
+        let mut h = hier();
+        let gva = Gva::new(0x1000);
+        tsb.fill(space(), gva, PageSize::Small4K, 0x40_0000, Hpa::new(0x9_0000));
+        let out = tsb.translate(CoreId(0), space(), gva, PageSize::Small4K, &mut h, &mut d, Cycles::ZERO);
+        assert_eq!(out.page_base, Some(Hpa::new(0x9_0000)));
+        assert_eq!(out.accesses, 2, "guest + host dimension probes");
+        assert_eq!(tsb.hits(), 1);
+    }
+
+    #[test]
+    fn trap_overhead_always_charged() {
+        let mut tsb = small_tsb();
+        let mut d = dram();
+        let mut h = hier();
+        let gva = Gva::new(0x1000);
+        tsb.fill(space(), gva, PageSize::Small4K, 0x40_0000, Hpa::new(0x9_0000));
+        let out = tsb.translate(CoreId(0), space(), gva, PageSize::Small4K, &mut h, &mut d, Cycles::ZERO);
+        assert!(out.latency >= tsb.config().trap_cycles + Cycles::new(2 * 12));
+    }
+
+    #[test]
+    fn direct_mapping_conflicts() {
+        let mut tsb = small_tsb();
+        // Fill far more translations than slots: conflicts must occur.
+        for i in 0..256u64 {
+            tsb.fill(
+                space(),
+                Gva::new(i << 12),
+                PageSize::Small4K,
+                0x40_0000 + (i << 12),
+                Hpa::new(0x100_0000 + (i << 12)),
+            );
+        }
+        assert!(tsb.conflicts() > 0, "direct-mapped TSB must conflict");
+    }
+
+    #[test]
+    fn invalidate_breaks_translation() {
+        let mut tsb = small_tsb();
+        let mut d = dram();
+        let mut h = hier();
+        let gva = Gva::new(0x1000);
+        tsb.fill(space(), gva, PageSize::Small4K, 0x40_0000, Hpa::new(0x9_0000));
+        assert!(tsb.invalidate(space(), gva, PageSize::Small4K));
+        let out = tsb.translate(CoreId(0), space(), gva, PageSize::Small4K, &mut h, &mut d, Cycles::ZERO);
+        assert!(out.page_base.is_none());
+        assert!(!tsb.invalidate(space(), gva, PageSize::Small4K));
+    }
+
+    #[test]
+    fn spaces_are_isolated() {
+        let mut tsb = small_tsb();
+        let mut d = dram();
+        let mut h = hier();
+        let other = AddressSpace::new(VmId(1), ProcessId(0));
+        let gva = Gva::new(0x1000);
+        tsb.fill(space(), gva, PageSize::Small4K, 0x40_0000, Hpa::new(0x9_0000));
+        let out = tsb.translate(CoreId(0), other, gva, PageSize::Small4K, &mut h, &mut d, Cycles::ZERO);
+        assert!(out.page_base.is_none());
+    }
+
+    #[test]
+    fn large_page_translations() {
+        let mut tsb = small_tsb();
+        let mut d = dram();
+        let mut h = hier();
+        let gva = Gva::new(0x4000_0000);
+        tsb.fill(space(), gva, PageSize::Large2M, 0x4000_0000, Hpa::new(0x8000_0000));
+        let out = tsb.translate(CoreId(0), space(), gva, PageSize::Large2M, &mut h, &mut d, Cycles::ZERO);
+        assert_eq!(out.page_base, Some(Hpa::new(0x8000_0000)));
+        assert_eq!(out.size, PageSize::Large2M);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_capacity() {
+        Tsb::new(TsbConfig { capacity_bytes: 3000, ..Default::default() });
+    }
+
+    #[test]
+    fn default_is_16mb() {
+        let t = Tsb::new(TsbConfig::default());
+        assert_eq!(t.config().capacity_bytes, 16 << 20);
+        assert_eq!(t.slots.len(), (16 << 20) / 16);
+    }
+}

@@ -1,0 +1,456 @@
+//! The hardware page walker: 1-D native walks and 2-D nested walks with
+//! paging-structure caches and PTE caching in the data caches.
+//!
+//! This is the machinery the POM-TLB exists to avoid. Its cost structure is
+//! exactly the paper's Figure 1/§1 story:
+//!
+//! * native: up to 4 sequential PTE reads;
+//! * virtualized: for each guest level, the guest PTE's *guest-physical*
+//!   address must itself be translated by a nested host walk (up to 4
+//!   reads) before the guest PTE (1 read) can be fetched, and the final
+//!   guest-physical data address needs one more host walk — up to 24 reads;
+//! * the PSCs ([`crate::Psc`]) skip upper levels on both dimensions, and
+//!   every PTE read probes the L2/L3 data caches before going to DRAM, so
+//!   the *average* walk is far cheaper than the worst case — but, as the
+//!   paper measures, still tens to hundreds of cycles per L2 TLB miss.
+
+use pomtlb_cache::Hierarchy;
+use pomtlb_dram::Channel;
+use pomtlb_types::{AddressSpace, CoreId, Cycles, Gpa, Gva, Hpa, PageSize};
+use serde::{Deserialize, Serialize};
+
+use crate::page_table::{VirtTables, WalkMode, WalkPath};
+use crate::psc::{Psc, PscConfig, PscLevel};
+
+/// The result of one completed page walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkOutcome {
+    /// Host-physical base of the translated page.
+    pub page_base: Hpa,
+    /// The mapping's page size.
+    pub size: PageSize,
+    /// Total walk latency in CPU cycles (PSC lookups + cache probes + DRAM).
+    pub latency: Cycles,
+    /// Memory references actually performed (0..=24).
+    pub mem_refs: u32,
+    /// PSC hits across both dimensions during this walk.
+    pub psc_hits: u32,
+}
+
+/// Accumulated walker statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkerStats {
+    /// Completed walks.
+    pub walks: u64,
+    /// PTE memory references issued.
+    pub mem_refs: u64,
+    /// PTE references satisfied by the L2/L3 data caches.
+    pub pte_cache_hits: u64,
+    /// PTE references that went to DRAM.
+    pub pte_dram_refs: u64,
+    /// PSC hits (both dimensions).
+    pub psc_hits: u64,
+    /// PSC lookups that missed every level.
+    pub psc_misses: u64,
+    /// Sum of walk latencies.
+    pub total_latency: Cycles,
+}
+
+impl WalkerStats {
+    /// Mean walk latency in cycles; zero if no walks happened.
+    pub fn mean_latency(&self) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.total_latency.as_f64() / self.walks as f64
+        }
+    }
+
+    /// Mean memory references per walk.
+    pub fn mean_refs(&self) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.mem_refs as f64 / self.walks as f64
+        }
+    }
+}
+
+/// The per-core hardware page walker.
+///
+/// Holds two paging-structure-cache dimensions: one keyed by guest-virtual
+/// prefixes (caching host-physical pointers to guest table nodes) and one
+/// keyed by guest-physical prefixes (the EPT dimension). In native mode only
+/// the host dimension is used.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NestedWalker {
+    guest_psc: Psc,
+    host_psc: Psc,
+    stats: WalkerStats,
+}
+
+struct WalkCharge {
+    latency: Cycles,
+    mem_refs: u32,
+    psc_hits: u32,
+}
+
+impl NestedWalker {
+    /// Creates a walker with the given PSC geometry for both dimensions.
+    pub fn new(psc_config: PscConfig) -> NestedWalker {
+        NestedWalker {
+            guest_psc: Psc::new(psc_config),
+            host_psc: Psc::new(psc_config),
+            stats: WalkerStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &WalkerStats {
+        &self.stats
+    }
+
+    /// Resets statistics (post-warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = WalkerStats::default();
+    }
+
+    /// Flushes both PSC dimensions for an address space (context switch /
+    /// shootdown).
+    pub fn flush_space(&mut self, space: AddressSpace) {
+        self.guest_psc.flush_space(space);
+        self.host_psc.flush_space(space);
+    }
+
+    /// Walks `gva` through `tables`, charging cache and DRAM time starting
+    /// at `now`. Returns `None` if the address is unmapped.
+    pub fn walk(
+        &mut self,
+        core: CoreId,
+        space: AddressSpace,
+        gva: Gva,
+        tables: &VirtTables,
+        hier: &mut Hierarchy,
+        dram: &mut Channel,
+        now: Cycles,
+    ) -> Option<WalkOutcome> {
+        let mut charge = WalkCharge { latency: Cycles::ZERO, mem_refs: 0, psc_hits: 0 };
+        let (page_base, size) = match tables.mode() {
+            WalkMode::Native => {
+                let path = tables.host_walk(Gpa::new(gva.raw()))?;
+                let size = path.size;
+                let base = self.walk_one_dimension(
+                    core, space, gva.raw(), &path, Dimension::Host, tables, hier, dram, now,
+                    &mut charge,
+                )?;
+                (Hpa::new(base), size)
+            }
+            WalkMode::Virtualized => {
+                let guest_path = tables.guest_walk(gva)?;
+                let size = guest_path.size;
+                let n = guest_path.pte_addrs.len();
+                let deepest = if n == 4 { PscLevel::Pde } else { PscLevel::Pdp };
+                let psc_hit = self.guest_psc.lookup_deepest(space, gva.raw(), deepest);
+                charge.latency += self.guest_psc.config().latency;
+                match psc_hit {
+                    Some(_) => {
+                        charge.psc_hits += 1;
+                        self.stats.psc_hits += 1;
+                    }
+                    None => self.stats.psc_misses += 1,
+                }
+                let start = psc_hit.map(|(l, _)| l.levels_skipped()).unwrap_or(0).min(n - 1);
+
+                for i in start..n {
+                    let pte_gpa = guest_path.pte_addrs[i];
+                    // Find the host-physical location of the guest PTE.
+                    let pte_hpa = match psc_hit {
+                        Some((_, node_hpa)) if i == start => {
+                            // PSC cached the node's host pointer: same
+                            // in-node offset, no nested walk.
+                            node_hpa + (pte_gpa - guest_path.node_addrs[i])
+                        }
+                        _ => {
+                            let path = tables.host_walk(Gpa::new(pte_gpa))?;
+                            self.walk_one_dimension(
+                                core, space, pte_gpa, &path, Dimension::Host, tables, hier,
+                                dram, now, &mut charge,
+                            )?
+                        }
+                    };
+                    // Read the guest PTE itself.
+                    self.mem_ref(core, Hpa::new(pte_hpa), hier, dram, now, &mut charge);
+                    // Cache the pointer to the next guest node (host-physical).
+                    if i + 1 < n {
+                        let next_node_hpa = tables
+                            .host_translate(Gpa::new(guest_path.node_addrs[i + 1]))
+                            .expect("guest nodes are host-backed");
+                        self.guest_psc.insert(space, gva.raw(), level_of(i), next_node_hpa.raw());
+                    }
+                }
+
+                // Final host walk of the data page's guest-physical address.
+                let final_gpa = guest_path.target_base + gva.page_offset(size);
+                let path = tables.host_walk(Gpa::new(final_gpa))?;
+                let final_hpa = self.walk_one_dimension(
+                    core, space, final_gpa, &path, Dimension::Host, tables, hier, dram, now,
+                    &mut charge,
+                )?;
+                (Hpa::new(final_hpa - (final_hpa & (size.bytes() - 1))), size)
+            }
+        };
+        self.stats.walks += 1;
+        self.stats.mem_refs += charge.mem_refs as u64;
+        self.stats.total_latency += charge.latency;
+        Some(WalkOutcome {
+            page_base,
+            size,
+            latency: charge.latency,
+            mem_refs: charge.mem_refs,
+            psc_hits: charge.psc_hits,
+        })
+    }
+
+    /// Walks one dimension's radix path, consulting that dimension's PSC,
+    /// reading the non-skipped PTEs and installing PSC entries. Returns the
+    /// fully translated address (base + offset).
+    #[allow(clippy::too_many_arguments)]
+    fn walk_one_dimension(
+        &mut self,
+        core: CoreId,
+        space: AddressSpace,
+        addr: u64,
+        path: &WalkPath,
+        dim: Dimension,
+        _tables: &VirtTables,
+        hier: &mut Hierarchy,
+        dram: &mut Channel,
+        now: Cycles,
+        charge: &mut WalkCharge,
+    ) -> Option<u64> {
+        let n = path.pte_addrs.len();
+        let deepest = if n == 4 { PscLevel::Pde } else { PscLevel::Pdp };
+        let psc = match dim {
+            Dimension::Host => &mut self.host_psc,
+        };
+        let hit = psc.lookup_deepest(space, addr, deepest);
+        charge.latency += psc.config().latency;
+        match hit {
+            Some(_) => {
+                charge.psc_hits += 1;
+                self.stats.psc_hits += 1;
+            }
+            None => self.stats.psc_misses += 1,
+        }
+        let start = hit.map(|(l, _)| l.levels_skipped()).unwrap_or(0).min(n - 1);
+        for i in start..n {
+            self.mem_ref(core, Hpa::new(path.pte_addrs[i]), hier, dram, now, charge);
+            if i + 1 < n {
+                let psc = match dim {
+                    Dimension::Host => &mut self.host_psc,
+                };
+                psc.insert(space, addr, level_of(i), path.node_addrs[i + 1]);
+            }
+        }
+        Some(path.target_base + (addr & (path.size.bytes() - 1)))
+    }
+
+    /// One PTE memory reference: L2→L3 probe, then DRAM on a miss.
+    fn mem_ref(
+        &mut self,
+        core: CoreId,
+        hpa: Hpa,
+        hier: &mut Hierarchy,
+        dram: &mut Channel,
+        now: Cycles,
+        charge: &mut WalkCharge,
+    ) {
+        charge.mem_refs += 1;
+        let probe = hier.access_page_table(core, hpa);
+        charge.latency += probe.latency;
+        if probe.hit() {
+            self.stats.pte_cache_hits += 1;
+        } else {
+            let access = dram.access(hpa, now + charge.latency);
+            charge.latency += access.latency;
+            self.stats.pte_dram_refs += 1;
+        }
+    }
+}
+
+/// Which PSC dimension a 1-D walk charges (the guest dimension is handled
+/// inline in `walk`).
+#[derive(Clone, Copy)]
+enum Dimension {
+    Host,
+}
+
+/// The PSC level responsible for the transition out of root-first PTE index
+/// `i` (reading PTE 0 teaches the PML4 cache, etc.).
+fn level_of(i: usize) -> PscLevel {
+    match i {
+        0 => PscLevel::Pml4,
+        1 => PscLevel::Pdp,
+        2 => PscLevel::Pde,
+        _ => unreachable!("only interior levels install PSC entries"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pomtlb_cache::HierarchyConfig;
+    use pomtlb_dram::DramTiming;
+    use pomtlb_types::{ProcessId, VmId};
+
+    fn setup(mode: WalkMode) -> (VirtTables, Hierarchy, Channel, NestedWalker) {
+        (
+            VirtTables::new(mode),
+            Hierarchy::new(HierarchyConfig::default(), 1),
+            Channel::new(DramTiming::ddr4_2133(4.0), 16),
+            NestedWalker::new(PscConfig::default()),
+        )
+    }
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(VmId(0), ProcessId(0))
+    }
+
+    #[test]
+    fn native_cold_walk_touches_four_ptes() {
+        let (mut t, mut h, mut d, mut w) = setup(WalkMode::Native);
+        let gva = Gva::new(0x1000_0000_0000);
+        let hpa = t.ensure_mapped(gva, PageSize::Small4K);
+        let out = w
+            .walk(CoreId(0), space(), gva, &t, &mut h, &mut d, Cycles::ZERO)
+            .unwrap();
+        assert_eq!(out.mem_refs, 4);
+        assert_eq!(out.page_base, hpa);
+        assert_eq!(out.size, PageSize::Small4K);
+        assert_eq!(out.psc_hits, 0);
+        assert!(out.latency.raw() > 200, "4 cold DRAM refs are expensive: {}", out.latency);
+    }
+
+    #[test]
+    fn virtualized_cold_walk_without_psc_touches_24_ptes() {
+        // With the paging-structure caches disabled, the raw Figure 1
+        // geometry shows: 4 guest levels x (4 host + 1 guest) + 4 = 24.
+        let (mut t, mut h, mut d, _) = setup(WalkMode::Virtualized);
+        let mut w = NestedWalker::new(PscConfig::disabled());
+        let gva = Gva::new(0x1000_0000_0000);
+        let hpa = t.ensure_mapped(gva, PageSize::Small4K);
+        let out = w
+            .walk(CoreId(0), space(), gva, &t, &mut h, &mut d, Cycles::ZERO)
+            .unwrap();
+        assert_eq!(out.mem_refs, 24, "Figure 1 geometry");
+        assert_eq!(out.page_base, hpa);
+    }
+
+    #[test]
+    fn psc_warms_within_a_single_cold_walk() {
+        // Guest table nodes sit at adjacent guest-physical addresses, so
+        // the nested host walks share PDE prefixes: even the very first
+        // virtualized walk does fewer than 24 references with PSCs on.
+        let (mut t, mut h, mut d, mut w) = setup(WalkMode::Virtualized);
+        let gva = Gva::new(0x1000_0000_0000);
+        t.ensure_mapped(gva, PageSize::Small4K);
+        let out = w
+            .walk(CoreId(0), space(), gva, &t, &mut h, &mut d, Cycles::ZERO)
+            .unwrap();
+        assert!(out.mem_refs < 24, "PSC should trim the cold walk, got {}", out.mem_refs);
+        assert!(out.mem_refs >= 9, "still at least one ref per step, got {}", out.mem_refs);
+    }
+
+    #[test]
+    fn virtualized_2mb_walk_is_shorter() {
+        let (mut t, mut h, mut d, mut w) = setup(WalkMode::Virtualized);
+        let gva = Gva::new(0x2000_0000_0000);
+        t.ensure_mapped(gva, PageSize::Large2M);
+        let out = w
+            .walk(CoreId(0), space(), gva, &t, &mut h, &mut d, Cycles::ZERO)
+            .unwrap();
+        // 3 guest levels x (4 host + 1) + final host walk. The guest table
+        // nodes are 4KB-mapped in the host (4-level nested walks), while the
+        // final data page walk is over a 2MB host mapping (3 refs).
+        assert!(out.mem_refs < 24, "2MB walk must be shorter, got {}", out.mem_refs);
+        assert_eq!(out.size, PageSize::Large2M);
+    }
+
+    #[test]
+    fn warm_walk_uses_psc_and_caches() {
+        let (mut t, mut h, mut d, mut w) = setup(WalkMode::Virtualized);
+        let gva = Gva::new(0x1000_0000_0000);
+        t.ensure_mapped(gva, PageSize::Small4K);
+        let cold = w
+            .walk(CoreId(0), space(), gva, &t, &mut h, &mut d, Cycles::ZERO)
+            .unwrap();
+        let warm = w
+            .walk(CoreId(0), space(), gva, &t, &mut h, &mut d, cold.latency)
+            .unwrap();
+        assert!(warm.mem_refs < cold.mem_refs, "{} !< {}", warm.mem_refs, cold.mem_refs);
+        assert!(warm.latency < cold.latency);
+        assert!(warm.psc_hits > 0);
+    }
+
+    #[test]
+    fn neighbour_page_benefits_from_shared_nodes() {
+        let (mut t, mut h, mut d, mut w) = setup(WalkMode::Virtualized);
+        let a = Gva::new(0x1000_0000_0000);
+        let b = Gva::new(0x1000_0000_1000);
+        t.ensure_mapped(a, PageSize::Small4K);
+        t.ensure_mapped(b, PageSize::Small4K);
+        let cold = w.walk(CoreId(0), space(), a, &t, &mut h, &mut d, Cycles::ZERO).unwrap();
+        let nearby = w.walk(CoreId(0), space(), b, &t, &mut h, &mut d, cold.latency).unwrap();
+        // Same PDE prefix: guest PSC hit leaves 1 guest PTE read plus the
+        // final host walk (host PSC helps there too).
+        assert!(nearby.mem_refs <= 3, "neighbour walk did {} refs", nearby.mem_refs);
+    }
+
+    #[test]
+    fn native_walk_cheaper_than_virtualized() {
+        let (mut tn, mut hn, mut dn, mut wn) = setup(WalkMode::Native);
+        let (mut tv, mut hv, mut dv, mut wv) = setup(WalkMode::Virtualized);
+        let gva = Gva::new(0x1000_0000_0000);
+        tn.ensure_mapped(gva, PageSize::Small4K);
+        tv.ensure_mapped(gva, PageSize::Small4K);
+        let native = wn.walk(CoreId(0), space(), gva, &tn, &mut hn, &mut dn, Cycles::ZERO).unwrap();
+        let virt = wv.walk(CoreId(0), space(), gva, &tv, &mut hv, &mut dv, Cycles::ZERO).unwrap();
+        assert!(virt.latency > native.latency);
+        assert!(virt.mem_refs > native.mem_refs);
+    }
+
+    #[test]
+    fn unmapped_address_returns_none() {
+        let (t, mut h, mut d, mut w) = setup(WalkMode::Virtualized);
+        assert!(w
+            .walk(CoreId(0), space(), Gva::new(0xdead_0000), &t, &mut h, &mut d, Cycles::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut t, mut h, mut d, mut w) = setup(WalkMode::Native);
+        let gva = Gva::new(0x3000_0000_0000);
+        t.ensure_mapped(gva, PageSize::Small4K);
+        w.walk(CoreId(0), space(), gva, &t, &mut h, &mut d, Cycles::ZERO);
+        w.walk(CoreId(0), space(), gva, &t, &mut h, &mut d, Cycles::new(10_000));
+        let s = w.stats();
+        assert_eq!(s.walks, 2);
+        assert!(s.mem_refs >= 5, "cold 4 + warm >=1");
+        assert!(s.mean_latency() > 0.0);
+        assert!(s.pte_cache_hits > 0, "warm PTEs come from data caches");
+    }
+
+    #[test]
+    fn flush_space_forgets_psc() {
+        let (mut t, mut h, mut d, mut w) = setup(WalkMode::Native);
+        let gva = Gva::new(0x3000_0000_0000);
+        t.ensure_mapped(gva, PageSize::Small4K);
+        w.walk(CoreId(0), space(), gva, &t, &mut h, &mut d, Cycles::ZERO);
+        w.flush_space(space());
+        let after = w.walk(CoreId(0), space(), gva, &t, &mut h, &mut d, Cycles::new(10_000)).unwrap();
+        assert_eq!(after.psc_hits, 0, "PSC flushed");
+        // PTEs still come from the data caches though.
+        assert_eq!(after.mem_refs, 4);
+    }
+}

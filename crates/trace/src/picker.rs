@@ -1,0 +1,298 @@
+//! Stateful page-index pickers implementing each [`LocalityModel`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::LocalityModel;
+use crate::zipf::Zipf;
+
+/// A stateful sampler of page indices in `0..n_pages` realizing one
+/// [`LocalityModel`] over one page-size region.
+#[derive(Debug, Clone)]
+pub(crate) enum PagePicker {
+    Streaming {
+        /// Per-stream cursors, spread across the region.
+        cursors: Vec<u64>,
+        /// Which stream issues next (round-robin, as interleaved array
+        /// operands would).
+        next_stream: usize,
+        n_pages: u64,
+    },
+    Uniform {
+        n_pages: u64,
+    },
+    Zipf {
+        dist: Zipf,
+        /// Pages are visited in a fixed pseudo-random permutation of the
+        /// rank order so that "popular" pages are scattered across the
+        /// address space like real graph data, not clustered at offset 0.
+        scramble: u64,
+        n_pages: u64,
+    },
+    PointerChase {
+        hot_pages: u64,
+        hot_prob: f64,
+        n_pages: u64,
+    },
+    Mixed {
+        /// Cumulative normalized weights aligned with `parts`.
+        cdf: Vec<f64>,
+        parts: Vec<PagePicker>,
+    },
+    Window {
+        window_pages: u64,
+        dwell: u64,
+        remaining: u64,
+        window_start: u64,
+        n_pages: u64,
+    },
+    ConflictSet {
+        pages: u64,
+        stride: u64,
+        base: u64,
+        n_pages: u64,
+    },
+}
+
+impl PagePicker {
+    /// Builds a picker for `n_pages` pages; `rng_seed` decorrelates the
+    /// stream starting offsets and zipf scramble between regions and cores.
+    pub(crate) fn new(model: &LocalityModel, n_pages: u64, rng_seed: u64) -> PagePicker {
+        debug_assert!(n_pages > 0, "picker needs at least one page");
+        let mut seeder = SmallRng::seed_from_u64(rng_seed);
+        match model {
+            LocalityModel::Streaming { streams } => {
+                let k = (*streams).max(1) as u64;
+                let cursors = (0..k).map(|i| i * n_pages / k).collect();
+                PagePicker::Streaming { cursors, next_stream: 0, n_pages }
+            }
+            LocalityModel::UniformRandom => PagePicker::Uniform { n_pages },
+            LocalityModel::Zipf { alpha } => PagePicker::Zipf {
+                dist: Zipf::new(n_pages, *alpha),
+                scramble: seeder.gen::<u64>() | 1, // odd => invertible mod 2^64
+                n_pages,
+            },
+            LocalityModel::PointerChase { hot_frac, hot_prob } => PagePicker::PointerChase {
+                hot_pages: ((n_pages as f64 * hot_frac) as u64).max(1),
+                hot_prob: *hot_prob,
+                n_pages,
+            },
+            LocalityModel::WorkingSetWindow { window_pages, dwell } => {
+                let w = (*window_pages).min(n_pages);
+                PagePicker::Window {
+                    window_pages: w,
+                    dwell: *dwell,
+                    remaining: *dwell,
+                    window_start: if n_pages > w { seeder.gen_range(0..n_pages - w) } else { 0 },
+                    n_pages,
+                }
+            }
+            LocalityModel::TlbConflictSet { pages, stride_pages } => PagePicker::ConflictSet {
+                pages: *pages as u64,
+                stride: *stride_pages,
+                base: seeder.gen_range(0..n_pages.max(1)),
+                n_pages,
+            },
+            LocalityModel::Mixed(weighted) => {
+                let total: f64 = weighted.iter().map(|(w, _)| *w).sum();
+                let mut acc = 0.0;
+                let mut cdf = Vec::with_capacity(weighted.len());
+                let mut parts = Vec::with_capacity(weighted.len());
+                for (w, m) in weighted {
+                    acc += w / total;
+                    cdf.push(acc);
+                    parts.push(PagePicker::new(m, n_pages, seeder.gen()));
+                }
+                // Guard against FP round-off leaving the last bound below 1.
+                if let Some(last) = cdf.last_mut() {
+                    *last = 1.0;
+                }
+                PagePicker::Mixed { cdf, parts }
+            }
+        }
+    }
+
+    /// Returns the next page index in `0..n_pages`.
+    pub(crate) fn next_page(&mut self, rng: &mut SmallRng) -> u64 {
+        match self {
+            PagePicker::Streaming { cursors, next_stream, n_pages } => {
+                let s = *next_stream;
+                *next_stream = (s + 1) % cursors.len();
+                let page = cursors[s];
+                cursors[s] = (cursors[s] + 1) % *n_pages;
+                page
+            }
+            PagePicker::Uniform { n_pages } => rng.gen_range(0..*n_pages),
+            PagePicker::Zipf { dist, scramble, n_pages } => {
+                // Multiplicative scramble by an odd constant is a bijection
+                // mod 2^64; reduce into range afterwards. This decouples
+                // popularity rank from address adjacency. Rank is offset by
+                // one first so the hottest page is not pinned at index 0.
+                let rank = dist.sample(rng);
+                rank.wrapping_add(1).wrapping_mul(*scramble) % *n_pages
+            }
+            PagePicker::PointerChase { hot_pages, hot_prob, n_pages } => {
+                if rng.gen::<f64>() < *hot_prob {
+                    rng.gen_range(0..*hot_pages)
+                } else {
+                    rng.gen_range(0..*n_pages)
+                }
+            }
+            PagePicker::Mixed { cdf, parts } => {
+                let u = rng.gen::<f64>();
+                let idx = cdf.iter().position(|&bound| u <= bound).unwrap_or(parts.len() - 1);
+                parts[idx].next_page(rng)
+            }
+            PagePicker::Window { window_pages, dwell, remaining, window_start, n_pages } => {
+                if *remaining == 0 {
+                    *remaining = *dwell;
+                    *window_start = if *n_pages > *window_pages {
+                        rng.gen_range(0..*n_pages - *window_pages)
+                    } else {
+                        0
+                    };
+                }
+                *remaining -= 1;
+                *window_start + rng.gen_range(0..*window_pages)
+            }
+            PagePicker::ConflictSet { pages, stride, base, n_pages } => {
+                let k = rng.gen_range(0..*pages);
+                (*base + k * *stride) % *n_pages
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn streaming_is_sequential_per_stream() {
+        let mut p = PagePicker::new(&LocalityModel::Streaming { streams: 1 }, 100, 0);
+        let mut r = rng();
+        let seq: Vec<u64> = (0..5).map(|_| p.next_page(&mut r)).collect();
+        assert_eq!(seq, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn streaming_wraps_at_footprint_end() {
+        let mut p = PagePicker::new(&LocalityModel::Streaming { streams: 1 }, 3, 0);
+        let mut r = rng();
+        let seq: Vec<u64> = (0..7).map(|_| p.next_page(&mut r)).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn multi_stream_round_robins_distinct_offsets() {
+        let mut p = PagePicker::new(&LocalityModel::Streaming { streams: 4 }, 400, 0);
+        let mut r = rng();
+        let first_four: Vec<u64> = (0..4).map(|_| p.next_page(&mut r)).collect();
+        assert_eq!(first_four, vec![0, 100, 200, 300]);
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let mut p = PagePicker::new(&LocalityModel::UniformRandom, 64, 0);
+        let mut r = rng();
+        let seen: HashSet<u64> = (0..2000).map(|_| p.next_page(&mut r)).collect();
+        assert!(seen.len() > 55, "uniform should touch nearly all pages, got {}", seen.len());
+        assert!(seen.iter().all(|&x| x < 64));
+    }
+
+    #[test]
+    fn zipf_scramble_scatters_hot_page() {
+        // The most popular page should not necessarily be page 0.
+        let mut hot_pages = HashSet::new();
+        for seed in 0..8 {
+            let mut p = PagePicker::new(&LocalityModel::Zipf { alpha: 1.3 }, 1 << 20, seed);
+            let mut r = rng();
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..3000 {
+                *counts.entry(p.next_page(&mut r)).or_insert(0u32) += 1;
+            }
+            let hottest = counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0;
+            hot_pages.insert(hottest);
+        }
+        assert!(hot_pages.len() > 1, "scramble must vary with seed");
+    }
+
+    #[test]
+    fn pointer_chase_prefers_hot_set() {
+        let model = LocalityModel::PointerChase { hot_frac: 0.01, hot_prob: 0.9 };
+        let mut p = PagePicker::new(&model, 10_000, 0);
+        let mut r = rng();
+        let hot_hits = (0..10_000).filter(|_| p.next_page(&mut r) < 100).count();
+        // ~90% direct + ~1% of the cold tail lands in the hot range too.
+        assert!(hot_hits > 8500, "hot set underused: {hot_hits}");
+    }
+
+    #[test]
+    fn mixed_draws_from_all_parts() {
+        let model = LocalityModel::Mixed(vec![
+            (0.5, LocalityModel::Streaming { streams: 1 }),
+            (0.5, LocalityModel::UniformRandom),
+        ]);
+        let mut p = PagePicker::new(&model, 1000, 7);
+        let mut r = rng();
+        let pages: Vec<u64> = (0..1000).map(|_| p.next_page(&mut r)).collect();
+        // Streaming alone would stay < ~500 after 1000 draws; uniform spreads.
+        assert!(pages.iter().any(|&x| x > 900), "uniform part missing");
+        // Streaming part shows as many consecutive low indices.
+        let low = pages.iter().filter(|&&x| x < 520).count();
+        assert!(low > 400, "streaming part missing: {low}");
+    }
+
+    #[test]
+    fn window_stays_within_bounds_and_drifts() {
+        let model = LocalityModel::WorkingSetWindow { window_pages: 100, dwell: 500 };
+        let mut p = PagePicker::new(&model, 100_000, 3);
+        let mut r = rng();
+        // During one dwell, all picks fall in one 100-page window.
+        let first: Vec<u64> = (0..500).map(|_| p.next_page(&mut r)).collect();
+        let lo = *first.iter().min().unwrap();
+        let hi = *first.iter().max().unwrap();
+        assert!(hi - lo < 100, "window width violated: {lo}..{hi}");
+        // After several dwells the cumulative span far exceeds one window.
+        let mut all = first;
+        for _ in 0..20 {
+            all.extend((0..500).map(|_| p.next_page(&mut r)));
+        }
+        let lo2 = *all.iter().min().unwrap();
+        let hi2 = *all.iter().max().unwrap();
+        assert!(hi2 - lo2 > 1000, "window never drifted: {lo2}..{hi2}");
+        assert!(all.iter().all(|&x| x < 100_000));
+    }
+
+    #[test]
+    fn window_larger_than_region_degrades_to_uniform() {
+        let model = LocalityModel::WorkingSetWindow { window_pages: 1 << 20, dwell: 10 };
+        let mut p = PagePicker::new(&model, 64, 0);
+        let mut r = rng();
+        let seen: HashSet<u64> = (0..1000).map(|_| p.next_page(&mut r)).collect();
+        assert!(seen.len() > 50);
+        assert!(seen.iter().all(|&x| x < 64));
+    }
+
+    #[test]
+    fn single_page_region_is_stable() {
+        for model in [
+            LocalityModel::Streaming { streams: 2 },
+            LocalityModel::UniformRandom,
+            LocalityModel::Zipf { alpha: 0.9 },
+            LocalityModel::PointerChase { hot_frac: 0.5, hot_prob: 0.5 },
+            LocalityModel::WorkingSetWindow { window_pages: 4, dwell: 3 },
+        ] {
+            let mut p = PagePicker::new(&model, 1, 0);
+            let mut r = rng();
+            for _ in 0..50 {
+                assert_eq!(p.next_page(&mut r), 0, "model {model:?}");
+            }
+        }
+    }
+}

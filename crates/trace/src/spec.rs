@@ -1,0 +1,371 @@
+//! Workload specification: footprint, page-size mix, access-rate and
+//! locality model.
+
+use serde::{Deserialize, Serialize};
+
+/// The page-level locality structure of a synthetic workload.
+///
+/// See the crate docs for which paper workloads each variant stands in for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LocalityModel {
+    /// `streams` concurrent sequential walks through the footprint
+    /// (streaming/stencil codes: lbm, libquantum, streamcluster, bwaves).
+    /// Spatially adjacent pages are touched back to back, which is what
+    /// produces the high POM-TLB row-buffer hit rates of Figure 11.
+    Streaming {
+        /// Number of concurrent sequential streams (array operands).
+        streams: u32,
+    },
+    /// Uniformly random page per access — the GUPS access pattern, with
+    /// essentially no page reuse at large footprints.
+    UniformRandom,
+    /// Zipf-distributed page popularity with exponent `alpha` — graph
+    /// analytics, where high-degree vertices are touched constantly and the
+    /// long tail only rarely.
+    Zipf {
+        /// Power-law exponent; larger is more skewed. Must not be exactly 1.
+        alpha: f64,
+    },
+    /// A hot working set plus a uniform cold tail — pointer-chasing integer
+    /// codes (mcf, astar, soplex, gcc...).
+    PointerChase {
+        /// Fraction of the region's pages forming the hot set, in (0, 1].
+        hot_frac: f64,
+        /// Probability that an access targets the hot set.
+        hot_prob: f64,
+    },
+    /// A drifting working-set window: accesses are uniform within a window
+    /// of `window_pages` contiguous pages; after `dwell` picks the window
+    /// jumps to a random position. Models the phase behaviour of loop
+    /// nests, whose TLB-miss streams revisit the same pages heavily for a
+    /// while and then move on — the spatio-temporal locality behind the
+    /// paper's high data-cache hit rates for cached TLB entries (Fig. 9)
+    /// and DRAM row-buffer hit rates (§4.4).
+    WorkingSetWindow {
+        /// Pages per window. Sized between the L2 TLB's reach (so misses
+        /// recur) and the data caches' TLB-line reach (so cached POM-TLB
+        /// lines serve them).
+        window_pages: u64,
+        /// Picks before the window jumps.
+        dwell: u64,
+    },
+    /// A small population of pages that alias in the set-indexed SRAM
+    /// TLBs: `pages` pages spaced `stride_pages` apart (128 aliases every
+    /// page onto one set of the paper's 1536-entry 12-way L2 TLB). Real
+    /// address spaces — many mmap'd regions, ASLR, multiple arrays —
+    /// produce exactly these conflict sets, and they are why measured TLB
+    /// miss streams re-touch the same few pages at very short intervals:
+    /// the bursts that the POM-TLB serves from L2D$-cached lines (Fig. 9).
+    TlbConflictSet {
+        /// Pages in the conflict population (> associativity to thrash).
+        pages: u32,
+        /// Page stride between them (128 = one L2 TLB set apart).
+        stride_pages: u64,
+    },
+    /// A weighted mixture: each access first picks a sub-model by weight.
+    /// Weights need not sum to 1; they are normalized.
+    Mixed(Vec<(f64, LocalityModel)>),
+}
+
+impl LocalityModel {
+    /// Validates the parameters, returning a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            LocalityModel::Streaming { streams } => {
+                if *streams == 0 {
+                    return Err("Streaming needs at least one stream".into());
+                }
+            }
+            LocalityModel::UniformRandom => {}
+            LocalityModel::Zipf { alpha } => {
+                if !(alpha.is_finite() && *alpha > 0.0) || *alpha == 1.0 {
+                    return Err(format!("Zipf alpha must be positive and != 1, got {alpha}"));
+                }
+            }
+            LocalityModel::PointerChase { hot_frac, hot_prob } => {
+                if !(*hot_frac > 0.0 && *hot_frac <= 1.0) {
+                    return Err(format!("hot_frac must be in (0,1], got {hot_frac}"));
+                }
+                if !(0.0..=1.0).contains(hot_prob) {
+                    return Err(format!("hot_prob must be in [0,1], got {hot_prob}"));
+                }
+            }
+            LocalityModel::WorkingSetWindow { window_pages, dwell } => {
+                if *window_pages == 0 {
+                    return Err("window_pages must be nonzero".into());
+                }
+                if *dwell == 0 {
+                    return Err("dwell must be nonzero".into());
+                }
+            }
+            LocalityModel::TlbConflictSet { pages, stride_pages } => {
+                if *pages == 0 {
+                    return Err("TlbConflictSet needs pages > 0".into());
+                }
+                if *stride_pages == 0 {
+                    return Err("stride_pages must be nonzero".into());
+                }
+            }
+            LocalityModel::Mixed(parts) => {
+                if parts.is_empty() {
+                    return Err("Mixed needs at least one component".into());
+                }
+                if parts.iter().any(|(w, _)| !(w.is_finite() && *w > 0.0)) {
+                    return Err("Mixed weights must be positive".into());
+                }
+                for (_, m) in parts {
+                    if matches!(m, LocalityModel::Mixed(_)) {
+                        return Err("Mixed models cannot nest".into());
+                    }
+                    m.validate()?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything needed to synthesize one workload's reference stream.
+///
+/// Built via [`WorkloadSpec::builder`]; calibrated instances for the paper's
+/// 15 workloads live in `pomtlb-workloads`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name (for reports).
+    pub name: String,
+    /// Total bytes of distinct memory the workload touches.
+    pub footprint_bytes: u64,
+    /// Fraction of *accesses* that target 2 MB-backed memory — Table 2's
+    /// "Frac Large Pages". The address layout places this fraction of the
+    /// footprint in a 2 MB-page region.
+    pub large_page_frac: f64,
+    /// Memory references per 1000 instructions (sets the icount gaps).
+    pub refs_per_kilo_instr: f64,
+    /// Fraction of references that are writes.
+    pub write_frac: f64,
+    /// Page-level locality structure.
+    pub locality: LocalityModel,
+    /// Probability that consecutive references stay on the same page
+    /// (intra-page spatial locality; affects data-cache and row-buffer
+    /// behaviour without changing the page-level stream much).
+    pub same_page_burst: f64,
+    /// Probability that a reference repeats the previous cache line
+    /// exactly (temporal locality: locals, struct fields, hot counters).
+    /// Real programs hit their L1D ~90 % of the time; without this knob
+    /// every reference would install a fresh line and the synthetic data
+    /// stream would churn the caches an order of magnitude harder than the
+    /// programs it stands in for.
+    pub line_repeat: f64,
+}
+
+impl WorkloadSpec {
+    /// Starts building a spec with sane defaults (64 MB footprint, no large
+    /// pages, 300 refs/kilo-instruction, 30 % writes, pointer-chase
+    /// locality).
+    pub fn builder(name: impl Into<String>) -> WorkloadSpecBuilder {
+        WorkloadSpecBuilder {
+            spec: WorkloadSpec {
+                name: name.into(),
+                footprint_bytes: 64 << 20,
+                large_page_frac: 0.0,
+                refs_per_kilo_instr: 300.0,
+                write_frac: 0.3,
+                locality: LocalityModel::PointerChase { hot_frac: 0.1, hot_prob: 0.7 },
+                same_page_burst: 0.5,
+                line_repeat: 0.6,
+            },
+        }
+    }
+
+    /// Bytes of the footprint backed by 2 MB pages (2 MB-aligned).
+    pub fn large_region_bytes(&self) -> u64 {
+        let raw = (self.footprint_bytes as f64 * self.large_page_frac) as u64;
+        // Round to whole 2 MB pages; keep at least one if the fraction is
+        // nonzero so the size predictor has something to predict.
+        let pages = raw >> 21;
+        if pages == 0 && self.large_page_frac > 0.0 {
+            2 << 20
+        } else {
+            pages << 21
+        }
+    }
+
+    /// Bytes of the footprint backed by 4 KB pages (4 KB-aligned, at least
+    /// one page).
+    pub fn small_region_bytes(&self) -> u64 {
+        let rest = self.footprint_bytes.saturating_sub(self.large_region_bytes());
+        ((rest >> 12) << 12).max(4 << 10)
+    }
+
+    /// Validates all parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.footprint_bytes < 4 << 10 {
+            return Err("footprint must be at least one page".into());
+        }
+        if !(0.0..=1.0).contains(&self.large_page_frac) {
+            return Err(format!("large_page_frac out of range: {}", self.large_page_frac));
+        }
+        if !(self.refs_per_kilo_instr > 0.0) {
+            return Err("refs_per_kilo_instr must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.write_frac) {
+            return Err(format!("write_frac out of range: {}", self.write_frac));
+        }
+        if !(0.0..=1.0).contains(&self.same_page_burst) {
+            return Err(format!("same_page_burst out of range: {}", self.same_page_burst));
+        }
+        if !(0.0..=1.0).contains(&self.line_repeat) {
+            return Err(format!("line_repeat out of range: {}", self.line_repeat));
+        }
+        self.locality.validate()
+    }
+}
+
+/// Builder for [`WorkloadSpec`].
+#[derive(Debug, Clone)]
+pub struct WorkloadSpecBuilder {
+    spec: WorkloadSpec,
+}
+
+impl WorkloadSpecBuilder {
+    /// Sets the total footprint in bytes.
+    pub fn footprint_bytes(mut self, bytes: u64) -> Self {
+        self.spec.footprint_bytes = bytes;
+        self
+    }
+
+    /// Sets the fraction of accesses to 2 MB-backed memory.
+    pub fn large_page_frac(mut self, frac: f64) -> Self {
+        self.spec.large_page_frac = frac;
+        self
+    }
+
+    /// Sets memory references per 1000 instructions.
+    pub fn refs_per_kilo_instr(mut self, rpki: f64) -> Self {
+        self.spec.refs_per_kilo_instr = rpki;
+        self
+    }
+
+    /// Sets the write fraction.
+    pub fn write_frac(mut self, frac: f64) -> Self {
+        self.spec.write_frac = frac;
+        self
+    }
+
+    /// Sets the locality model.
+    pub fn locality(mut self, model: LocalityModel) -> Self {
+        self.spec.locality = model;
+        self
+    }
+
+    /// Sets the same-page burst probability.
+    pub fn same_page_burst(mut self, prob: f64) -> Self {
+        self.spec.same_page_burst = prob;
+        self
+    }
+
+    /// Sets the exact-line repetition probability.
+    pub fn line_repeat(mut self, prob: f64) -> Self {
+        self.spec.line_repeat = prob;
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulated parameters do not validate; specs are
+    /// build-time constants, so this is a programming error.
+    pub fn build(self) -> WorkloadSpec {
+        if let Err(e) = self.spec.validate() {
+            panic!("invalid workload spec `{}`: {e}", self.spec.name);
+        }
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_validate() {
+        let spec = WorkloadSpec::builder("w").build();
+        assert_eq!(spec.name, "w");
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn regions_cover_footprint() {
+        let spec = WorkloadSpec::builder("w")
+            .footprint_bytes(100 << 20)
+            .large_page_frac(0.6)
+            .build();
+        let large = spec.large_region_bytes();
+        let small = spec.small_region_bytes();
+        assert_eq!(large % (2 << 20), 0);
+        assert_eq!(small % (4 << 10), 0);
+        let total = large + small;
+        let footprint = 100u64 << 20;
+        assert!(total > footprint - (2 << 20) && total <= footprint + (2 << 20));
+    }
+
+    #[test]
+    fn zero_large_frac_has_no_large_region() {
+        let spec = WorkloadSpec::builder("w").large_page_frac(0.0).build();
+        assert_eq!(spec.large_region_bytes(), 0);
+    }
+
+    #[test]
+    fn tiny_large_frac_still_gets_one_page() {
+        let spec = WorkloadSpec::builder("w")
+            .footprint_bytes(8 << 20)
+            .large_page_frac(0.01)
+            .build();
+        assert_eq!(spec.large_region_bytes(), 2 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload spec")]
+    fn builder_rejects_bad_fraction() {
+        WorkloadSpec::builder("w").write_frac(1.5).build();
+    }
+
+    #[test]
+    fn validate_rejects_zero_streams() {
+        let m = LocalityModel::Streaming { streams: 0 };
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_singular_zipf() {
+        assert!(LocalityModel::Zipf { alpha: 1.0 }.validate().is_err());
+        assert!(LocalityModel::Zipf { alpha: 0.99 }.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_nested_mixed() {
+        let inner = LocalityModel::Mixed(vec![(1.0, LocalityModel::UniformRandom)]);
+        let outer = LocalityModel::Mixed(vec![(1.0, inner)]);
+        assert!(outer.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_pointer_chase() {
+        assert!(LocalityModel::PointerChase { hot_frac: 0.0, hot_prob: 0.5 }.validate().is_err());
+        assert!(LocalityModel::PointerChase { hot_frac: 0.5, hot_prob: 1.5 }.validate().is_err());
+    }
+
+    #[test]
+    fn spec_serde_round_trip() {
+        let spec = WorkloadSpec::builder("rt")
+            .locality(LocalityModel::Mixed(vec![
+                (0.7, LocalityModel::Zipf { alpha: 0.9 }),
+                (0.3, LocalityModel::UniformRandom),
+            ]))
+            .build();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,173 @@
+//! A Zipf-distributed sampler over `0..n`, used to model the power-law page
+//! popularity of graph workloads (pagerank, connected components, graph500).
+//!
+//! Uses the rejection-inversion method of Hörmann & Derflinger ("Rejection-
+//! inversion to generate variates from monotone discrete distributions",
+//! ACM TOMACS 1996), which needs O(1) setup and O(1) expected time per
+//! sample regardless of `n` — important because graph footprints span
+//! millions of pages.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Zipf distribution over ranks `1..=n` with exponent `alpha`, exposed as a
+/// sampler over `0..n` (rank minus one), so callers can use the result
+/// directly as a page index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    // Precomputed constants of the rejection-inversion scheme.
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or `alpha` is not finite and positive, or
+    /// `alpha == 1.0` exactly (the integral has a removable singularity
+    /// there; pass `1.0 + 1e-9` instead, indistinguishable in practice).
+    pub fn new(n: u64, alpha: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs a nonzero support");
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive, got {alpha}");
+        assert!(alpha != 1.0, "alpha == 1.0 exactly is singular; nudge it");
+        let h = |x: f64| -> f64 { (x.powf(1.0 - alpha) - 1.0) / (1.0 - alpha) };
+        let h_x1 = h(1.5) - 1.0;
+        let h_n = h(n as f64 + 0.5);
+        let s = 2.0 - Self::h_inv_static(alpha, h(2.5) - 2f64.powf(-alpha));
+        Zipf { n, alpha, h_x1, h_n, s }
+    }
+
+    /// The support size `n`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn h_inv_static(alpha: f64, x: f64) -> f64 {
+        (1.0 + x * (1.0 - alpha)).powf(1.0 / (1.0 - alpha))
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        (x.powf(1.0 - self.alpha) - 1.0) / (1.0 - self.alpha)
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        Self::h_inv_static(self.alpha, x)
+    }
+
+    /// Draws one sample in `0..n`, biased toward low indices.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= self.s || u >= self.h(k + 0.5) - k.powf(-self.alpha) {
+                return k as u64 - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn histogram(n: u64, alpha: f64, samples: usize, seed: u64) -> Vec<u64> {
+        let z = Zipf::new(n, alpha);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut hist = vec![0u64; n as usize];
+        for _ in 0..samples {
+            hist[z.sample(&mut rng) as usize] += 1;
+        }
+        hist
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let hist = histogram(100, 1.2, 50_000, 2);
+        assert!(hist[0] > hist[10], "rank 1 must beat rank 11: {} vs {}", hist[0], hist[10]);
+        assert!(hist[0] > hist[50]);
+    }
+
+    #[test]
+    fn skew_increases_with_alpha() {
+        let flat = histogram(1000, 0.5, 100_000, 3);
+        let steep = histogram(1000, 1.5, 100_000, 3);
+        let top_flat: u64 = flat[..10].iter().sum();
+        let top_steep: u64 = steep[..10].iter().sum();
+        assert!(top_steep > top_flat, "higher alpha must concentrate mass: {top_steep} <= {top_flat}");
+    }
+
+    #[test]
+    fn ratio_approximates_power_law() {
+        // P(1)/P(2) should be about 2^alpha.
+        let hist = histogram(10_000, 1.1, 400_000, 4);
+        let ratio = hist[0] as f64 / hist[1] as f64;
+        let expect = 2f64.powf(1.1);
+        assert!((ratio / expect - 1.0).abs() < 0.25, "ratio {ratio} vs expected {expect}");
+    }
+
+    #[test]
+    fn huge_support_is_cheap() {
+        // O(1) sampling even with a quarter-billion pages.
+        let z = Zipf::new(250_000_000, 0.9);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 250_000_000);
+        }
+    }
+
+    #[test]
+    fn support_of_one_always_zero() {
+        let z = Zipf::new(1, 0.8);
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero support")]
+    fn rejects_empty_support() {
+        Zipf::new(0, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn rejects_alpha_exactly_one() {
+        Zipf::new(10, 1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_in_range(n in 1u64..100_000, alpha in 0.2f64..2.5, seed in any::<u64>()) {
+            prop_assume!((alpha - 1.0).abs() > 1e-6);
+            let z = Zipf::new(n, alpha);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Address newtypes for the three address spaces of a virtualized system.
+
+use core::fmt;
+
+use crate::{page::PageSize, CACHE_LINE_SHIFT};
+
+macro_rules! addr_type {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            serde::Serialize, serde::Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The zero address.
+            pub const ZERO: Self = Self(0);
+
+            /// Creates an address from a raw 64-bit value.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw 64-bit value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Byte offset within the enclosing page of the given size.
+            #[inline]
+            pub const fn page_offset(self, size: PageSize) -> u64 {
+                self.0 & (size.bytes() - 1)
+            }
+
+            /// Address rounded down to the enclosing page boundary.
+            #[inline]
+            pub const fn page_base(self, size: PageSize) -> Self {
+                Self(self.0 & !(size.bytes() - 1))
+            }
+
+            /// Index of the enclosing 64-byte cache line.
+            #[inline]
+            pub const fn line_index(self) -> u64 {
+                self.0 >> CACHE_LINE_SHIFT
+            }
+
+            /// Address rounded down to the enclosing cache-line boundary.
+            #[inline]
+            pub const fn line_base(self) -> Self {
+                Self(self.0 & !((1u64 << CACHE_LINE_SHIFT) - 1))
+            }
+
+            /// Returns the address advanced by `bytes`.
+            ///
+            /// Wraps on overflow like the hardware address arithmetic it
+            /// models.
+            #[inline]
+            pub const fn wrapping_add(self, bytes: u64) -> Self {
+                Self(self.0.wrapping_add(bytes))
+            }
+
+            /// Checked addition; `None` on overflow of the 64-bit space.
+            #[inline]
+            pub fn checked_add(self, bytes: u64) -> Option<Self> {
+                self.0.checked_add(bytes).map(Self)
+            }
+
+            /// Extracts the bit field `[hi:lo]` (inclusive), as hardware
+            /// index functions do.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `hi < lo` or `hi >= 64`.
+            #[inline]
+            pub fn bits(self, hi: u32, lo: u32) -> u64 {
+                assert!(hi >= lo && hi < 64, "invalid bit range [{hi}:{lo}]");
+                let width = hi - lo + 1;
+                let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+                (self.0 >> lo) & mask
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(addr: $name) -> u64 {
+                addr.0
+            }
+        }
+    };
+}
+
+addr_type!(
+    /// A guest *virtual* address: what an application running inside a VM
+    /// issues. The starting point of the 2-D translation `gVA → gPA → hPA`.
+    Gva,
+    "Gva"
+);
+
+addr_type!(
+    /// A guest *physical* address: the output of the guest OS page table and
+    /// the input of the hypervisor (host) page table.
+    Gpa,
+    "Gpa"
+);
+
+addr_type!(
+    /// A host *physical* address: a real memory location. Caches, DRAM and
+    /// the addressable POM-TLB are all indexed by `Hpa`.
+    Hpa,
+    "Hpa"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn page_offset_and_base_recompose() {
+        let a = Gva::new(0x1234_5678);
+        let size = PageSize::Small4K;
+        assert_eq!(a.page_base(size).raw() + a.page_offset(size), a.raw());
+        assert_eq!(a.page_offset(size), 0x678);
+    }
+
+    #[test]
+    fn large_page_base_masks_21_bits() {
+        let a = Gva::new(0x4030_2010);
+        assert_eq!(a.page_base(PageSize::Large2M).raw() % (2 << 20), 0);
+        assert_eq!(a.page_offset(PageSize::Large2M), 0x4030_2010 % (2 << 20));
+    }
+
+    #[test]
+    fn line_base_is_64b_aligned() {
+        let a = Hpa::new(0xdead_beef);
+        assert_eq!(a.line_base().raw() % 64, 0);
+        assert_eq!(a.line_index(), 0xdead_beef >> 6);
+    }
+
+    #[test]
+    fn bits_extracts_inclusive_range() {
+        let a = Gva::new(0b1011_0100);
+        assert_eq!(a.bits(7, 4), 0b1011);
+        assert_eq!(a.bits(3, 0), 0b0100);
+        assert_eq!(a.bits(63, 0), 0b1011_0100);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bit range")]
+    fn bits_rejects_reversed_range() {
+        let _ = Gva::new(1).bits(3, 5);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Gva::new(0xff).to_string(), "0xff");
+        assert_eq!(format!("{:?}", Hpa::new(0x10)), "Hpa(0x10)");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let raw = 0xabcdu64;
+        let a: Gpa = raw.into();
+        let back: u64 = a.into();
+        assert_eq!(back, raw);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_base_plus_offset_is_identity(raw in any::<u64>()) {
+            for size in [PageSize::Small4K, PageSize::Large2M] {
+                let a = Gva::new(raw);
+                prop_assert_eq!(
+                    a.page_base(size).raw().wrapping_add(a.page_offset(size)),
+                    raw
+                );
+            }
+        }
+
+        #[test]
+        fn prop_line_base_divides_evenly(raw in any::<u64>()) {
+            let a = Hpa::new(raw);
+            prop_assert_eq!(a.line_base().raw() % 64, 0);
+            prop_assert!(a.line_base().raw() <= raw);
+            prop_assert!(raw - a.line_base().raw() < 64);
+        }
+
+        #[test]
+        fn prop_bits_matches_shift_mask(raw in any::<u64>(), lo in 0u32..60, width in 1u32..4) {
+            let hi = lo + width;
+            let a = Gva::new(raw);
+            let expect = (raw >> lo) & ((1u64 << (width + 1)) - 1);
+            prop_assert_eq!(a.bits(hi, lo), expect);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! A newtype for CPU-cycle quantities with saturating-free, explicit
+//! arithmetic.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Sub};
+
+/// A duration or timestamp measured in CPU core cycles (4 GHz in the paper's
+/// Table 1 configuration).
+///
+/// All latencies in the simulator are expressed in core cycles; DRAM timing
+/// parameters given in bus cycles are converted at construction time (see
+/// `pomtlb-dram`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    #[inline]
+    pub const fn new(n: u64) -> Cycles {
+        Cycles(n)
+    }
+
+    /// The raw count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction, for "time remaining" computations.
+    #[inline]
+    pub const fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+
+    /// The later of two timestamps.
+    #[inline]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Cycle count as `f64`, for averaging in statistics.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(4);
+        assert_eq!(a + b, Cycles::new(14));
+        assert_eq!(a - b, Cycles::new(6));
+        assert_eq!(b * 3, Cycles::new(12));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycles::new(14));
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        assert_eq!(Cycles::new(3).saturating_sub(Cycles::new(5)), Cycles::ZERO);
+        assert_eq!(Cycles::new(5).saturating_sub(Cycles::new(3)), Cycles::new(2));
+    }
+
+    #[test]
+    fn sum_and_max() {
+        let total: Cycles = [Cycles::new(1), Cycles::new(2), Cycles::new(3)].into_iter().sum();
+        assert_eq!(total, Cycles::new(6));
+        assert_eq!(Cycles::new(7).max(Cycles::new(9)), Cycles::new(9));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cycles::new(42).to_string(), "42 cyc");
+    }
+}

@@ -1,0 +1,133 @@
+//! Identifier newtypes: virtual machines, processes (address spaces), cores.
+
+use core::fmt;
+
+/// Identifies a virtual machine, mirroring Intel's VPID (§2.1.1).
+///
+/// POM-TLB entries are tagged with the VM ID so translations from multiple
+/// concurrently running VMs can coexist; the set-index hash of Eq. (1) also
+/// XORs the VM ID into the virtual address to spread different VMs' pages
+/// across sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+pub struct VmId(pub u16);
+
+impl VmId {
+    /// The host itself (bare-metal / native execution).
+    pub const HOST: VmId = VmId(0);
+
+    /// Raw value widened to 64 bits for hashing into address bits.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// Identifies a process (address space) within a VM — the `Process ID` field
+/// of the POM-TLB entry format (Figure 5), analogous to an x86 PCID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+pub struct ProcessId(pub u16);
+
+impl ProcessId {
+    /// Raw value widened to 64 bits.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// Identifies a core in the simulated multicore (0-based, dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+pub struct CoreId(pub u16);
+
+impl CoreId {
+    /// Index into per-core arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// A fully qualified address-space tag: which VM and which process within it.
+///
+/// Two POM-TLB entries match only when VPN, VM ID *and* process ID all match
+/// (Figure 5), so this tag travels with every translation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct AddressSpace {
+    /// The virtual machine.
+    pub vm: VmId,
+    /// The process within the VM.
+    pub process: ProcessId,
+}
+
+impl AddressSpace {
+    /// Creates an address-space tag.
+    #[inline]
+    pub const fn new(vm: VmId, process: ProcessId) -> Self {
+        Self { vm, process }
+    }
+}
+
+impl fmt::Display for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.vm, self.process)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_vm_is_zero() {
+        assert_eq!(VmId::HOST.as_u64(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VmId(3).to_string(), "vm3");
+        assert_eq!(ProcessId(7).to_string(), "pid7");
+        assert_eq!(CoreId(2).to_string(), "core2");
+        assert_eq!(AddressSpace::new(VmId(1), ProcessId(4)).to_string(), "vm1/pid4");
+    }
+
+    #[test]
+    fn core_index_is_usize() {
+        assert_eq!(CoreId(9).index(), 9usize);
+    }
+
+    #[test]
+    fn address_space_equality_needs_both() {
+        let a = AddressSpace::new(VmId(1), ProcessId(2));
+        let b = AddressSpace::new(VmId(1), ProcessId(3));
+        let c = AddressSpace::new(VmId(2), ProcessId(2));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, AddressSpace::new(VmId(1), ProcessId(2)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = AddressSpace::new(VmId(5), ProcessId(6));
+        let json = serde_json::to_string(&a).unwrap();
+        let back: AddressSpace = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,205 @@
+//! Page sizes and page-frame-number newtypes.
+
+use core::fmt;
+
+use crate::addr::{Gva, Hpa};
+
+/// The page sizes the POM-TLB supports.
+///
+/// The paper statically partitions the in-memory TLB into a 4 KB-entry half
+/// and a 2 MB-entry half (§2.1.2); 1 GB pages exist in the Skylake L1 TLBs
+/// but are unused by the evaluated workloads, so the simulator treats them as
+/// configuration only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum PageSize {
+    /// A 4 KB base page.
+    Small4K,
+    /// A 2 MB large page (x86 PDE mapping).
+    Large2M,
+    /// A 1 GB huge page (x86 PDPTE mapping).
+    Huge1G,
+}
+
+impl PageSize {
+    /// The two sizes the POM-TLB is partitioned between, in predictor
+    /// encoding order (`0` = 4 KB, `1` = 2 MB; §2.1.4).
+    pub const POM_SIZES: [PageSize; 2] = [PageSize::Small4K, PageSize::Large2M];
+
+    /// log2 of the page size in bytes.
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Small4K => 12,
+            PageSize::Large2M => 21,
+            PageSize::Huge1G => 30,
+        }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        1u64 << self.shift()
+    }
+
+    /// The *other* POM page size, used when a size prediction misses and the
+    /// MMU retries with the alternate POM-TLB partition (§2.1.6).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`PageSize::Huge1G`], which has no POM partition.
+    #[inline]
+    pub fn other_pom_size(self) -> PageSize {
+        match self {
+            PageSize::Small4K => PageSize::Large2M,
+            PageSize::Large2M => PageSize::Small4K,
+            PageSize::Huge1G => panic!("1 GB pages have no POM-TLB partition"),
+        }
+    }
+
+    /// Predictor encoding: `false` (0) = 4 KB, `true` (1) = 2 MB.
+    #[inline]
+    pub fn from_predictor_bit(bit: bool) -> PageSize {
+        if bit {
+            PageSize::Large2M
+        } else {
+            PageSize::Small4K
+        }
+    }
+
+    /// Inverse of [`PageSize::from_predictor_bit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`PageSize::Huge1G`].
+    #[inline]
+    pub fn predictor_bit(self) -> bool {
+        match self {
+            PageSize::Small4K => false,
+            PageSize::Large2M => true,
+            PageSize::Huge1G => panic!("1 GB pages are not predicted"),
+        }
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Small4K => write!(f, "4KB"),
+            PageSize::Large2M => write!(f, "2MB"),
+            PageSize::Huge1G => write!(f, "1GB"),
+        }
+    }
+}
+
+/// A virtual page number: a [`Gva`] shifted right by the page-size shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Vpn(pub u64);
+
+impl Vpn {
+    /// Extracts the VPN of `va` for pages of `size`.
+    #[inline]
+    pub const fn of(va: Gva, size: PageSize) -> Vpn {
+        Vpn(va.raw() >> size.shift())
+    }
+
+    /// Reconstructs the base virtual address of the page.
+    #[inline]
+    pub const fn base(self, size: PageSize) -> Gva {
+        Gva::new(self.0 << size.shift())
+    }
+}
+
+/// A (host) physical page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Ppn(pub u64);
+
+impl Ppn {
+    /// Extracts the PPN of `pa` for pages of `size`.
+    #[inline]
+    pub const fn of(pa: Hpa, size: PageSize) -> Ppn {
+        Ppn(pa.raw() >> size.shift())
+    }
+
+    /// Reconstructs the base physical address of the frame.
+    #[inline]
+    pub const fn base(self, size: PageSize) -> Hpa {
+        Hpa::new(self.0 << size.shift())
+    }
+
+    /// Translates an offset within the page into a full physical address.
+    #[inline]
+    pub const fn with_offset(self, size: PageSize, offset: u64) -> Hpa {
+        Hpa::new((self.0 << size.shift()) | (offset & (size.bytes() - 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sizes_are_powers_of_two() {
+        assert_eq!(PageSize::Small4K.bytes(), 4 << 10);
+        assert_eq!(PageSize::Large2M.bytes(), 2 << 20);
+        assert_eq!(PageSize::Huge1G.bytes(), 1 << 30);
+    }
+
+    #[test]
+    fn predictor_bit_round_trips() {
+        for size in PageSize::POM_SIZES {
+            assert_eq!(PageSize::from_predictor_bit(size.predictor_bit()), size);
+        }
+    }
+
+    #[test]
+    fn other_pom_size_swaps() {
+        assert_eq!(PageSize::Small4K.other_pom_size(), PageSize::Large2M);
+        assert_eq!(PageSize::Large2M.other_pom_size(), PageSize::Small4K);
+    }
+
+    #[test]
+    #[should_panic(expected = "no POM-TLB partition")]
+    fn huge_has_no_other_size() {
+        let _ = PageSize::Huge1G.other_pom_size();
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(PageSize::Small4K.to_string(), "4KB");
+        assert_eq!(PageSize::Large2M.to_string(), "2MB");
+    }
+
+    #[test]
+    fn vpn_and_back() {
+        let va = Gva::new(0x7fff_1234_5678);
+        let vpn = Vpn::of(va, PageSize::Small4K);
+        assert_eq!(vpn.base(PageSize::Small4K), va.page_base(PageSize::Small4K));
+    }
+
+    #[test]
+    fn ppn_with_offset_recomposes() {
+        let pa = Hpa::new(0x8_0000_2abc);
+        let ppn = Ppn::of(pa, PageSize::Small4K);
+        assert_eq!(ppn.with_offset(PageSize::Small4K, 0x2abc ^ 0), Hpa::new(ppn.base(PageSize::Small4K).raw() | 0xabc));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_vpn_base_is_page_base(raw in any::<u64>()) {
+            for size in [PageSize::Small4K, PageSize::Large2M, PageSize::Huge1G] {
+                let va = Gva::new(raw);
+                prop_assert_eq!(Vpn::of(va, size).base(size), va.page_base(size));
+            }
+        }
+
+        #[test]
+        fn prop_ppn_offset_masked(raw in any::<u64>(), off in any::<u64>()) {
+            let size = PageSize::Small4K;
+            let ppn = Ppn::of(Hpa::new(raw), size);
+            let pa = ppn.with_offset(size, off);
+            prop_assert_eq!(pa.page_base(size), ppn.base(size));
+            prop_assert_eq!(pa.page_offset(size), off & (size.bytes() - 1));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Building and evaluating your own workload: compose a locality model,
+//! sweep a parameter, and compare translation schemes — the workflow a
+//! downstream user would follow to test the POM-TLB against their own
+//! application's behaviour.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use pom_tlb::{Scheme, SimConfig, Simulation};
+use pomtlb_trace::{LocalityModel, WorkloadSpec};
+
+fn main() {
+    // An in-memory key-value store, say: a hot index (Zipf), a scan thread
+    // (streaming), and a hashed heap (uniform), over 1 GB mostly backed by
+    // 2 MB pages.
+    let build = |footprint_mb: u64| -> WorkloadSpec {
+        WorkloadSpec::builder(format!("kvstore-{footprint_mb}MB"))
+            .footprint_bytes(footprint_mb << 20)
+            .large_page_frac(0.6)
+            .refs_per_kilo_instr(320.0)
+            .write_frac(0.35)
+            .same_page_burst(0.5)
+            .line_repeat(0.6)
+            .locality(LocalityModel::Mixed(vec![
+                (0.5, LocalityModel::Zipf { alpha: 0.95 }),
+                (0.2, LocalityModel::Streaming { streams: 2 }),
+                (0.3, LocalityModel::UniformRandom),
+            ]))
+            .build()
+    };
+
+    let sim = SimConfig { refs_per_core: 20_000, warmup_per_core: 8_000, seed: 2024 };
+
+    println!(
+        "{:>14} {:>9} {:>12} {:>12} {:>12} {:>10}",
+        "footprint", "misses", "baseline p", "POM-TLB p", "TSB p", "elim %"
+    );
+    for footprint_mb in [256u64, 512, 1024] {
+        let spec = build(footprint_mb);
+        let mut p = Vec::new();
+        let mut elim = 0.0;
+        let mut misses = 0;
+        for scheme in [Scheme::Baseline, Scheme::pom_tlb(), Scheme::Tsb] {
+            let r = Simulation::new(&spec, scheme, sim).shared_memory(true).run();
+            if scheme == Scheme::pom_tlb() {
+                elim = r.walks_eliminated();
+            }
+            misses = r.l2_tlb_misses;
+            p.push(r.p_avg());
+        }
+        println!(
+            "{:>12}MB {:>9} {:>12.1} {:>12.1} {:>12.1} {:>9.1}%",
+            footprint_mb,
+            misses,
+            p[0],
+            p[1],
+            p[2],
+            elim * 100.0
+        );
+        assert!(p[1] < p[0], "POM-TLB should beat walking for this workload");
+    }
+
+    println!("\nThe spec builder exposes every knob the paper's workload table uses:");
+    println!("footprint, large-page fraction, refs/kilo-instruction, write fraction,");
+    println!("spatial burstiness, temporal line reuse, and a composable locality model.");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: simulate one workload under the POM-TLB and print what
+//! happened to its L2 TLB misses.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pom_tlb::{Scheme, SimConfig, Simulation};
+use pomtlb_workloads::by_name;
+
+fn main() {
+    // `gups` is the paper's low-locality stress case: random updates across
+    // a footprint far beyond any SRAM TLB's reach.
+    let workload = by_name("gups").expect("gups is one of the 15 paper workloads");
+    println!("workload: {} ({:?})", workload.name, workload.suite);
+    println!(
+        "paper-measured: {:.1}% of virtualized time in translation, {:.0} cycles per L2 TLB miss",
+        workload.table2.overhead_virtual_pct, workload.table2.cycles_per_miss_virtual
+    );
+
+    let sim = SimConfig { refs_per_core: 30_000, warmup_per_core: 10_000, seed: 42 };
+
+    // Run the same trace through the baseline (2-D page walks) and the
+    // POM-TLB system.
+    let baseline = Simulation::new(&workload.spec, Scheme::Baseline, sim)
+        .shared_memory(workload.suite.shares_memory())
+        .run();
+    let pom = Simulation::new(&workload.spec, Scheme::pom_tlb(), sim)
+        .shared_memory(workload.suite.shares_memory())
+        .run();
+
+    println!("\nsimulated {} references on {} cores", pom.refs, pom.n_cores);
+    println!("L2 TLB misses:            {}", pom.l2_tlb_misses);
+    println!("baseline penalty/miss:    {:.1} cycles (every miss walks)", baseline.p_avg());
+    println!("POM-TLB penalty/miss:     {:.1} cycles", pom.p_avg());
+    println!("page walks eliminated:    {:.1}%", pom.walks_eliminated() * 100.0);
+    println!(
+        "misses resolved at:       L2D$ {:.1}% | L3D$ {:.1}% | POM-TLB DRAM {:.1}%",
+        pom.fig9_l2d_hit_rate() * 100.0,
+        pom.fig9_l3d_hit_rate() * 100.0,
+        pom.fig9_pom_hit_rate() * 100.0
+    );
+    println!("die-stacked row-buffer hit rate: {:.1}%", pom.fig11_rbh() * 100.0);
+
+    assert!(pom.walks_eliminated() > 0.95, "the 16 MB POM-TLB should absorb gups");
+    println!("\nok: the very large part-of-memory TLB turned nearly every 2-D page walk");
+    println!("    into a single TLB access.");
+}

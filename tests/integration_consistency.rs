@@ -1,0 +1,148 @@
+//! Consistency semantics across the whole translation stack (§2.2):
+//! shootdowns, VM flushes, and the mostly-inclusive relationship between
+//! SRAM TLBs, cached POM-TLB lines and the in-DRAM structure.
+
+use pom_tlb::{Scheme, System, SystemConfig};
+use pomtlb_tlb::{VirtTables, WalkMode};
+use pomtlb_types::{AccessKind, AddressSpace, CoreId, Cycles, Gva, PageSize, ProcessId, VmId};
+
+fn system() -> System {
+    System::new(SystemConfig { n_cores: 2, ..Default::default() }, Scheme::pom_tlb())
+}
+
+fn space(vm: u16, pid: u16) -> AddressSpace {
+    AddressSpace::new(VmId(vm), ProcessId(pid))
+}
+
+fn touch(system: &mut System, tables: &VirtTables, s: AddressSpace, va: Gva, t: u64) {
+    let _ = system.access(CoreId(0), s, va, AccessKind::Read, tables, Cycles::new(t));
+}
+
+#[test]
+fn shootdown_reaches_every_structure() {
+    let mut sys = system();
+    let mut tables = VirtTables::new(WalkMode::Virtualized);
+    let s = space(0, 0);
+    let va = Gva::new(0x1000_0000_0000);
+    tables.ensure_mapped(va, PageSize::Small4K);
+    // First touch walks and fills; second touch promotes into L1/L2 TLBs
+    // and leaves a cached POM-TLB line.
+    touch(&mut sys, &tables, s, va, 0);
+    touch(&mut sys, &tables, s, va, 10_000);
+    assert!(sys.pom().contains(s, va, PageSize::Small4K));
+
+    let found = sys.shootdown(s, va, PageSize::Small4K);
+    assert!(found >= 2, "SRAM TLB + POM-TLB at minimum, found {found}");
+    assert!(!sys.pom().contains(s, va, PageSize::Small4K));
+
+    // Idempotence: a second shootdown finds nothing anywhere.
+    assert_eq!(sys.shootdown(s, va, PageSize::Small4K), 0);
+}
+
+#[test]
+fn shootdown_then_remap_gets_fresh_translation() {
+    let mut sys = system();
+    let mut tables = VirtTables::new(WalkMode::Virtualized);
+    let s = space(0, 0);
+    let va = Gva::new(0x1000_0000_0000);
+    let first_frame = tables.ensure_mapped(va, PageSize::Small4K);
+    touch(&mut sys, &tables, s, va, 0);
+
+    // The OS unmaps and remaps the page elsewhere, with a shootdown in
+    // between — the sequence §2.2's consistency argument covers.
+    sys.shootdown(s, va, PageSize::Small4K);
+    assert!(tables.unmap(va, PageSize::Small4K));
+    let second_frame = tables.ensure_mapped(va, PageSize::Small4K);
+    assert_ne!(first_frame, second_frame, "remap allocates a new frame");
+
+    touch(&mut sys, &tables, s, va, 50_000);
+    assert!(sys.pom().contains(s, va, PageSize::Small4K));
+    // The fresh walk resolved to the *new* frame: a subsequent lookup in
+    // the POM-TLB must agree with the page table.
+    let mut pom = sys.pom().clone();
+    let hit = pom.lookup(s, va, PageSize::Small4K).expect("refilled");
+    assert_eq!(hit.page_base, second_frame);
+}
+
+#[test]
+fn vm_flush_is_scoped() {
+    let mut sys = system();
+    let mut t1 = VirtTables::with_region(WalkMode::Virtualized, 0);
+    let mut t2 = VirtTables::with_region(WalkMode::Virtualized, 1);
+    let s1 = space(1, 0);
+    let s2 = space(2, 0);
+    let va = Gva::new(0x1000_0000_0000);
+    t1.ensure_mapped(va, PageSize::Small4K);
+    t2.ensure_mapped(va, PageSize::Small4K);
+    touch(&mut sys, &t1, s1, va, 0);
+    touch(&mut sys, &t2, s2, va, 10_000);
+    assert!(sys.pom().contains(s1, va, PageSize::Small4K));
+    assert!(sys.pom().contains(s2, va, PageSize::Small4K));
+
+    let dropped = sys.flush_vm(VmId(1));
+    assert!(dropped >= 1);
+    assert!(!sys.pom().contains(s1, va, PageSize::Small4K), "vm1 flushed");
+    assert!(sys.pom().contains(s2, va, PageSize::Small4K), "vm2 untouched");
+}
+
+#[test]
+fn processes_within_a_vm_do_not_alias() {
+    let mut sys = system();
+    let mut ta = VirtTables::with_region(WalkMode::Virtualized, 1);
+    let mut tb = VirtTables::with_region(WalkMode::Virtualized, 2);
+    let pa = space(0, 1);
+    let pb = space(0, 2);
+    let va = Gva::new(0x1000_0000_0000);
+    let frame_a = ta.ensure_mapped(va, PageSize::Small4K);
+    let frame_b = tb.ensure_mapped(va, PageSize::Small4K);
+    assert_ne!(frame_a, frame_b, "separate address spaces, separate frames");
+
+    touch(&mut sys, &ta, pa, va, 0);
+    touch(&mut sys, &tb, pb, va, 10_000);
+    let mut pom = sys.pom().clone();
+    assert_eq!(pom.lookup(pa, va, PageSize::Small4K).unwrap().page_base, frame_a);
+    assert_eq!(pom.lookup(pb, va, PageSize::Small4K).unwrap().page_base, frame_b);
+}
+
+#[test]
+fn large_and_small_translations_coexist_for_one_space() {
+    let mut sys = system();
+    let mut tables = VirtTables::new(WalkMode::Virtualized);
+    let s = space(0, 0);
+    let small_va = Gva::new(0x1000_0000_0000);
+    let large_va = Gva::new(0x2000_0000_0000);
+    tables.ensure_mapped(small_va, PageSize::Small4K);
+    tables.ensure_mapped(large_va, PageSize::Large2M);
+    touch(&mut sys, &tables, s, small_va, 0);
+    touch(&mut sys, &tables, s, large_va, 10_000);
+    assert!(sys.pom().contains(s, small_va, PageSize::Small4K));
+    assert!(sys.pom().contains(s, large_va, PageSize::Large2M));
+    // A shootdown of the 2 MB page leaves the 4 KB page alone.
+    sys.shootdown(s, large_va, PageSize::Large2M);
+    assert!(!sys.pom().contains(s, large_va, PageSize::Large2M));
+    assert!(sys.pom().contains(s, small_va, PageSize::Small4K));
+}
+
+#[test]
+fn every_resolved_translation_matches_the_page_tables() {
+    // Mostly-inclusive or not, the values must never diverge from the
+    // radix tables: walk every touched page's final translation and compare
+    // against the POM-TLB's answer.
+    let mut sys = system();
+    let mut tables = VirtTables::new(WalkMode::Virtualized);
+    let s = space(0, 0);
+    let pages: Vec<Gva> = (0..128u64).map(|i| Gva::new(0x1000_0000_0000 + (i << 12))).collect();
+    for (i, va) in pages.iter().enumerate() {
+        tables.ensure_mapped(*va, PageSize::Small4K);
+        touch(&mut sys, &tables, s, *va, i as u64 * 500);
+    }
+    let mut pom = sys.pom().clone();
+    for va in &pages {
+        let expected = tables.lookup_page(*va).expect("mapped").0;
+        let got = pom
+            .lookup(s, *va, PageSize::Small4K)
+            .expect("pom holds all 128 pages")
+            .page_base;
+        assert_eq!(got, expected, "translation integrity for {va}");
+    }
+}

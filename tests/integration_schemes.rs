@@ -1,0 +1,161 @@
+//! Cross-scheme integration tests: the §4.1 comparison claims, exercised
+//! on representative workloads at integration-test budgets.
+
+use pom_tlb::{Scheme, SimConfig, Simulation, SystemConfig};
+use pomtlb_workloads::by_name;
+
+fn cfg() -> SimConfig {
+    SimConfig { refs_per_core: 6_000, warmup_per_core: 2_500, seed: 0xabcd }
+}
+
+fn sys(n: usize) -> SystemConfig {
+    SystemConfig { n_cores: n, ..Default::default() }
+}
+
+fn run(workload: &str, scheme: Scheme) -> pom_tlb::SimReport {
+    let w = by_name(workload).expect("paper workload");
+    Simulation::new(&w.spec, scheme, cfg())
+        .shared_memory(w.suite.shares_memory())
+        .with_system_config(sys(2))
+        .run()
+}
+
+#[test]
+fn pom_beats_baseline_on_walk_heavy_workloads() {
+    // The workloads the paper highlights as big winners: heavy translation
+    // pressure, working sets far beyond SRAM TLBs.
+    for name in ["gups", "ccomponent", "graph500"] {
+        let base = run(name, Scheme::Baseline);
+        let pom = run(name, Scheme::pom_tlb());
+        assert!(
+            pom.p_avg() < base.p_avg(),
+            "{name}: POM {:.1} !< baseline {:.1}",
+            pom.p_avg(),
+            base.p_avg()
+        );
+        assert!(pom.page_walks < base.page_walks / 10);
+    }
+}
+
+#[test]
+fn pom_beats_tsb_everywhere_it_matters() {
+    // §4.1: same 16 MB capacity, but traps + direct mapping + two accesses
+    // per translation sink the TSB.
+    for name in ["gups", "mcf", "astar"] {
+        let tsb = run(name, Scheme::Tsb);
+        let pom = run(name, Scheme::pom_tlb());
+        assert!(
+            pom.p_avg() < tsb.p_avg(),
+            "{name}: POM {:.1} !< TSB {:.1}",
+            pom.p_avg(),
+            tsb.p_avg()
+        );
+        // TSB's direct mapping walks more than the 4-way POM-TLB.
+        assert!(pom.page_walks <= tsb.page_walks, "{name}");
+    }
+}
+
+#[test]
+fn tsb_trap_cost_floors_its_penalty() {
+    let tsb = run("streamcluster", Scheme::Tsb);
+    let trap = SystemConfig::default().tsb.trap_cycles.as_f64();
+    assert!(
+        tsb.p_avg() >= trap,
+        "every TSB translation pays the trap: {:.1} < {trap}",
+        tsb.p_avg()
+    );
+    assert!(tsb.resolved_tsb > 0, "the TSB does resolve translations");
+}
+
+#[test]
+fn shared_l2_reduces_walks_but_keeps_them() {
+    let base = run("canneal", Scheme::Baseline);
+    let shared = run("canneal", Scheme::SharedL2);
+    assert!(shared.resolved_shared_l2 > 0, "pooled capacity captures reuse");
+    assert!(shared.page_walks < base.page_walks);
+    // Unlike the POM-TLB, a pooled SRAM TLB cannot hold the footprint.
+    let pom = run("canneal", Scheme::pom_tlb());
+    assert!(pom.page_walks < shared.page_walks);
+}
+
+#[test]
+fn figure12_caching_ablation_direction() {
+    // Caching hides DRAM latency; it does not change walk elimination.
+    let cached = run("mcf", Scheme::pom_tlb());
+    let uncached = run("mcf", Scheme::pom_tlb_uncached());
+    assert!(
+        uncached.p_avg() > cached.p_avg(),
+        "uncached {:.1} !> cached {:.1}",
+        uncached.p_avg(),
+        cached.p_avg()
+    );
+    assert!((uncached.walks_eliminated() - cached.walks_eliminated()).abs() < 0.02);
+    assert_eq!(cached.resolved_l2d + cached.resolved_l3d > 0, true);
+    assert_eq!(uncached.resolved_l2d + uncached.resolved_l3d, 0, "no cache resolution when disabled");
+}
+
+#[test]
+fn capacity_sweep_is_flat_where_paper_says_so() {
+    // §4.6: 8 MB vs 32 MB changes things by under a percent — the
+    // footprints the POM-TLB must capture fit either way.
+    let w = by_name("streamcluster").unwrap();
+    let run_cap = |cap: u64| {
+        let sys = SystemConfig {
+            pom: pom_tlb::PomTlbConfig { capacity_bytes: cap, ..Default::default() },
+            n_cores: 2,
+            ..Default::default()
+        };
+        Simulation::new(&w.spec, Scheme::pom_tlb(), cfg())
+            .shared_memory(true)
+            .with_system_config(sys)
+            .run()
+    };
+    let small = run_cap(8 << 20);
+    let large = run_cap(32 << 20);
+    assert!(small.walks_eliminated() > 0.98);
+    assert!(large.walks_eliminated() > 0.98);
+    let rel = (small.p_avg() - large.p_avg()).abs() / large.p_avg();
+    assert!(rel < 0.30, "capacity sensitivity too high: {rel:.2}");
+}
+
+#[test]
+fn associativity_one_conflicts_more_than_four() {
+    // §2.1.1: below 4 ways, conflict misses rise significantly.
+    let w = by_name("gups").unwrap();
+    let run_ways = |ways: u32| {
+        let sys = SystemConfig {
+            pom: pom_tlb::PomTlbConfig { ways, ..Default::default() },
+            n_cores: 2,
+            ..Default::default()
+        };
+        Simulation::new(&w.spec, Scheme::pom_tlb(), cfg())
+            .shared_memory(true)
+            .with_system_config(sys)
+            .run()
+    };
+    let direct = run_ways(1);
+    let four = run_ways(4);
+    assert!(
+        direct.page_walks >= four.page_walks,
+        "direct-mapped {} !>= 4-way {}",
+        direct.page_walks,
+        four.page_walks
+    );
+}
+
+#[test]
+fn native_mode_runs_all_schemes() {
+    // The POM-TLB "improves both native and virtualized cases" (§1).
+    let w = by_name("gups").unwrap();
+    let sysn = SystemConfig { walk_mode: pomtlb_tlb::WalkMode::Native, n_cores: 2, ..Default::default() };
+    let base = Simulation::new(&w.spec, Scheme::Baseline, cfg())
+        .shared_memory(true)
+        .with_system_config(sysn.clone())
+        .run();
+    let pom = Simulation::new(&w.spec, Scheme::pom_tlb(), cfg())
+        .shared_memory(true)
+        .with_system_config(sysn)
+        .run();
+    assert!(pom.walks_eliminated() > 0.95);
+    assert!(pom.p_avg() < base.p_avg(), "POM helps natively too");
+}
