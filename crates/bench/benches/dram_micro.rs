@@ -28,7 +28,7 @@ fn channel(c: &mut Criterion) {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            let r = ch.access(Hpa::new(x % (1 << 24) & !63), now);
+            let r = ch.access(Hpa::new((x % (1 << 24)) & !63), now);
             now = r.completes_at;
             black_box(r)
         });

@@ -30,7 +30,7 @@ fn predictor(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            let actual = if i % 3 == 0 { PageSize::Large2M } else { PageSize::Small4K };
+            let actual = if i.is_multiple_of(3) { PageSize::Large2M } else { PageSize::Small4K };
             let va = Gva::new(i << 12);
             let predicted = p.predict_size(va);
             p.train_size(va, predicted, actual);
@@ -44,7 +44,7 @@ fn predictor(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let va = Gva::new(i << 12);
-            p.train_bypass(va, p.predict_bypass(va), i % 2 == 0);
+            p.train_bypass(va, p.predict_bypass(va), i.is_multiple_of(2));
             black_box(&p);
         });
     });

@@ -47,7 +47,7 @@ impl CacheConfig {
         let lines = self.capacity_bytes / CACHE_LINE_BYTES;
         assert!(self.ways > 0, "cache needs at least one way");
         assert!(
-            lines % self.ways as u64 == 0,
+            lines.is_multiple_of(self.ways as u64),
             "capacity {} not divisible by ways {}",
             self.capacity_bytes,
             self.ways

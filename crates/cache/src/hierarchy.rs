@@ -279,8 +279,7 @@ mod tests {
         let next = hier.access_tlb_line(CoreId(0), Hpa::new(0x9040), false);
         assert_eq!(next.level, Level::L2);
         // Prefetching can be disabled.
-        let mut cfg = HierarchyConfig::default();
-        cfg.mmu_next_line_prefetch = false;
+        let cfg = HierarchyConfig { mmu_next_line_prefetch: false, ..Default::default() };
         let mut plain = Hierarchy::new(cfg, 1);
         plain.access_tlb_line(CoreId(0), addr, false);
         let cold = plain.access_tlb_line(CoreId(0), Hpa::new(0x9040), false);
@@ -297,6 +296,24 @@ mod tests {
         assert_eq!(found, 3, "two private L2 copies plus L3");
         let after = hier.access_tlb_line(CoreId(0), addr, false);
         assert_eq!(after.level, Level::Memory);
+    }
+
+    #[test]
+    fn shootdown_scrubs_dirty_lines_from_all_three_levels() {
+        let mut hier = h(2);
+        let addr = Hpa::new(0x7000);
+        // A store allocates the line dirty in L1, L2 and L3 of core 0...
+        hier.access_data(CoreId(0), addr, true);
+        // ...and a clean copy lands in core 1's L1/L2 (L3 hit stops there).
+        hier.access_data(CoreId(1), addr, false);
+        assert!(hier.contains_line(CoreId(0), addr));
+        let found = hier.invalidate_line(addr);
+        assert_eq!(found, 5, "both L1s, both L2s, and the L3 held copies");
+        assert!(!hier.contains_line(CoreId(0), addr));
+        assert!(!hier.contains_line(CoreId(1), addr));
+        let after = hier.access_data(CoreId(0), addr, false);
+        assert_eq!(after.level, Level::Memory, "dirty copies must not survive");
+        assert_eq!(hier.invalidate_line(addr.wrapping_add(0x40)), 0, "other lines untouched");
     }
 
     #[test]

@@ -270,7 +270,7 @@ mod tests {
         let mut c = small();
         // Three lines mapping to set 0 (set stride = 4 lines = 256B).
         let a = Hpa::new(0);
-        let b = Hpa::new(256 * 1);
+        let b = Hpa::new(256);
         let d = Hpa::new(256 * 2);
         c.access(a, false, LineKind::Data);
         c.access(b, false, LineKind::Data);

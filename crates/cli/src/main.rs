@@ -4,14 +4,19 @@
 //! pomtlb list
 //! pomtlb sim --workload mcf [--scheme pom-tlb] [--cores 8] [--refs 40000]
 //!            [--warmup 15000] [--seed N] [--capacity-mb 16] [--native]
-//!            [--no-prepopulate] [--json]
+//!            [--no-prepopulate] [--unmaps-per-10k X] [--check-consistency]
+//!            [--json]
 //! pomtlb compare --workload gups [--cores 8] [--refs 40000] [--json]
+//! pomtlb shootdown-sweep --workload gups [--json]
 //! ```
 
 use std::process::ExitCode;
 
-use pom_tlb::{PomTlbConfig, Scheme, SimConfig, SimReport, Simulation, SystemConfig};
+use pom_tlb::{
+    PomTlbConfig, Scheme, ShootdownStats, SimConfig, SimReport, Simulation, SystemConfig,
+};
 use pomtlb_tlb::WalkMode;
+use pomtlb_trace::OsEventRates;
 use pomtlb_workloads::{by_name, names, PaperWorkload};
 
 fn main() -> ExitCode {
@@ -23,6 +28,7 @@ fn main() -> ExitCode {
         }
         Some("sim") => run_command(&args[1..], CommandKind::Sim),
         Some("compare") => run_command(&args[1..], CommandKind::Compare),
+        Some("shootdown-sweep") => run_sweep(&args[1..]),
         Some("--help") | Some("-h") | None => {
             help();
             ExitCode::SUCCESS
@@ -40,7 +46,7 @@ enum CommandKind {
     Compare,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Options {
     workload: Option<String>,
     scheme: Scheme,
@@ -51,6 +57,8 @@ struct Options {
     capacity_mb: u64,
     native: bool,
     prepopulate: bool,
+    events: OsEventRates,
+    check_consistency: bool,
     json: bool,
 }
 
@@ -66,6 +74,8 @@ impl Default for Options {
             capacity_mb: 16,
             native: false,
             prepopulate: true,
+            events: OsEventRates::default(),
+            check_consistency: false,
             json: false,
         }
     }
@@ -90,14 +100,29 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--capacity-mb" => o.capacity_mb = num(&value("--capacity-mb")?)?,
             "--native" => o.native = true,
             "--no-prepopulate" => o.prepopulate = false,
+            "--unmaps-per-10k" => o.events.unmaps = fnum(&value("--unmaps-per-10k")?)?,
+            "--remaps-per-10k" => o.events.remaps = fnum(&value("--remaps-per-10k")?)?,
+            "--promotes-per-10k" => o.events.promotes = fnum(&value("--promotes-per-10k")?)?,
+            "--migrations-per-10k" => {
+                o.events.migrations = fnum(&value("--migrations-per-10k")?)?;
+            }
+            "--vm-destroys-per-10k" => {
+                o.events.vm_destroys = fnum(&value("--vm-destroys-per-10k")?)?;
+            }
+            "--check-consistency" => o.check_consistency = true,
             "--json" => o.json = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
+    o.events.validate()?;
     Ok(o)
 }
 
 fn num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("`{s}` is not a number"))
+}
+
+fn fnum(s: &str) -> Result<f64, String> {
     s.parse().map_err(|_| format!("`{s}` is not a number"))
 }
 
@@ -157,11 +182,87 @@ fn simulate(w: &PaperWorkload, scheme: Scheme, o: &Options) -> SimReport {
         ..Default::default()
     };
     let sim = SimConfig { refs_per_core: o.refs, warmup_per_core: o.warmup, seed: o.seed };
-    Simulation::new(&w.spec, scheme, sim)
+    let mut spec = w.spec.clone();
+    spec.os_events = o.events;
+    let mut run = Simulation::new(&spec, scheme, sim)
         .shared_memory(w.suite.shares_memory())
         .with_system_config(sys)
-        .prepopulate(o.prepopulate)
-        .run()
+        .prepopulate(o.prepopulate);
+    if o.check_consistency {
+        run = run.check_consistency(true);
+    }
+    run.run()
+}
+
+/// One row of the `shootdown-sweep` output: scheme × unmap rate, with the
+/// per-level invalidation counts and the consistency cycles added.
+#[derive(serde::Serialize)]
+struct SweepRow {
+    unmaps_per_10k: f64,
+    scheme: String,
+    p_avg: f64,
+    shootdowns: ShootdownStats,
+}
+
+fn run_sweep(args: &[String]) -> ExitCode {
+    let opts = match parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n");
+            help();
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(name) = opts.workload.clone() else {
+        eprintln!("--workload is required (see `pomtlb list`)");
+        return ExitCode::FAILURE;
+    };
+    let Some(w) = by_name(&name) else {
+        eprintln!("unknown workload `{name}`; known: {}", names().join(" "));
+        return ExitCode::FAILURE;
+    };
+
+    let mut rows = Vec::new();
+    for rate in [0.0, 1.0, 10.0] {
+        for scheme in [Scheme::Baseline, Scheme::SharedL2, Scheme::Tsb, Scheme::pom_tlb()] {
+            let mut o = opts.clone();
+            o.events = OsEventRates::unmap_heavy(rate);
+            let r = simulate(&w, scheme, &o);
+            rows.push(SweepRow {
+                unmaps_per_10k: rate,
+                scheme: r.scheme.label().to_string(),
+                p_avg: r.p_avg(),
+                shootdowns: r.shootdowns,
+            });
+        }
+    }
+
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
+        return ExitCode::SUCCESS;
+    }
+    println!("workload {} ({:?}), {} cores: unmap-rate sweep", w.name, w.suite, opts.cores);
+    println!(
+        "{:>9} {:>12} {:>10} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>12}",
+        "per-10k", "scheme", "p_avg", "unmaps", "sram", "sh-l2", "tsb", "pom", "lines", "penalty(cyc)"
+    );
+    for row in &rows {
+        let s = &row.shootdowns;
+        println!(
+            "{:>9} {:>12} {:>10.1} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>12}",
+            row.unmaps_per_10k,
+            row.scheme,
+            row.p_avg,
+            s.unmaps,
+            s.sram_invalidations,
+            s.shared_l2_invalidations,
+            s.tsb_invalidations,
+            s.pom_invalidations,
+            s.cached_line_invalidations,
+            s.penalty.raw(),
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn emit(w: &PaperWorkload, reports: &[SimReport], o: &Options) {
@@ -197,6 +298,16 @@ fn emit(w: &PaperWorkload, reports: &[SimReport], o: &Options) {
             r.fig9_l3d_hit_rate() * 100.0,
             r.fig11_rbh() * 100.0,
         );
+        let s = &r.shootdowns;
+        if s.events > 0 {
+            println!(
+                "{:>12} consistency: {} OS events, {} invalidations, {}",
+                "",
+                s.events,
+                s.total_invalidations(),
+                s.penalty
+            );
+        }
     }
 }
 
@@ -220,8 +331,10 @@ fn help() {
 
 USAGE:
   pomtlb list
-  pomtlb sim     --workload NAME [flags]   one scheme, full report
-  pomtlb compare --workload NAME [flags]   all four schemes side by side
+  pomtlb sim             --workload NAME [flags]   one scheme, full report
+  pomtlb compare         --workload NAME [flags]   all four schemes side by side
+  pomtlb shootdown-sweep --workload NAME [flags]   0/1/10 unmaps per 10k refs
+                                                   x all four schemes
 
 FLAGS:
   --scheme S        baseline | pom-tlb | pom-uncached | shared-l2 | tsb
@@ -232,6 +345,13 @@ FLAGS:
   --capacity-mb N   POM-TLB capacity (default 16)
   --native          bare-metal 1-D walks instead of virtualized 2-D
   --no-prepopulate  cold-start in-DRAM structures
+  --unmaps-per-10k X      page-unmap events per 10k refs per core
+  --remaps-per-10k X      page-remap (migration) events
+  --promotes-per-10k X    THP promotion events (512-page windows)
+  --migrations-per-10k X  process-migration events
+  --vm-destroys-per-10k X VM-teardown events
+  --check-consistency     enable the stale-translation watchdog (panics
+                          if any level serves a dead mapping)
   --json            machine-readable output"
     );
 }
@@ -265,6 +385,22 @@ mod tests {
         assert_eq!(o.refs, 100);
         assert_eq!(o.capacity_mb, 8);
         assert!(o.native && !o.prepopulate && o.json);
+    }
+
+    #[test]
+    fn parse_event_flags() {
+        let args: Vec<String> = [
+            "--unmaps-per-10k", "10", "--migrations-per-10k", "0.5", "--check-consistency",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse(&args).unwrap();
+        assert_eq!(o.events.unmaps, 10.0);
+        assert_eq!(o.events.migrations, 0.5);
+        assert!(o.check_consistency);
+        // Negative rates are rejected by validation.
+        assert!(parse(&["--unmaps-per-10k".into(), "-1".into()]).is_err());
     }
 
     #[test]

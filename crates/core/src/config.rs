@@ -7,6 +7,8 @@ use pomtlb_tlb::{MmuConfig, PscConfig, TsbConfig, WalkMode};
 use pomtlb_types::Hpa;
 use serde::{Deserialize, Serialize};
 
+use crate::shootdown::ShootdownCost;
+
 /// Geometry and placement of the POM-TLB itself.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PomTlbConfig {
@@ -96,6 +98,10 @@ pub struct SystemConfig {
     /// the private L2 capacities (§3.3), so the default scales with cores
     /// at build time when left `None`.
     pub shared_l2_entries: Option<u32>,
+    /// Cycle costs of TLB shootdown rounds (§2.2 consistency machinery).
+    /// Defaulted on deserialization so older configs load unchanged.
+    #[serde(default)]
+    pub shootdown: ShootdownCost,
 }
 
 impl Default for SystemConfig {
@@ -116,6 +122,7 @@ impl Default for SystemConfig {
             walk_mode: WalkMode::Virtualized,
             predictor_hysteresis: 1,
             shared_l2_entries: None,
+            shootdown: ShootdownCost::default(),
         }
     }
 }

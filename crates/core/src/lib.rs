@@ -26,6 +26,11 @@
 //! * [`System`] / [`Simulation`] — the full 8-core simulator: data caches,
 //!   die-stacked + DDR4 DRAM channels, nested page walker, and the four
 //!   translation schemes of §4 ([`Scheme`]);
+//! * [`ShootdownEngine`] / [`StaleChecker`] — the §2.2 consistency
+//!   machinery: full shootdown rounds for OS events (unmap, remap, THP
+//!   promotion, migration, VM teardown) under the mostly-inclusive rule,
+//!   plus a debug watchdog proving no level ever serves a stale
+//!   translation;
 //! * [`perf_model`] — the paper's additive performance model (Eqs. 2–5)
 //!   that converts simulated per-miss penalties into Figure 8's
 //!   improvement percentages.
@@ -59,6 +64,7 @@ pub mod pom_tlb;
 pub mod predictor;
 pub mod report;
 pub mod scheme;
+pub mod shootdown;
 pub mod skew;
 pub mod system;
 
@@ -69,5 +75,6 @@ pub use pom_tlb::{PomLookup, PomTlb, PomTlbStats};
 pub use predictor::{PredictorStats, SizeBypassPredictor};
 pub use report::SimReport;
 pub use scheme::Scheme;
+pub use shootdown::{ShootdownCost, ShootdownEngine, ShootdownParts, ShootdownStats, StaleChecker};
 pub use skew::SkewPomTlb;
 pub use system::{Simulation, System};

@@ -106,6 +106,14 @@ impl CoreMmu {
         self.l1_small.flush_vm(vm) + self.l1_large.flush_vm(vm) + self.l2.flush_vm(vm)
     }
 
+    /// Flushes one address space from all levels — the process migrated off
+    /// this core or was torn down. Returns the entries dropped.
+    pub fn flush_space(&mut self, space: AddressSpace) -> u64 {
+        self.l1_small.flush_space(space)
+            + self.l1_large.flush_space(space)
+            + self.l2.flush_space(space)
+    }
+
     fn l1_for(&mut self, size: PageSize) -> &mut SramTlb {
         match size {
             PageSize::Small4K => &mut self.l1_small,
@@ -187,6 +195,23 @@ mod tests {
         assert_eq!(hit, MmuHit::L2(PageSize::Small4K));
         let (hit, _) = m.lookup(space(), va);
         assert_eq!(hit, MmuHit::L1(PageSize::Small4K), "L2 hit must refill L1");
+    }
+
+    #[test]
+    fn flush_space_clears_only_that_space() {
+        let mut m = mmu();
+        let other = AddressSpace::new(VmId(0), ProcessId(9));
+        m.fill(space(), Gva::new(0x1000), PageSize::Small4K, Hpa::new(0x1000));
+        m.fill(space(), Gva::new(0x20_0000), PageSize::Large2M, Hpa::new(0x40_0000));
+        m.fill(other, Gva::new(0x1000), PageSize::Small4K, Hpa::new(0x2000));
+        // Each fill lands in an L1 and the L2, so two entries per mapping.
+        assert_eq!(m.flush_space(space()), 4);
+        let (hit, _) = m.lookup(space(), Gva::new(0x1000));
+        assert!(hit.is_miss());
+        let (hit, _) = m.lookup(space(), Gva::new(0x20_0000));
+        assert!(hit.is_miss());
+        let (hit, _) = m.lookup(other, Gva::new(0x1000));
+        assert!(!hit.is_miss(), "other spaces survive");
     }
 
     #[test]

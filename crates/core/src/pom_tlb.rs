@@ -261,17 +261,26 @@ impl PomTlb {
         false
     }
 
-    /// Drops every entry of a VM (teardown). Returns entries removed.
-    pub fn flush_vm(&mut self, vm: pomtlb_types::VmId) -> u64 {
-        let mut dropped = 0;
-        for slot in self.small.slots.iter_mut().chain(self.large.slots.iter_mut()) {
-            if slot.is_some_and(|e| e.space.vm == vm) {
-                *slot = None;
-                dropped += 1;
+    /// Drops every entry of a VM (teardown). Returns the host-physical set
+    /// address of each removed entry (one element per entry, so the length
+    /// is the number of entries dropped) — under the mostly-inclusive rule
+    /// the caller must also invalidate any data-cache copies of exactly
+    /// these lines, or the caches would keep serving dead translations.
+    pub fn flush_vm(&mut self, vm: pomtlb_types::VmId) -> Vec<Hpa> {
+        let mut evicted = Vec::new();
+        for p in [&mut self.small, &mut self.large] {
+            let ways = p.ways as u64;
+            let base = p.base.raw();
+            let set_bytes = p.set_bytes;
+            for (i, slot) in p.slots.iter_mut().enumerate() {
+                if slot.is_some_and(|e| e.space.vm == vm) {
+                    *slot = None;
+                    evicted.push(Hpa::new(base + (i as u64 / ways) * set_bytes));
+                }
             }
         }
-        self.stats.invalidations += dropped;
-        dropped
+        self.stats.invalidations += evicted.len() as u64;
+        evicted
     }
 
     /// Valid entries in the given partition.
@@ -467,7 +476,13 @@ mod tests {
         pom.insert(space(2), Gva::new(0x3000), PageSize::Small4K, Hpa::new(0x3000));
         assert!(pom.invalidate_page(space(1), Gva::new(0x1000), PageSize::Small4K));
         assert!(!pom.invalidate_page(space(1), Gva::new(0x1000), PageSize::Small4K));
-        assert_eq!(pom.flush_vm(VmId(1)), 1);
+        let evicted = pom.flush_vm(VmId(1));
+        assert_eq!(evicted.len(), 1, "one surviving vm1 entry to flush");
+        assert_eq!(
+            evicted[0],
+            pom.set_addr(space(1), Gva::new(0x2000), PageSize::Small4K),
+            "flush reports the evicted entry's set address"
+        );
         assert_eq!(pom.occupancy(PageSize::Small4K), 1);
         assert!(pom.contains(space(2), Gva::new(0x3000), PageSize::Small4K));
     }

@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::predictor::PredictorStats;
 use crate::scheme::Scheme;
+use crate::shootdown::ShootdownStats;
 
 /// Everything measured during one [`crate::Simulation`] run (post-warmup).
 ///
@@ -67,6 +68,11 @@ pub struct SimReport {
     pub l3d_tlb_lines: KindStats,
     /// Data-line statistics in the shared L3 (pollution cross-check).
     pub l3d_data_lines: KindStats,
+    /// Consistency machinery: OS events handled, per-level invalidation
+    /// counts, and the cycles the shootdown rounds cost (§2.2). Defaulted
+    /// on deserialization so reports from older runs still load.
+    #[serde(default)]
+    pub shootdowns: ShootdownStats,
 }
 
 impl SimReport {
@@ -181,6 +187,7 @@ mod tests {
             l2d_tlb_lines: KindStats::default(),
             l3d_tlb_lines: KindStats::default(),
             l3d_data_lines: KindStats::default(),
+            shootdowns: ShootdownStats::default(),
         }
     }
 

@@ -20,7 +20,10 @@ use pomtlb_cache::{Hierarchy, Level};
 use pomtlb_dram::Channel;
 use pomtlb_sram_model::SramModel;
 use pomtlb_tlb::{NestedWalker, SramTlb, TlbConfig, Tsb, VirtTables};
-use pomtlb_trace::{AddressLayout, Interleaver, TraceGenerator, WorkloadSpec};
+use pomtlb_trace::{
+    AddressLayout, Interleaver, OsEvent, OsEventKind, TraceItem, WorkloadSpec, WorkloadStream,
+    PROMOTE_WINDOW_PAGES,
+};
 use pomtlb_types::{
     AccessKind, AddressSpace, CoreId, Cycles, Gva, Hpa, PageSize, ProcessId, VmId,
 };
@@ -31,6 +34,7 @@ use crate::pom_tlb::PomTlb;
 use crate::predictor::SizeBypassPredictor;
 use crate::report::SimReport;
 use crate::scheme::Scheme;
+use crate::shootdown::{ShootdownEngine, ShootdownParts, ShootdownStats, StaleChecker};
 
 /// Resolution-path counters reset at warmup boundaries.
 #[derive(Debug, Clone, Copy, Default)]
@@ -66,6 +70,8 @@ pub struct System {
     die_stacked: Channel,
     main_mem: Channel,
     counters: Counters,
+    shootdowns: ShootdownEngine,
+    stale: StaleChecker,
 }
 
 impl System {
@@ -95,6 +101,8 @@ impl System {
             die_stacked: Channel::new(config.die_stacked.clone(), config.die_stacked_banks),
             main_mem: Channel::new(config.ddr.clone(), config.dram_banks),
             counters: Counters::default(),
+            shootdowns: ShootdownEngine::new(config.shootdown),
+            stale: StaleChecker::new(cfg!(debug_assertions)),
             config,
             scheme,
         }
@@ -150,6 +158,17 @@ impl System {
                 (base, size, penalty)
             }
         };
+
+        // Watchdog (§2.2): whichever level answered must agree with the
+        // live page tables — a failure here means a shootdown missed it.
+        if self.stale.enabled() {
+            let source = match hit {
+                MmuHit::L1(_) => "L1 TLB",
+                MmuHit::L2(_) => "L2 TLB",
+                MmuHit::Miss => "miss path",
+            };
+            self.stale.verify(space, va, size, page_base, source);
+        }
 
         // The data access proper (pollutes caches, exercises DRAM state).
         let hpa = Hpa::new(page_base.raw() + va.page_offset(size));
@@ -368,6 +387,99 @@ impl System {
         self.tsb.fill(space, va, size, va.page_base(size).raw(), page_base);
     }
 
+    /// Applies one OS event (§2.2): updates the live page tables, runs the
+    /// matching shootdown round through every translation-holding level,
+    /// and returns the cycles the initiating core stalls for.
+    pub fn handle_os_event(
+        &mut self,
+        core: CoreId,
+        event: &OsEvent,
+        tables: &mut VirtTables,
+    ) -> Cycles {
+        let space = event.space;
+        let mut parts = ShootdownParts {
+            mmus: &mut self.mmus,
+            walkers: &mut self.walkers,
+            pom: &mut self.pom,
+            hier: &mut self.hier,
+            shared_l2: &mut self.shared_l2,
+            tsb: &mut self.tsb,
+        };
+        match event.kind {
+            OsEventKind::UnmapPage { va, size } => {
+                if !tables.unmap(va, size) {
+                    return Cycles::ZERO;
+                }
+                self.stale.note_unmapped(space, va, size);
+                self.shootdowns.unmap_page(&mut parts, space, va)
+            }
+            OsEventKind::RemapPage { va, size } => {
+                if !tables.unmap(va, size) {
+                    return Cycles::ZERO;
+                }
+                self.stale.note_unmapped(space, va, size);
+                let cost = self.shootdowns.remap_page(&mut parts, space, va);
+                // The kernel moved the frame: the page is immediately live
+                // again at a fresh host-physical address.
+                let hpa = tables.ensure_mapped(va, size);
+                self.stale.note_mapped(space, va, size, hpa);
+                cost
+            }
+            OsEventKind::PromotePage { window_base } => {
+                let mut pages = Vec::new();
+                for i in 0..PROMOTE_WINDOW_PAGES {
+                    let va = window_base.wrapping_add(i << 12);
+                    if let Some((_, PageSize::Small4K)) = tables.lookup_page(va) {
+                        tables.unmap(va, PageSize::Small4K);
+                        self.stale.note_unmapped(space, va, PageSize::Small4K);
+                        pages.push(va);
+                    }
+                }
+                if pages.is_empty() {
+                    return Cycles::ZERO;
+                }
+                self.shootdowns.promote_window(&mut parts, space, &pages)
+            }
+            OsEventKind::MigrateProcess { to_core: _ } => {
+                self.shootdowns.migrate(&mut parts, core, space)
+            }
+            OsEventKind::DestroyVm => {
+                // Structures are flushed; the tables themselves are kept (a
+                // successor VM with the same id reuses the frames), so no
+                // live mapping goes stale.
+                self.shootdowns.destroy_vm(&mut parts, space.vm)
+            }
+        }
+    }
+
+    /// Aggregate shootdown statistics (reset by [`System::reset_stats`]).
+    pub fn shootdown_stats(&self) -> &ShootdownStats {
+        self.shootdowns.stats()
+    }
+
+    /// Turns the stale-translation watchdog on or off (on by default in
+    /// debug builds). Disabling clears the shadow state.
+    pub fn set_check_consistency(&mut self, on: bool) {
+        self.stale.set_enabled(on);
+    }
+
+    /// Whether the stale-translation watchdog is active.
+    pub fn check_consistency(&self) -> bool {
+        self.stale.enabled()
+    }
+
+    /// Records a live mapping with the watchdog. Call after mapping a page
+    /// in the tables this system translates through.
+    pub fn note_mapped(&mut self, space: AddressSpace, va: Gva, size: PageSize, page_base: Hpa) {
+        self.stale.note_mapped(space, va, size, page_base);
+    }
+
+    /// Records an unmap with the watchdog *without* running a shootdown —
+    /// the test hook proving the watchdog catches missed shootdowns.
+    pub fn note_unmapped(&mut self, space: AddressSpace, va: Gva, size: PageSize) {
+        self.stale.note_unmapped(space, va, size);
+    }
+
     /// Broadcast TLB shootdown of one page: SRAM TLBs, POM-TLB, its cached
     /// lines, the Shared_L2 structure and the TSB (§2.2 "Consistency").
     /// Returns the number of locations that held state for the page.
@@ -392,11 +504,20 @@ impl System {
 
     /// Flushes all state belonging to a VM (teardown across structures).
     pub fn flush_vm(&mut self, vm: VmId) -> u64 {
-        let mut dropped = self.pom.flush_vm(vm);
+        let evicted = self.pom.flush_vm(vm);
+        let mut dropped = evicted.len() as u64;
+        // Mostly-inclusive rule: scrub the cached copy of every POM-TLB
+        // set line the teardown touched.
+        for addr in &evicted {
+            dropped += u64::from(self.hier.invalidate_line(*addr));
+        }
         for mmu in &mut self.mmus {
             dropped += mmu.flush_vm(vm);
         }
-        dropped + self.shared_l2.flush_vm(vm)
+        for w in &mut self.walkers {
+            w.flush_vm(vm);
+        }
+        dropped + self.shared_l2.flush_vm(vm) + self.tsb.flush_vm(vm)
     }
 
     /// Clears statistics after warmup (contents stay).
@@ -416,6 +537,7 @@ impl System {
         self.shared_l2.reset_stats();
         self.die_stacked.reset_stats();
         self.main_mem.reset_stats();
+        self.shootdowns.reset_stats();
     }
 
     /// Assembles the report for a finished run.
@@ -464,6 +586,7 @@ impl System {
             l2d_tlb_lines: *l2_total.kind(pomtlb_cache::LineKind::TlbEntry),
             l3d_tlb_lines: *self.hier.l3_stats().kind(pomtlb_cache::LineKind::TlbEntry),
             l3d_data_lines: *self.hier.l3_stats().kind(pomtlb_cache::LineKind::Data),
+            shootdowns: *self.shootdowns.stats(),
         }
     }
 }
@@ -487,6 +610,7 @@ pub struct Simulation {
     sys_cfg: SystemConfig,
     shared_memory: bool,
     prepopulate: bool,
+    check_consistency: Option<bool>,
 }
 
 impl Simulation {
@@ -499,6 +623,7 @@ impl Simulation {
             sys_cfg: SystemConfig::default(),
             shared_memory: false,
             prepopulate: true,
+            check_consistency: None,
         }
     }
 
@@ -528,12 +653,22 @@ impl Simulation {
         self
     }
 
+    /// Forces the stale-translation watchdog on or off for this run.
+    /// Default: on in debug builds, off in release (see [`StaleChecker`]).
+    pub fn check_consistency(mut self, on: bool) -> Simulation {
+        self.check_consistency = Some(on);
+        self
+    }
+
     /// Runs the simulation to completion.
     pub fn run(self) -> SimReport {
         let n = self.sys_cfg.n_cores;
         let walk_mode = self.sys_cfg.walk_mode;
         let workload_name = self.spec.name.clone();
         let mut system = System::new(self.sys_cfg, self.scheme);
+        if let Some(on) = self.check_consistency {
+            system.set_check_consistency(on);
+        }
 
         let spaces: Vec<AddressSpace> = (0..n)
             .map(|c| {
@@ -559,15 +694,18 @@ impl Simulation {
                     .expect("space exists for table");
                 for (page, size) in layout.pages() {
                     let hpa = tables.ensure_mapped(page, size);
+                    system.note_mapped(space, page, size, hpa);
                     system.prepopulate_translation(space, page, size, hpa);
                 }
             }
         }
 
-        let gens: Vec<TraceGenerator> = (0..n)
-            .map(|c| TraceGenerator::with_space(&self.spec, self.sim_cfg.seed + c as u64, spaces[c]))
+        let streams: Vec<WorkloadStream> = (0..n)
+            .map(|c| {
+                WorkloadStream::new(&self.spec, self.sim_cfg.seed + c as u64, spaces[c], n as u16)
+            })
             .collect();
-        let mut merged = Interleaver::new(gens);
+        let mut merged = Interleaver::new(streams);
 
         let warm_total = self.sim_cfg.warmup_per_core * n as u64;
         let main_total = self.sim_cfg.refs_per_core * n as u64;
@@ -575,19 +713,33 @@ impl Simulation {
         let mut icount_latest = vec![0u64; n];
         let mut icount_base = vec![0u64; n];
 
-        for i in 0..(warm_total + main_total) {
-            let cr = merged.next().expect("generators are infinite");
-            if i == warm_total {
+        let mut refs_done = 0u64;
+        while refs_done < warm_total + main_total {
+            let ci = merged.next().expect("streams are infinite");
+            let core = ci.core;
+            let space_idx = if self.shared_memory { 0 } else { core.index() };
+            let mref = match ci.item {
+                TraceItem::Event(event) => {
+                    // OS events stall the initiating core but are not
+                    // memory references: they don't consume the ref budget
+                    // and don't advance the instruction count.
+                    let penalty =
+                        system.handle_os_event(core, &event, &mut tables[space_idx]);
+                    core_stall[core.index()] += penalty;
+                    continue;
+                }
+                TraceItem::Ref(mref) => mref,
+            };
+            if refs_done == warm_total {
                 system.reset_stats();
                 icount_base.copy_from_slice(&icount_latest);
             }
-            let core = cr.core;
-            let mref = cr.mref;
-            let space_idx = if self.shared_memory { 0 } else { core.index() };
+            refs_done += 1;
             let size = layout
                 .page_size_of(mref.addr)
                 .expect("generator addresses stay inside the layout");
-            tables[space_idx].ensure_mapped(mref.addr, size);
+            let hpa = tables[space_idx].ensure_mapped(mref.addr, size);
+            system.note_mapped(mref.space, mref.addr, size, hpa);
             // Per-core wall clock: instruction progress plus translation
             // stalls (blocking, §2.2) plus half the data latency — data
             // accesses are non-blocking and overlap with execution via
@@ -814,7 +966,7 @@ mod tests {
         // runs the same stream), but sharing one address space means a page
         // first touched by core A is already in the shared POM-TLB when
         // core B misses on it: fewer page walks.
-        assert_eq!(shared.l2_tlb_misses > 0, true);
+        assert!(shared.l2_tlb_misses > 0);
         assert!(
             shared.page_walks < private.page_walks,
             "shared {} !< private {}",
@@ -869,6 +1021,111 @@ mod tests {
         assert_eq!(a.l2_tlb_misses, b.l2_tlb_misses);
         assert_eq!(a.total_penalty, b.total_penalty);
         assert_eq!(a.page_walks, b.page_walks);
+    }
+
+    /// An event-laden spec exercising every OS event kind at rates high
+    /// enough that a 120k-ref run sees dozens of each frequent kind.
+    fn eventful_spec() -> WorkloadSpec {
+        WorkloadSpec::builder("unit-events")
+            .footprint_bytes(16 << 20)
+            .large_page_frac(0.25)
+            .locality(LocalityModel::UniformRandom)
+            .os_events(pomtlb_trace::OsEventRates {
+                unmaps: 6.0,
+                remaps: 3.0,
+                promotes: 0.5,
+                migrations: 1.0,
+                vm_destroys: 0.1,
+            })
+            .build()
+    }
+
+    #[test]
+    fn os_events_drive_shootdowns_for_every_scheme() {
+        // The load-bearing part is the watchdog: with the checker on, every
+        // one of these runs proves no level served a translation its unmap
+        // round should have killed — across all four schemes.
+        for scheme in [Scheme::Baseline, Scheme::SharedL2, Scheme::Tsb, Scheme::pom_tlb()] {
+            let r = Simulation::new(&eventful_spec(), scheme, quick())
+                .with_system_config(tiny_sys(2))
+                .check_consistency(true)
+                .run();
+            let s = r.shootdowns;
+            assert!(s.events > 0, "{scheme:?} saw no events");
+            assert!(s.unmaps > 0 && s.remaps > 0, "{scheme:?}: {s:?}");
+            assert!(s.ipis > 0, "unmaps broadcast IPIs");
+            assert!(s.penalty > Cycles::ZERO);
+            // The POM-TLB array is prepopulated with the whole footprint,
+            // so every unmapped page had an entry to kill there.
+            assert!(s.pom_invalidations > 0, "{scheme:?}: {s:?}");
+            assert!(s.total_invalidations() > 0);
+        }
+    }
+
+    #[test]
+    fn quiet_specs_report_no_shootdowns() {
+        let r = Simulation::new(&small_spec(), Scheme::pom_tlb(), quick())
+            .with_system_config(tiny_sys(2))
+            .run();
+        assert_eq!(r.shootdowns, ShootdownStats::default());
+    }
+
+    #[test]
+    fn event_runs_are_deterministic() {
+        let run = || {
+            Simulation::new(&eventful_spec(), Scheme::pom_tlb(), quick())
+                .with_system_config(tiny_sys(2))
+                .check_consistency(true)
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.shootdowns, b.shootdowns);
+        assert_eq!(a.l2_tlb_misses, b.l2_tlb_misses);
+        assert_eq!(a.total_penalty, b.total_penalty);
+    }
+
+    #[test]
+    fn unmap_rate_scales_shootdown_penalty() {
+        let at_rate = |unmaps: f64| {
+            let spec = WorkloadSpec::builder("unit-rate")
+                .footprint_bytes(16 << 20)
+                .locality(LocalityModel::UniformRandom)
+                .os_events(pomtlb_trace::OsEventRates::unmap_heavy(unmaps))
+                .build();
+            Simulation::new(&spec, Scheme::pom_tlb(), quick())
+                .with_system_config(tiny_sys(2))
+                .check_consistency(true)
+                .run()
+        };
+        let quiet = at_rate(0.0);
+        let light = at_rate(1.0);
+        let heavy = at_rate(10.0);
+        assert_eq!(quiet.shootdowns.events, 0);
+        assert!(light.shootdowns.events > 0);
+        assert!(
+            heavy.shootdowns.events > 4 * light.shootdowns.events,
+            "10x the rate: {} vs {}",
+            heavy.shootdowns.events,
+            light.shootdowns.events
+        );
+        assert!(heavy.shootdowns.penalty > light.shootdowns.penalty);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale translation")]
+    fn stale_checker_catches_missed_shootdown() {
+        let mut system = System::new(tiny_sys(1), Scheme::pom_tlb());
+        system.set_check_consistency(true);
+        let mut tables = VirtTables::new(pomtlb_tlb::WalkMode::Virtualized);
+        let space = AddressSpace::new(VmId(0), ProcessId(0));
+        let va = Gva::new(0x1000_0000_0000);
+        let hpa = tables.ensure_mapped(va, PageSize::Small4K);
+        system.note_mapped(space, va, PageSize::Small4K, hpa);
+        let _ = system.access(CoreId(0), space, va, AccessKind::Read, &tables, Cycles::ZERO);
+        // The OS drops the mapping but "forgets" the shootdown: the L1 TLB
+        // still holds the dead translation and must be caught serving it.
+        system.note_unmapped(space, va, PageSize::Small4K);
+        let _ = system.access(CoreId(0), space, va, AccessKind::Read, &tables, Cycles::new(100));
     }
 
     #[test]

@@ -65,7 +65,7 @@ impl DramTiming {
     /// `2 * bus_bits / 8` bytes.
     pub fn burst_cpu_cycles(&self) -> Cycles {
         let bytes_per_bus_cycle = (self.bus_bits as u64 / 8) * 2;
-        let bus_cycles = (64 + bytes_per_bus_cycle - 1) / bytes_per_bus_cycle;
+        let bus_cycles = 64u64.div_ceil(bytes_per_bus_cycle);
         self.bus_to_cpu(bus_cycles as u32)
     }
 

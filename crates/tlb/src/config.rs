@@ -36,7 +36,7 @@ impl TlbConfig {
     pub fn sets(&self) -> u32 {
         assert!(self.entries > 0 && self.ways > 0, "TLB must have entries and ways");
         assert!(
-            self.entries % self.ways == 0,
+            self.entries.is_multiple_of(self.ways),
             "{} entries not divisible into {}-way sets",
             self.entries,
             self.ways

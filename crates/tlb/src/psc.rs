@@ -171,6 +171,13 @@ impl Psc {
         self.pde.retain(|e| e.space != space);
     }
 
+    /// Flushes all entries belonging to a VM (VM teardown).
+    pub fn flush_vm(&mut self, vm: pomtlb_types::VmId) {
+        self.pml4.retain(|e| e.space.vm != vm);
+        self.pdp.retain(|e| e.space.vm != vm);
+        self.pde.retain(|e| e.space.vm != vm);
+    }
+
     /// Hits so far.
     pub fn hits(&self) -> u64 {
         self.hits

@@ -198,6 +198,21 @@ impl SramTlb {
         dropped
     }
 
+    /// Flushes every entry belonging to one address space — a CR3 switch
+    /// without PCID, a process teardown, or the process migrating off this
+    /// core. Returns the number of entries dropped.
+    pub fn flush_space(&mut self, space: AddressSpace) -> u64 {
+        let mut dropped = 0;
+        for e in &mut self.entries {
+            if e.valid && e.space == space {
+                e.valid = false;
+                dropped += 1;
+            }
+        }
+        self.stats.invalidations += dropped;
+        dropped
+    }
+
     /// Number of valid entries.
     pub fn occupancy(&self) -> u64 {
         self.entries.iter().filter(|e| e.valid).count() as u64
@@ -315,6 +330,19 @@ mod tests {
         assert_eq!(t.flush_vm(VmId(1)), 2);
         assert_eq!(t.occupancy(), 1);
         assert!(t.contains(space(2, 0), Gva::new(0x3000), PageSize::Small4K));
+    }
+
+    #[test]
+    fn flush_space_spares_other_processes_and_counts_invalidations() {
+        let mut t = tiny();
+        t.insert(space(1, 0), Gva::new(0x1000), PageSize::Small4K, Hpa::new(0x1000));
+        t.insert(space(1, 0), Gva::new(0x20_0000), PageSize::Large2M, Hpa::new(0x40_0000));
+        t.insert(space(1, 1), Gva::new(0x2000), PageSize::Small4K, Hpa::new(0x2000));
+        assert_eq!(t.flush_space(space(1, 0)), 2);
+        assert_eq!(t.occupancy(), 1);
+        assert!(t.contains(space(1, 1), Gva::new(0x2000), PageSize::Small4K));
+        assert_eq!(t.stats().invalidations, 2);
+        assert_eq!(t.flush_space(space(1, 0)), 0, "second flush finds nothing");
     }
 
     #[test]

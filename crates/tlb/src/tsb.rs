@@ -118,6 +118,7 @@ impl Tsb {
     /// guest-dimension probe, then (on a guest hit) a host-dimension probe.
     /// Each probe is an ordinary cacheable load from `core`: L2D$ → L3D$ →
     /// DRAM, starting at `now`.
+    #[allow(clippy::too_many_arguments)]
     pub fn translate(
         &mut self,
         core: CoreId,
@@ -217,6 +218,19 @@ impl Tsb {
         } else {
             false
         }
+    }
+
+    /// Flushes every slot belonging to a VM (VM teardown), in both the
+    /// guest and host dimensions. Returns the number of slots dropped.
+    pub fn flush_vm(&mut self, vm: pomtlb_types::VmId) -> u64 {
+        let mut dropped = 0;
+        for slot in &mut self.slots {
+            if slot.is_some_and(|e| e.space.vm == vm) {
+                *slot = None;
+                dropped += 1;
+            }
+        }
+        dropped
     }
 
     /// Completed translations (both dimensions hit).

@@ -122,8 +122,15 @@ impl NestedWalker {
         self.host_psc.flush_space(space);
     }
 
+    /// Flushes both PSC dimensions for every space of a VM (VM teardown).
+    pub fn flush_vm(&mut self, vm: pomtlb_types::VmId) {
+        self.guest_psc.flush_vm(vm);
+        self.host_psc.flush_vm(vm);
+    }
+
     /// Walks `gva` through `tables`, charging cache and DRAM time starting
     /// at `now`. Returns `None` if the address is unmapped.
+    #[allow(clippy::too_many_arguments)]
     pub fn walk(
         &mut self,
         core: CoreId,
@@ -139,11 +146,14 @@ impl NestedWalker {
             WalkMode::Native => {
                 let path = tables.host_walk(Gpa::new(gva.raw()))?;
                 let size = path.size;
-                let base = self.walk_one_dimension(
+                let translated = self.walk_one_dimension(
                     core, space, gva.raw(), &path, Dimension::Host, tables, hier, dram, now,
                     &mut charge,
                 )?;
-                (Hpa::new(base), size)
+                // `walk_one_dimension` returns base + offset; report the
+                // page base (the offset would otherwise be double-counted
+                // by callers that re-add it).
+                (Hpa::new(translated - (translated & (size.bytes() - 1))), size)
             }
             WalkMode::Virtualized => {
                 let guest_path = tables.guest_walk(gva)?;
@@ -417,6 +427,18 @@ mod tests {
         let virt = wv.walk(CoreId(0), space(), gva, &tv, &mut hv, &mut dv, Cycles::ZERO).unwrap();
         assert!(virt.latency > native.latency);
         assert!(virt.mem_refs > native.mem_refs);
+    }
+
+    #[test]
+    fn native_walk_of_unaligned_address_returns_page_base() {
+        let (mut t, mut h, mut d, mut w) = setup(WalkMode::Native);
+        let base_va = Gva::new(0x2000_0000_0000);
+        let hpa = t.ensure_mapped(base_va, PageSize::Large2M);
+        let out = w
+            .walk(CoreId(0), space(), Gva::new(0x2000_0000_e1c0), &t, &mut h, &mut d, Cycles::ZERO)
+            .unwrap();
+        assert_eq!(out.page_base, hpa, "offset must not leak into the page base");
+        assert_eq!(out.size, PageSize::Large2M);
     }
 
     #[test]

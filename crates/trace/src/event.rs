@@ -1,0 +1,493 @@
+//! Typed OS/hypervisor events interleaved with the memory-reference stream.
+//!
+//! Section 2.2 of the paper argues the POM-TLB keeps TLB *consistency*
+//! manageable — a shootdown must reach the per-core SRAM TLBs, the in-DRAM
+//! array, **and** any data-cache-resident copies of POM-TLB lines. To
+//! exercise that machinery, the trace layer can weave a stream of OS events
+//! between the memory references of each core, scheduled by the same
+//! cumulative instruction count the [`crate::Interleaver`] orders by:
+//!
+//! * [`OsEventKind::UnmapPage`] — `munmap`/page reclaim: the translation
+//!   becomes stale everywhere at once;
+//! * [`OsEventKind::RemapPage`] — copy-on-write break, compaction or
+//!   swap-in: unmap immediately followed by a mapping to a fresh frame;
+//! * [`OsEventKind::PromotePage`] — THP-style promotion of a 2 MB-aligned
+//!   window of 4 KB pages (the OS shoots down every constituent PTE);
+//! * [`OsEventKind::MigrateProcess`] — the scheduler moves the process off
+//!   the observed core, invalidating that core's per-space SRAM TLB and
+//!   paging-structure-cache state;
+//! * [`OsEventKind::DestroyVm`] — VM teardown: every translation owned by
+//!   the VM dies in every structure.
+//!
+//! Event streams are deterministic in the seed and — crucially — drawn from
+//! an RNG *separate* from the reference generator's, so enabling events
+//! never perturbs the reference stream itself.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use pomtlb_types::{AddressSpace, Gva, PageSize};
+
+use crate::generator::{AddressLayout, TraceGenerator};
+use crate::record::MemoryRef;
+use crate::spec::WorkloadSpec;
+
+/// 4 KB pages per 2 MB promotion window.
+pub const PROMOTE_WINDOW_PAGES: u64 = 512;
+
+/// What the OS or hypervisor did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OsEventKind {
+    /// One page unmapped; its translation is stale at every level.
+    UnmapPage {
+        /// Base guest-virtual address of the page.
+        va: Gva,
+        /// The mapping's page size.
+        size: PageSize,
+    },
+    /// One page unmapped and immediately remapped to a fresh frame
+    /// (copy-on-write break, compaction, swap-in).
+    RemapPage {
+        /// Base guest-virtual address of the page.
+        va: Gva,
+        /// The mapping's page size.
+        size: PageSize,
+    },
+    /// THP-style promotion: the OS shoots down every 4 KB mapping inside a
+    /// 2 MB-aligned window in one broadcast round.
+    PromotePage {
+        /// First address of the 2 MB-aligned window of 4 KB pages.
+        window_base: Gva,
+    },
+    /// The scheduler migrated the issuing process off the observed core;
+    /// that core's per-space TLB and PSC state is dead weight.
+    MigrateProcess {
+        /// Destination core (informational; the source core is the one the
+        /// event stream belongs to).
+        to_core: u16,
+    },
+    /// The hypervisor tore down the VM: all of its translations die.
+    DestroyVm,
+}
+
+/// One scheduled OS event, ordered by the owning core's instruction count
+/// exactly like a [`MemoryRef`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OsEvent {
+    /// Cumulative instruction count of the owning core when the event fires.
+    pub icount: u64,
+    /// The address space the event acts on.
+    pub space: AddressSpace,
+    /// What happened.
+    pub kind: OsEventKind,
+}
+
+/// OS-event rates, expressed per 10 000 memory references (per core).
+///
+/// All rates default to zero — a spec without events behaves exactly as
+/// before. Rates are converted to instruction-count gaps via the spec's
+/// `refs_per_kilo_instr`, so "1 unmap per 10k refs" holds regardless of the
+/// workload's memory intensity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OsEventRates {
+    /// [`OsEventKind::UnmapPage`] events per 10 000 references.
+    pub unmaps: f64,
+    /// [`OsEventKind::RemapPage`] events per 10 000 references.
+    pub remaps: f64,
+    /// [`OsEventKind::PromotePage`] events per 10 000 references.
+    pub promotes: f64,
+    /// [`OsEventKind::MigrateProcess`] events per 10 000 references.
+    pub migrations: f64,
+    /// [`OsEventKind::DestroyVm`] events per 10 000 references.
+    pub vm_destroys: f64,
+}
+
+impl OsEventRates {
+    /// An unmap-only event mix (the shootdown-rate sweeps of the CLI).
+    pub fn unmap_heavy(unmaps_per_10k: f64) -> OsEventRates {
+        OsEventRates { unmaps: unmaps_per_10k, ..Default::default() }
+    }
+
+    /// Sum of all rates.
+    pub fn total(&self) -> f64 {
+        self.unmaps + self.remaps + self.promotes + self.migrations + self.vm_destroys
+    }
+
+    /// Whether no events will ever fire.
+    pub fn is_quiet(&self) -> bool {
+        self.total() <= 0.0
+    }
+
+    /// Validates the rates (finite and non-negative).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, r) in [
+            ("unmaps", self.unmaps),
+            ("remaps", self.remaps),
+            ("promotes", self.promotes),
+            ("migrations", self.migrations),
+            ("vm_destroys", self.vm_destroys),
+        ] {
+            if !(r.is_finite() && r >= 0.0) {
+                return Err(format!("os_events.{name} must be finite and >= 0, got {r}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Decorrelates the event RNG from the reference RNG for a shared seed.
+const EVENT_SEED_SALT: u64 = 0x0e5e_0e5e_0e5e_0e5e;
+
+/// Infinite, deterministic generator of one core's [`OsEvent`] stream.
+///
+/// Yields nothing at all when the spec's rates are all zero.
+#[derive(Debug, Clone)]
+pub struct OsEventGenerator {
+    layout: AddressLayout,
+    rng: SmallRng,
+    icount: u64,
+    mean_gap: f64,
+    rates: OsEventRates,
+    total_rate: f64,
+    space: AddressSpace,
+    n_cores: u16,
+}
+
+impl OsEventGenerator {
+    /// Creates a generator for `spec`'s event mix, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec does not validate.
+    pub fn new(spec: &WorkloadSpec, seed: u64, space: AddressSpace, n_cores: u16) -> OsEventGenerator {
+        if let Err(e) = spec.validate() {
+            panic!("invalid workload spec `{}`: {e}", spec.name);
+        }
+        let total_rate = spec.os_events.total();
+        // Mean instruction gap between events: 10k references span
+        // 10_000 * (1000 / rpki) instructions on average.
+        let ref_gap = 1000.0 / spec.refs_per_kilo_instr;
+        let mean_gap = if total_rate > 0.0 { 10_000.0 * ref_gap / total_rate } else { 0.0 };
+        OsEventGenerator {
+            layout: AddressLayout::of_spec(spec),
+            rng: SmallRng::seed_from_u64(seed ^ EVENT_SEED_SALT),
+            icount: 0,
+            mean_gap,
+            rates: spec.os_events,
+            total_rate,
+            space,
+            n_cores: n_cores.max(1),
+        }
+    }
+
+    fn pick_page(&mut self) -> (Gva, PageSize) {
+        let total = self.layout.total_pages().max(1);
+        let idx = self.rng.gen_range(0..total);
+        if idx < self.layout.small_pages || self.layout.large_pages == 0 {
+            let idx = idx.min(self.layout.small_pages.saturating_sub(1));
+            (
+                self.layout.small_base.wrapping_add(idx << PageSize::Small4K.shift()),
+                PageSize::Small4K,
+            )
+        } else {
+            let idx = idx - self.layout.small_pages;
+            (
+                self.layout.large_base.wrapping_add(idx << PageSize::Large2M.shift()),
+                PageSize::Large2M,
+            )
+        }
+    }
+
+    fn pick_kind(&mut self) -> OsEventKind {
+        let draw = self.rng.gen::<f64>() * self.total_rate;
+        let mut edge = self.rates.unmaps;
+        if draw < edge {
+            let (va, size) = self.pick_page();
+            return OsEventKind::UnmapPage { va, size };
+        }
+        edge += self.rates.remaps;
+        if draw < edge {
+            let (va, size) = self.pick_page();
+            return OsEventKind::RemapPage { va, size };
+        }
+        edge += self.rates.promotes;
+        if draw < edge {
+            // A 2 MB-aligned window inside the 4 KB region.
+            let windows = self.layout.small_pages.div_ceil(PROMOTE_WINDOW_PAGES).max(1);
+            let w = self.rng.gen_range(0..windows);
+            let base = self
+                .layout
+                .small_base
+                .wrapping_add((w * PROMOTE_WINDOW_PAGES) << PageSize::Small4K.shift());
+            return OsEventKind::PromotePage { window_base: base };
+        }
+        edge += self.rates.migrations;
+        if draw < edge {
+            let to_core = self.rng.gen_range(0..self.n_cores as u64) as u16;
+            return OsEventKind::MigrateProcess { to_core };
+        }
+        OsEventKind::DestroyVm
+    }
+}
+
+impl Iterator for OsEventGenerator {
+    type Item = OsEvent;
+
+    fn next(&mut self) -> Option<OsEvent> {
+        if self.total_rate <= 0.0 {
+            return None;
+        }
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        let gap = (-self.mean_gap * u.ln()).round().max(1.0) as u64;
+        self.icount += gap;
+        let kind = self.pick_kind();
+        Some(OsEvent { icount: self.icount, space: self.space, kind })
+    }
+}
+
+/// One element of a core's combined trace: a memory reference or an OS
+/// event, both carrying the core's cumulative instruction count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceItem {
+    /// A memory reference.
+    Ref(MemoryRef),
+    /// An OS event.
+    Event(OsEvent),
+}
+
+impl TraceItem {
+    /// The owning core's instruction count at this item.
+    pub fn icount(&self) -> u64 {
+        match self {
+            TraceItem::Ref(r) => r.icount,
+            TraceItem::Event(e) => e.icount,
+        }
+    }
+
+    /// The memory reference, if this item is one.
+    pub fn mem_ref(&self) -> Option<&MemoryRef> {
+        match self {
+            TraceItem::Ref(r) => Some(r),
+            TraceItem::Event(_) => None,
+        }
+    }
+}
+
+/// One core's full trace: references and OS events merged in instruction
+/// order. On an icount tie the event goes first, so an unmap scheduled at
+/// instruction *t* is visible to a reference at the same *t*.
+#[derive(Debug, Clone)]
+pub struct WorkloadStream {
+    refs: TraceGenerator,
+    events: OsEventGenerator,
+    next_ref: Option<MemoryRef>,
+    next_event: Option<OsEvent>,
+}
+
+impl WorkloadStream {
+    /// Builds the combined stream for one core, deterministic in `seed`.
+    /// The reference substream is identical to a bare
+    /// [`TraceGenerator::with_space`] with the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec does not validate.
+    pub fn new(spec: &WorkloadSpec, seed: u64, space: AddressSpace, n_cores: u16) -> WorkloadStream {
+        let mut refs = TraceGenerator::with_space(spec, seed, space);
+        let mut events = OsEventGenerator::new(spec, seed, space, n_cores);
+        let next_ref = refs.next();
+        let next_event = events.next();
+        WorkloadStream { refs, events, next_ref, next_event }
+    }
+
+    /// The address layout the reference substream draws from.
+    pub fn layout(&self) -> AddressLayout {
+        self.refs.layout()
+    }
+}
+
+impl Iterator for WorkloadStream {
+    type Item = TraceItem;
+
+    fn next(&mut self) -> Option<TraceItem> {
+        match (self.next_ref, self.next_event) {
+            (Some(r), Some(e)) if e.icount <= r.icount => {
+                self.next_event = self.events.next();
+                Some(TraceItem::Event(e))
+            }
+            (Some(r), _) => {
+                self.next_ref = self.refs.next();
+                Some(TraceItem::Ref(r))
+            }
+            (None, Some(e)) => {
+                self.next_event = self.events.next();
+                Some(TraceItem::Event(e))
+            }
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LocalityModel;
+    use pomtlb_types::{ProcessId, VmId};
+
+    fn eventful_spec(rates: OsEventRates) -> WorkloadSpec {
+        WorkloadSpec::builder("ev")
+            .footprint_bytes(16 << 20)
+            .large_page_frac(0.25)
+            .locality(LocalityModel::UniformRandom)
+            .os_events(rates)
+            .build()
+    }
+
+    fn all_kinds() -> OsEventRates {
+        OsEventRates { unmaps: 4.0, remaps: 2.0, promotes: 1.0, migrations: 1.0, vm_destroys: 0.5 }
+    }
+
+    #[test]
+    fn quiet_rates_yield_no_events() {
+        let spec = eventful_spec(OsEventRates::default());
+        let mut g = OsEventGenerator::new(&spec, 1, AddressSpace::default(), 4);
+        assert!(g.next().is_none());
+        assert!(spec.os_events.is_quiet());
+    }
+
+    #[test]
+    fn events_are_deterministic_and_ordered() {
+        let spec = eventful_spec(all_kinds());
+        let a: Vec<OsEvent> =
+            OsEventGenerator::new(&spec, 7, AddressSpace::default(), 4).take(200).collect();
+        let b: Vec<OsEvent> =
+            OsEventGenerator::new(&spec, 7, AddressSpace::default(), 4).take(200).collect();
+        assert_eq!(a, b);
+        let mut prev = 0;
+        for e in &a {
+            assert!(e.icount > prev, "strictly increasing icounts");
+            prev = e.icount;
+        }
+    }
+
+    #[test]
+    fn event_targets_stay_inside_layout() {
+        let spec = eventful_spec(all_kinds());
+        let layout = AddressLayout::of_spec(&spec);
+        for e in OsEventGenerator::new(&spec, 3, AddressSpace::default(), 4).take(500) {
+            match e.kind {
+                OsEventKind::UnmapPage { va, size } | OsEventKind::RemapPage { va, size } => {
+                    assert_eq!(layout.page_size_of(va), Some(size), "target {va} mis-sized");
+                    assert_eq!(va.raw() & (size.bytes() - 1), 0, "target {va} unaligned");
+                }
+                OsEventKind::PromotePage { window_base } => {
+                    assert_eq!(
+                        layout.page_size_of(window_base),
+                        Some(PageSize::Small4K),
+                        "window {window_base} outside the 4 KB region"
+                    );
+                    let off = window_base.raw() - layout.small_base.raw();
+                    assert_eq!(off % (PROMOTE_WINDOW_PAGES << 12), 0, "window unaligned");
+                }
+                OsEventKind::MigrateProcess { to_core } => assert!(to_core < 4),
+                OsEventKind::DestroyVm => {}
+            }
+        }
+    }
+
+    #[test]
+    fn rate_controls_event_density() {
+        // ~1 event per 10k refs at rate 1; ~10 at rate 10.
+        let sparse = eventful_spec(OsEventRates::unmap_heavy(1.0));
+        let dense = eventful_spec(OsEventRates::unmap_heavy(10.0));
+        let horizon = {
+            // icount reached by 100k references.
+            let mut g = TraceGenerator::new(&sparse, 5);
+            g.nth(100_000 - 1).unwrap().icount
+        };
+        let count = |spec: &WorkloadSpec| {
+            OsEventGenerator::new(spec, 5, AddressSpace::default(), 4)
+                .take_while(|e| e.icount <= horizon)
+                .count() as f64
+        };
+        let (ns, nd) = (count(&sparse), count(&dense));
+        assert!((5.0..20.0).contains(&ns), "sparse: {ns} events per 100k refs");
+        assert!((60.0..160.0).contains(&nd), "dense: {nd} events per 100k refs");
+        assert!(nd > 4.0 * ns, "rate 10 must fire far more often than rate 1");
+    }
+
+    #[test]
+    fn stream_merges_refs_and_events_in_icount_order() {
+        let spec = eventful_spec(all_kinds());
+        let space = AddressSpace::new(VmId(0), ProcessId(3));
+        let items: Vec<TraceItem> = WorkloadStream::new(&spec, 11, space, 4).take(3000).collect();
+        let mut prev = 0;
+        let mut events = 0;
+        let mut refs = 0;
+        for it in &items {
+            assert!(it.icount() >= prev, "non-decreasing merge order");
+            prev = it.icount();
+            match it {
+                TraceItem::Ref(r) => {
+                    assert_eq!(r.space, space);
+                    refs += 1;
+                }
+                TraceItem::Event(e) => {
+                    assert_eq!(e.space, space);
+                    events += 1;
+                }
+            }
+        }
+        assert!(refs > 0 && events > 0, "both substreams present: {refs} refs, {events} events");
+    }
+
+    #[test]
+    fn events_do_not_perturb_the_reference_substream() {
+        let quiet = eventful_spec(OsEventRates::default());
+        let noisy = eventful_spec(all_kinds());
+        let bare: Vec<MemoryRef> = TraceGenerator::new(&quiet, 9).take(1000).collect();
+        let merged: Vec<MemoryRef> = WorkloadStream::new(&noisy, 9, AddressSpace::default(), 4)
+            .filter_map(|it| it.mem_ref().copied())
+            .take(1000)
+            .collect();
+        assert_eq!(bare, merged, "reference stream must be identical with events on");
+    }
+
+    #[test]
+    fn serde_round_trip_of_event_types() {
+        let events = [
+            OsEvent {
+                icount: 42,
+                space: AddressSpace::new(VmId(1), ProcessId(2)),
+                kind: OsEventKind::UnmapPage { va: Gva::new(0x1000), size: PageSize::Small4K },
+            },
+            OsEvent {
+                icount: 43,
+                space: AddressSpace::default(),
+                kind: OsEventKind::RemapPage { va: Gva::new(0x20_0000), size: PageSize::Large2M },
+            },
+            OsEvent {
+                icount: 44,
+                space: AddressSpace::default(),
+                kind: OsEventKind::PromotePage { window_base: Gva::new(0x20_0000) },
+            },
+            OsEvent {
+                icount: 45,
+                space: AddressSpace::default(),
+                kind: OsEventKind::MigrateProcess { to_core: 3 },
+            },
+            OsEvent { icount: 46, space: AddressSpace::default(), kind: OsEventKind::DestroyVm },
+        ];
+        for e in events {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: OsEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(e, back);
+        }
+        // TraceItem wraps both arms.
+        let item = TraceItem::Event(events[0]);
+        let json = serde_json::to_string(&item).unwrap();
+        let back: TraceItem = serde_json::from_str(&json).unwrap();
+        assert_eq!(item, back);
+    }
+}

@@ -138,7 +138,7 @@ impl TraceGenerator {
             line_repeat: spec.line_repeat,
             last_page: None,
             last_offset: 0,
-            space: space,
+            space,
         }
     }
 
@@ -157,19 +157,20 @@ impl TraceGenerator {
 
         // Temporal locality: often the very same line is touched again
         // (spills, fields, counters); the L1D absorbs these in hardware.
-        if self.last_page.is_some() && self.rng.gen::<f64>() < self.line_repeat {
-            let (page_base, _) = self.last_page.expect("checked above");
-            let kind = if self.rng.gen::<f64>() < self.write_frac {
-                AccessKind::Write
-            } else {
-                AccessKind::Read
-            };
-            return MemoryRef::new(
-                self.icount,
-                page_base.wrapping_add(self.last_offset),
-                kind,
-                self.space,
-            );
+        if let Some((page_base, _)) = self.last_page {
+            if self.rng.gen::<f64>() < self.line_repeat {
+                let kind = if self.rng.gen::<f64>() < self.write_frac {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                return MemoryRef::new(
+                    self.icount,
+                    page_base.wrapping_add(self.last_offset),
+                    kind,
+                    self.space,
+                );
+            }
         }
         let (page_base, size) = match self.last_page {
             Some(last) if self.rng.gen::<f64>() < self.same_page_burst => last,

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod event;
 pub mod file;
 mod generator;
 mod interleave;
@@ -51,14 +52,21 @@ mod record;
 mod spec;
 mod zipf;
 
+pub use event::{
+    OsEvent, OsEventGenerator, OsEventKind, OsEventRates, TraceItem, WorkloadStream,
+    PROMOTE_WINDOW_PAGES,
+};
 pub use file::{write_trace, TraceReader};
 pub use generator::{AddressLayout, TraceGenerator, LARGE_REGION_BASE, SMALL_REGION_BASE};
-pub use interleave::{CoreRef, Interleaver};
+pub use interleave::{CoreItem, CoreRef, Interleaver, Timestamped};
 pub use record::MemoryRef;
 pub use spec::{LocalityModel, WorkloadSpec, WorkloadSpecBuilder};
 pub use zipf::Zipf;
 
 /// Re-exported for downstream crates that need the spec module path.
 pub mod prelude {
-    pub use crate::{Interleaver, LocalityModel, MemoryRef, TraceGenerator, WorkloadSpec};
+    pub use crate::{
+        Interleaver, LocalityModel, MemoryRef, OsEvent, OsEventKind, TraceItem, TraceGenerator,
+        WorkloadSpec, WorkloadStream,
+    };
 }

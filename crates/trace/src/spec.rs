@@ -3,6 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::event::OsEventRates;
+
 /// The page-level locality structure of a synthetic workload.
 ///
 /// See the crate docs for which paper workloads each variant stands in for.
@@ -156,6 +158,11 @@ pub struct WorkloadSpec {
     /// stream would churn the caches an order of magnitude harder than the
     /// programs it stands in for.
     pub line_repeat: f64,
+    /// OS/hypervisor event rates (unmaps, remaps, promotions, migrations,
+    /// VM teardowns) per 10 000 references. Defaults to all-zero — a quiet
+    /// OS — so existing specs and serialized forms are unchanged.
+    #[serde(default)]
+    pub os_events: OsEventRates,
 }
 
 impl WorkloadSpec {
@@ -173,6 +180,7 @@ impl WorkloadSpec {
                 locality: LocalityModel::PointerChase { hot_frac: 0.1, hot_prob: 0.7 },
                 same_page_burst: 0.5,
                 line_repeat: 0.6,
+                os_events: OsEventRates::default(),
             },
         }
     }
@@ -205,7 +213,7 @@ impl WorkloadSpec {
         if !(0.0..=1.0).contains(&self.large_page_frac) {
             return Err(format!("large_page_frac out of range: {}", self.large_page_frac));
         }
-        if !(self.refs_per_kilo_instr > 0.0) {
+        if self.refs_per_kilo_instr.is_nan() || self.refs_per_kilo_instr <= 0.0 {
             return Err("refs_per_kilo_instr must be positive".into());
         }
         if !(0.0..=1.0).contains(&self.write_frac) {
@@ -217,6 +225,7 @@ impl WorkloadSpec {
         if !(0.0..=1.0).contains(&self.line_repeat) {
             return Err(format!("line_repeat out of range: {}", self.line_repeat));
         }
+        self.os_events.validate()?;
         self.locality.validate()
     }
 }
@@ -267,6 +276,12 @@ impl WorkloadSpecBuilder {
     /// Sets the exact-line repetition probability.
     pub fn line_repeat(mut self, prob: f64) -> Self {
         self.spec.line_repeat = prob;
+        self
+    }
+
+    /// Sets the OS-event rates (per 10 000 references).
+    pub fn os_events(mut self, rates: OsEventRates) -> Self {
+        self.spec.os_events = rates;
         self
     }
 
@@ -329,6 +344,14 @@ mod tests {
     #[should_panic(expected = "invalid workload spec")]
     fn builder_rejects_bad_fraction() {
         WorkloadSpec::builder("w").write_frac(1.5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload spec")]
+    fn builder_rejects_negative_event_rate() {
+        WorkloadSpec::builder("w")
+            .os_events(OsEventRates { unmaps: -1.0, ..Default::default() })
+            .build();
     }
 
     #[test]

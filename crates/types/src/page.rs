@@ -181,7 +181,7 @@ mod tests {
     fn ppn_with_offset_recomposes() {
         let pa = Hpa::new(0x8_0000_2abc);
         let ppn = Ppn::of(pa, PageSize::Small4K);
-        assert_eq!(ppn.with_offset(PageSize::Small4K, 0x2abc ^ 0), Hpa::new(ppn.base(PageSize::Small4K).raw() | 0xabc));
+        assert_eq!(ppn.with_offset(PageSize::Small4K, 0x2abc), Hpa::new(ppn.base(PageSize::Small4K).raw() | 0xabc));
     }
 
     proptest! {

@@ -208,7 +208,7 @@ pub fn all() -> Vec<PaperWorkload> {
         // Graph: BFS on a synthetic power-law graph.
         workload!("graph500", Suite::Graph,
             t2: [1.03, 7.66, 79.0, 80.0, 7.0],
-            footprint: 1 * GB, rpki: 270.0, writes: 0.20, burst: 0.25,
+            footprint: GB, rpki: 270.0, writes: 0.20, burst: 0.25,
             locality: LocalityModel::Mixed(vec![
                 (0.22, LocalityModel::TlbConflictSet { pages: 24, stride_pages: 128 }),
                 (0.45, LocalityModel::WorkingSetWindow { window_pages: 1792, dwell: 25_000 }),

@@ -2,8 +2,9 @@
 //! shootdowns, VM flushes, and the mostly-inclusive relationship between
 //! SRAM TLBs, cached POM-TLB lines and the in-DRAM structure.
 
-use pom_tlb::{Scheme, System, SystemConfig};
+use pom_tlb::{Scheme, SimConfig, Simulation, System, SystemConfig};
 use pomtlb_tlb::{VirtTables, WalkMode};
+use pomtlb_trace::{LocalityModel, OsEventRates, WorkloadSpec};
 use pomtlb_types::{AccessKind, AddressSpace, CoreId, Cycles, Gva, PageSize, ProcessId, VmId};
 
 fn system() -> System {
@@ -121,6 +122,71 @@ fn large_and_small_translations_coexist_for_one_space() {
     sys.shootdown(s, large_va, PageSize::Large2M);
     assert!(!sys.pom().contains(s, large_va, PageSize::Large2M));
     assert!(sys.pom().contains(s, small_va, PageSize::Small4K));
+}
+
+fn eventful(name: &str, rates: OsEventRates) -> WorkloadSpec {
+    WorkloadSpec::builder(name)
+        .footprint_bytes(16 << 20)
+        .large_page_frac(0.25)
+        .locality(LocalityModel::UniformRandom)
+        .os_events(rates)
+        .build()
+}
+
+#[test]
+fn event_stream_stays_consistent_for_every_scheme() {
+    // The end-to-end acceptance check: a run with every OS event kind
+    // active, with the stale-translation watchdog armed, must complete
+    // without the watchdog firing — for all four schemes. Each unmap or
+    // remap leaves a dead translation at up to five levels; any missed
+    // invalidation panics the run.
+    let rates = OsEventRates {
+        unmaps: 5.0,
+        remaps: 2.0,
+        promotes: 0.5,
+        migrations: 1.0,
+        vm_destroys: 0.1,
+    };
+    let cfg = SimConfig { refs_per_core: 20_000, warmup_per_core: 10_000, seed: 3 };
+    for scheme in [Scheme::Baseline, Scheme::SharedL2, Scheme::Tsb, Scheme::pom_tlb()] {
+        let r = Simulation::new(&eventful("consistency", rates), scheme, cfg)
+            .with_system_config(SystemConfig { n_cores: 2, ..Default::default() })
+            .check_consistency(true)
+            .run();
+        let s = r.shootdowns;
+        assert!(s.events > 0, "{scheme:?} handled no events");
+        assert!(s.unmaps > 0, "{scheme:?}: {s:?}");
+        assert!(s.total_invalidations() > 0, "{scheme:?}: {s:?}");
+        assert!(s.penalty > Cycles::ZERO, "{scheme:?}");
+        // Shootdowns must not break the per-miss resolution accounting.
+        assert_eq!(
+            r.resolved_l2d
+                + r.resolved_l3d
+                + r.resolved_pom_dram
+                + r.resolved_shared_l2
+                + r.resolved_tsb
+                + r.page_walks,
+            r.l2_tlb_misses,
+            "{scheme:?}: every miss resolves exactly once, events or not"
+        );
+    }
+}
+
+#[test]
+fn unmap_rate_sweep_orders_consistency_costs() {
+    let cfg = SimConfig { refs_per_core: 15_000, warmup_per_core: 5_000, seed: 5 };
+    let run = |rate: f64| {
+        Simulation::new(&eventful("sweep", OsEventRates::unmap_heavy(rate)), Scheme::pom_tlb(), cfg)
+            .with_system_config(SystemConfig { n_cores: 2, ..Default::default() })
+            .check_consistency(true)
+            .run()
+    };
+    let (r0, r1, r10) = (run(0.0), run(1.0), run(10.0));
+    assert_eq!(r0.shootdowns.events, 0, "quiet spec stays quiet");
+    assert!(r1.shootdowns.events > 0);
+    assert!(r10.shootdowns.events > r1.shootdowns.events);
+    assert!(r10.shootdowns.penalty > r1.shootdowns.penalty);
+    assert!(r10.shootdowns.total_invalidations() > r1.shootdowns.total_invalidations());
 }
 
 #[test]

@@ -90,7 +90,7 @@ fn figure12_caching_ablation_direction() {
         cached.p_avg()
     );
     assert!((uncached.walks_eliminated() - cached.walks_eliminated()).abs() < 0.02);
-    assert_eq!(cached.resolved_l2d + cached.resolved_l3d > 0, true);
+    assert!(cached.resolved_l2d + cached.resolved_l3d > 0);
     assert_eq!(uncached.resolved_l2d + uncached.resolved_l3d, 0, "no cache resolution when disabled");
 }
 
