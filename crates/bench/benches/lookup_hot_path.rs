@@ -1,0 +1,78 @@
+//! The per-reference MMU lookup flow in isolation, per scheme.
+//!
+//! `full_system` (system_micro.rs) measures end-to-end simulation
+//! throughput including trace generation and warmup; this bench drives
+//! `System::access` directly over a pre-mapped page pool, so a regression
+//! in the translation hot path — SRAM TLB probes, Eq. (1) set addressing,
+//! data-cache probes, the nested walker — shows up on its own instead of
+//! diluted by everything around it.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pom_tlb::{Scheme, System, SystemConfig};
+use pomtlb_tlb::{VirtTables, WalkMode};
+use pomtlb_types::{AccessKind, AddressSpace, CoreId, Cycles, Gva, PageSize, ProcessId, VmId};
+
+/// Pages in the pool: enough to overflow the SRAM TLBs (1536 L2 TLB
+/// entries) so the POM-TLB / walker paths actually run.
+const PAGES: u64 = 4096;
+const BASE: u64 = 0x1000_0000_0000;
+
+fn mapped_tables() -> VirtTables {
+    let mut tables = VirtTables::new(WalkMode::Virtualized);
+    for i in 0..PAGES {
+        tables.ensure_mapped(Gva::new(BASE + (i << 12)), PageSize::Small4K);
+    }
+    tables
+}
+
+/// Deterministic xorshift address stream over the page pool.
+struct AddrStream(u64);
+
+impl AddrStream {
+    fn next_va(&mut self) -> Gva {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        Gva::new(BASE + ((x % PAGES) << 12) + (x & 0xfc0))
+    }
+}
+
+fn lookup_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lookup_hot_path");
+    let tables = mapped_tables();
+    let space = AddressSpace::new(VmId(0), ProcessId(0));
+
+    for scheme in [Scheme::Baseline, Scheme::SharedL2, Scheme::Tsb, Scheme::pom_tlb()] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(
+            BenchmarkId::new("access", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                let mut system = System::new(SystemConfig::default(), scheme);
+                let mut stream = AddrStream(0x90af);
+                let mut now = Cycles::ZERO;
+                // Warm the structures so the steady-state mix of hits and
+                // misses is what gets measured, not a cold ramp.
+                for _ in 0..20_000 {
+                    let va = stream.next_va();
+                    let (lat, _) =
+                        system.access(CoreId(0), space, va, AccessKind::Read, &tables, now);
+                    now += lat;
+                }
+                b.iter(|| {
+                    let va = stream.next_va();
+                    let (lat, penalty) =
+                        system.access(CoreId(0), space, va, AccessKind::Read, &tables, now);
+                    now += lat;
+                    black_box(penalty)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, lookup_hot_path);
+criterion_main!(benches);

@@ -1,11 +1,17 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--json DIR] [ARTIFACT...]
+//! experiments [--quick] [--jobs N] [--json DIR] [ARTIFACT...]
 //!
 //! ARTIFACT: table1 table2 fig1 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12
 //!           capacity cores assoc predictor-sweep all   (default: all)
 //! ```
+//!
+//! With `--jobs N > 1` the artifact builders are first walked in the
+//! matrix's *plan mode* to discover every simulation they need, the whole
+//! batch runs on a worker pool, and the builders then replay against the
+//! warm cache — so stdout and the JSON in `--json DIR` are byte-identical
+//! to a serial run.
 
 use std::fs;
 use std::process::ExitCode;
@@ -16,6 +22,7 @@ use pomtlb_bench::matrix::{ExpConfig, Matrix};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut jobs = 1usize;
     let mut json_dir: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -26,6 +33,20 @@ fn main() -> ExitCode {
                 Some(dir) => json_dir = Some(dir),
                 None => {
                     eprintln!("--json needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" | "-j" => match it.next() {
+                Some(v) if v == "auto" => jobs = pom_tlb::default_jobs(),
+                Some(v) => match v.parse() {
+                    Ok(n) => jobs = n,
+                    Err(_) => {
+                        eprintln!("--jobs needs a number or `auto`, got `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("--jobs needs a value");
                     return ExitCode::FAILURE;
                 }
             },
@@ -49,32 +70,26 @@ fn main() -> ExitCode {
     let mut matrix = Matrix::new(cfg);
     let mut produced: Vec<Figure> = Vec::new();
 
+    if let Some(unknown) = wanted.iter().find(|n| !ALL_ARTIFACTS.contains(&n.as_str())) {
+        eprintln!("unknown artifact `{unknown}`");
+        print_help();
+        return ExitCode::FAILURE;
+    }
+
+    if jobs > 1 {
+        // Planning pass: walk every builder against placeholder reports to
+        // collect the full simulation batch, run it on the pool, and leave
+        // the cache warm. The real pass below then replays from the cache
+        // and emits byte-identical output to a serial run.
+        matrix.set_planning(true);
+        for name in &wanted {
+            let _ = build(name, &mut matrix);
+        }
+        matrix.execute_plan(jobs);
+    }
+
     for name in &wanted {
-        let fig = match name.as_str() {
-            "table1" => figures::table1(),
-            "table2" => figures::table2(),
-            "fig1" => figures::fig1(),
-            "fig2" => figures::fig2(&mut matrix),
-            "fig3" => figures::fig3(&mut matrix),
-            "fig4" => figures::fig4(),
-            "fig8" => figures::fig8(&mut matrix),
-            "fig9" => figures::fig9(&mut matrix),
-            "fig10" => figures::fig10(&mut matrix),
-            "fig11" => figures::fig11(&mut matrix),
-            "fig12" => figures::fig12(&mut matrix),
-            "capacity" => figures::capacity(&mut matrix),
-            "cores" => figures::cores(&mut matrix),
-            "assoc" => figures::assoc(&mut matrix),
-            "predictor-sweep" => figures::predictor_sweep(&mut matrix),
-            "tlb-aware" => figures::ext_tlb_aware(&mut matrix),
-            "skew" => figures::skew(),
-            "vm-switching" => figures::vm_switching(),
-            other => {
-                eprintln!("unknown artifact `{other}`");
-                print_help();
-                return ExitCode::FAILURE;
-            }
-        };
+        let fig = build(name, &mut matrix).expect("artifact names are validated above");
         println!("{}", fig.render());
         produced.push(fig);
     }
@@ -97,6 +112,31 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Builds one named artifact against `matrix` (which may be in plan mode).
+fn build(name: &str, matrix: &mut Matrix) -> Option<Figure> {
+    Some(match name {
+        "table1" => figures::table1(),
+        "table2" => figures::table2(),
+        "fig1" => figures::fig1(),
+        "fig2" => figures::fig2(matrix),
+        "fig3" => figures::fig3(matrix),
+        "fig4" => figures::fig4(),
+        "fig8" => figures::fig8(matrix),
+        "fig9" => figures::fig9(matrix),
+        "fig10" => figures::fig10(matrix),
+        "fig11" => figures::fig11(matrix),
+        "fig12" => figures::fig12(matrix),
+        "capacity" => figures::capacity(matrix),
+        "cores" => figures::cores(matrix),
+        "assoc" => figures::assoc(matrix),
+        "predictor-sweep" => figures::predictor_sweep(matrix),
+        "tlb-aware" => figures::ext_tlb_aware(matrix),
+        "skew" => figures::skew(),
+        "vm-switching" => figures::vm_switching(),
+        _ => return None,
+    })
+}
+
 const ALL_ARTIFACTS: &[&str] = &[
     "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig8", "fig9", "fig10", "fig11",
     "fig12", "capacity", "cores", "assoc", "predictor-sweep", "tlb-aware", "skew",
@@ -104,6 +144,6 @@ const ALL_ARTIFACTS: &[&str] = &[
 ];
 
 fn print_help() {
-    eprintln!("usage: experiments [--quick] [--json DIR] [ARTIFACT...]");
+    eprintln!("usage: experiments [--quick] [--jobs N|auto] [--json DIR] [ARTIFACT...]");
     eprintln!("artifacts: {}", ALL_ARTIFACTS.join(" "));
 }

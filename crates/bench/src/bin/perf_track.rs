@@ -1,0 +1,180 @@
+//! Reproducible perf-tracking harness: runs a pinned reference matrix and
+//! writes `BENCH_perf.json`, so the simulator's performance trajectory is
+//! tracked commit over commit.
+//!
+//! ```text
+//! perf_track [--out PATH] [--jobs N|auto] [--refs N] [--warmup N]
+//! ```
+//!
+//! The matrix is fixed — three workloads spanning the paper's suites
+//! (`gups`, `mcf`, `streamcluster`) × all four schemes at reduced ref
+//! counts — and every job is seeded, so two runs on the same machine do the
+//! same work. The harness runs the matrix twice: serially (`--jobs 1`) for
+//! per-job wall time and single-thread refs/sec, then on the worker pool
+//! for the end-to-end speedup. It also cross-checks that both runs produced
+//! byte-identical reports (the runner's determinism contract) and fails
+//! loudly if they did not.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pom_tlb::{default_jobs, run_jobs, Scheme, SimConfig, SimJob};
+use pomtlb_workloads::by_name;
+
+type SchemeCtor = fn() -> Scheme;
+
+const WORKLOADS: [&str; 3] = ["gups", "mcf", "streamcluster"];
+const SCHEMES: [(&str, SchemeCtor); 4] = [
+    ("baseline", || Scheme::Baseline),
+    ("shared_l2", || Scheme::SharedL2),
+    ("tsb", || Scheme::Tsb),
+    ("pom_tlb", Scheme::pom_tlb),
+];
+
+#[derive(serde::Serialize)]
+struct JobRow {
+    label: String,
+    refs: u64,
+    wall_ms: f64,
+    refs_per_sec: f64,
+}
+
+#[derive(serde::Serialize)]
+struct PerfRecord {
+    /// Matrix shape, so a changed pin shows up in the diff.
+    workloads: Vec<String>,
+    schemes: Vec<String>,
+    refs_per_core: u64,
+    warmup_per_core: u64,
+    seed: u64,
+    host_cores: usize,
+    jobs: usize,
+    /// Serial run: one worker, per-job accounting.
+    serial_wall_ms: f64,
+    serial_refs_per_sec: f64,
+    serial_jobs: Vec<JobRow>,
+    /// Pooled run of the identical batch.
+    parallel_wall_ms: f64,
+    speedup: f64,
+    /// Whether the serial and pooled runs produced byte-identical reports.
+    deterministic: bool,
+}
+
+fn batch(refs: u64, warmup: u64) -> Vec<SimJob> {
+    let sim = SimConfig { refs_per_core: refs, warmup_per_core: warmup, seed: 0x90af };
+    let mut jobs = Vec::new();
+    for name in WORKLOADS {
+        let w = by_name(name).expect("pinned workload exists");
+        for (slabel, scheme) in SCHEMES {
+            let mut spec = w.spec.clone();
+            spec.os_events = Default::default();
+            jobs.push(
+                SimJob::new(format!("{name}/{slabel}"), &spec, scheme(), sim)
+                    .shared_memory(w.suite.shares_memory()),
+            );
+        }
+    }
+    jobs
+}
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_perf.json".to_string();
+    let mut jobs_n = default_jobs();
+    let mut refs = 8_000u64;
+    let mut warmup = 4_000u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let r = match a.as_str() {
+            "--out" => value("--out").map(|v| out = v.clone()),
+            "--jobs" | "-j" => value("--jobs").and_then(|v| {
+                if v == "auto" {
+                    jobs_n = default_jobs();
+                    Ok(())
+                } else {
+                    v.parse().map(|n| jobs_n = n).map_err(|_| format!("bad --jobs `{v}`"))
+                }
+            }),
+            "--refs" => value("--refs")
+                .and_then(|v| v.parse().map(|n| refs = n).map_err(|_| format!("bad --refs `{v}`"))),
+            "--warmup" => value("--warmup").and_then(|v| {
+                v.parse().map(|n| warmup = n).map_err(|_| format!("bad --warmup `{v}`"))
+            }),
+            other => Err(format!("unknown flag `{other}`")),
+        };
+        if let Err(e) = r {
+            eprintln!("{e}");
+            eprintln!("usage: perf_track [--out PATH] [--jobs N|auto] [--refs N] [--warmup N]");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!(
+        "perf_track: {} jobs ({} workloads x {} schemes), {refs} refs/core, pool of {jobs_n}",
+        WORKLOADS.len() * SCHEMES.len(),
+        WORKLOADS.len(),
+        SCHEMES.len(),
+    );
+
+    let serial_start = Instant::now();
+    let serial = run_jobs(batch(refs, warmup), 1);
+    let serial_wall = serial_start.elapsed();
+
+    let parallel_start = Instant::now();
+    let parallel = run_jobs(batch(refs, warmup), jobs_n);
+    let parallel_wall = parallel_start.elapsed();
+
+    let deterministic = serial.len() == parallel.len()
+        && serial.iter().zip(&parallel).all(|(a, b)| {
+            serde_json::to_string(&a.report).expect("report serializes")
+                == serde_json::to_string(&b.report).expect("report serializes")
+        });
+
+    let total_refs: u64 = serial.iter().map(|r| r.report.refs).sum();
+    let serial_secs = serial_wall.as_secs_f64();
+    let record = PerfRecord {
+        workloads: WORKLOADS.iter().map(|s| s.to_string()).collect(),
+        schemes: SCHEMES.iter().map(|(s, _)| s.to_string()).collect(),
+        refs_per_core: refs,
+        warmup_per_core: warmup,
+        seed: 0x90af,
+        host_cores: default_jobs(),
+        jobs: jobs_n,
+        serial_wall_ms: serial_secs * 1e3,
+        serial_refs_per_sec: if serial_secs > 0.0 { total_refs as f64 / serial_secs } else { 0.0 },
+        serial_jobs: serial
+            .iter()
+            .map(|r| JobRow {
+                label: r.label.clone(),
+                refs: r.report.refs,
+                wall_ms: r.wall.as_secs_f64() * 1e3,
+                refs_per_sec: r.refs_per_sec(),
+            })
+            .collect(),
+        parallel_wall_ms: parallel_wall.as_secs_f64() * 1e3,
+        speedup: if parallel_wall.as_secs_f64() > 0.0 {
+            serial_secs / parallel_wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        deterministic,
+    };
+
+    let json = serde_json::to_string_pretty(&record).expect("record serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "perf_track: serial {:.0} ms, pooled {:.0} ms on {} workers -> {:.2}x; wrote {out}",
+        record.serial_wall_ms, record.parallel_wall_ms, jobs_n, record.speedup
+    );
+    if !deterministic {
+        eprintln!("perf_track: FAIL — pooled reports differ from serial reports");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

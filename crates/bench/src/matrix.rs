@@ -1,9 +1,9 @@
 //! Memoized simulation matrix and the anchored performance model.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use pom_tlb::perf_model::improvement_pct;
-use pom_tlb::{Scheme, SimConfig, SimReport, Simulation, SystemConfig};
+use pom_tlb::{run_jobs, Scheme, SimConfig, SimJob, SimReport, SystemConfig};
 use pomtlb_tlb::WalkMode;
 use pomtlb_workloads::PaperWorkload;
 
@@ -60,6 +60,13 @@ impl ExpConfig {
 pub struct Matrix {
     cfg: ExpConfig,
     cache: HashMap<(String, String), SimReport>,
+    /// In plan mode, `report_with` records the job it *would* run and
+    /// returns a zeroed placeholder instead of simulating. Jobs are kept in
+    /// first-request order (deduplicated), so `execute_plan` warms the
+    /// cache deterministically.
+    planning: bool,
+    planned: Vec<((String, String), SimJob)>,
+    planned_keys: HashSet<(String, String)>,
     /// Echo each run to stderr as it happens (the full matrix takes a
     /// couple of minutes; silence is unnerving).
     pub verbose: bool,
@@ -68,7 +75,44 @@ pub struct Matrix {
 impl Matrix {
     /// Creates an empty matrix.
     pub fn new(cfg: ExpConfig) -> Matrix {
-        Matrix { cfg, cache: HashMap::new(), verbose: true }
+        Matrix {
+            cfg,
+            cache: HashMap::new(),
+            planning: false,
+            planned: Vec::new(),
+            planned_keys: HashSet::new(),
+            verbose: true,
+        }
+    }
+
+    /// Switches plan mode on or off. While planning, `report_with` records
+    /// jobs instead of running them and hands back placeholder reports
+    /// ([`SimReport::placeholder`] — every rate is 0, never a panic), so a
+    /// figure builder can be walked cheaply to discover its simulations.
+    pub fn set_planning(&mut self, on: bool) {
+        self.planning = on;
+    }
+
+    /// Runs every planned job on `n_workers` threads (see
+    /// [`pom_tlb::run_jobs`]) and moves the reports into the cache, then
+    /// leaves plan mode. Rebuilding the same figures afterwards replays
+    /// entirely from the warm cache, so output is byte-identical to a
+    /// serial run — each job owns its seed and the cache is keyed exactly
+    /// like serial memoization.
+    pub fn execute_plan(&mut self, n_workers: usize) {
+        self.planning = false;
+        let planned = std::mem::take(&mut self.planned);
+        self.planned_keys.clear();
+        if planned.is_empty() {
+            return;
+        }
+        if self.verbose {
+            eprintln!("  [plan] {} simulations on {} workers", planned.len(), n_workers);
+        }
+        let (keys, jobs): (Vec<_>, Vec<_>) = planned.into_iter().unzip();
+        for (key, result) in keys.into_iter().zip(run_jobs(jobs, n_workers)) {
+            self.cache.insert(key, result.report);
+        }
     }
 
     /// The run-length configuration.
@@ -95,13 +139,19 @@ impl Matrix {
         if let Some(r) = self.cache.get(&key) {
             return r.clone();
         }
+        let job = SimJob::new(format!("{}/{}/{variant}", w.name, scheme.label()), &w.spec, scheme, self.cfg.sim())
+            .with_system_config(sys)
+            .shared_memory(w.suite.shares_memory());
+        if self.planning {
+            if self.planned_keys.insert(key.clone()) {
+                self.planned.push((key, job));
+            }
+            return SimReport::placeholder(scheme, w.name, 0);
+        }
         if self.verbose {
             eprintln!("  [sim] {} / {} / {variant}", w.name, scheme.label());
         }
-        let report = Simulation::new(&w.spec, scheme, self.cfg.sim())
-            .shared_memory(w.suite.shares_memory())
-            .with_system_config(sys)
-            .run();
+        let report = job.run();
         self.cache.insert(key, report.clone());
         report
     }
@@ -189,6 +239,38 @@ mod tests {
         let w = by_name("mcf").unwrap();
         assert!(m.p_anchor(&w) >= w.table2.cycles_per_miss_virtual);
         assert!(m.kappa(&w) >= 1.0);
+    }
+
+    #[test]
+    fn plan_then_execute_matches_serial() {
+        let w = by_name("streamcluster").unwrap();
+
+        let mut serial = Matrix::new(tiny());
+        serial.verbose = false;
+        let want_base = serial.baseline(&w);
+        let want_pom = serial.report(&w, Scheme::pom_tlb());
+
+        let mut planned = Matrix::new(tiny());
+        planned.verbose = false;
+        planned.set_planning(true);
+        // Placeholders during planning: identity only, all counters zero.
+        let ph = planned.baseline(&w);
+        assert_eq!(ph.refs, 0);
+        let _ = planned.report(&w, Scheme::pom_tlb());
+        let _ = planned.baseline(&w); // duplicate request is deduplicated
+        planned.execute_plan(2);
+
+        // Replay comes from the warm cache and matches the serial run.
+        let a = planned.baseline(&w);
+        let b = planned.report(&w, Scheme::pom_tlb());
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&want_base).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&b).unwrap(),
+            serde_json::to_string(&want_pom).unwrap()
+        );
     }
 
     #[test]

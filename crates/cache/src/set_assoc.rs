@@ -67,6 +67,12 @@ pub struct SetAssocCache {
     config: CacheConfig,
     sets: u64,
     ways: usize,
+    /// `sets - 1` when `sets` is a power of two (every Table 1 geometry):
+    /// the per-access set/tag split then strength-reduces from `%` / `/`
+    /// to mask / shift. Zero means "not a power of two, divide".
+    set_mask: u64,
+    /// `log2(sets)` companion to `set_mask`.
+    set_shift: u32,
     lines: Vec<Line>,
     clock: u64,
     stats: CacheStats,
@@ -81,10 +87,13 @@ impl SetAssocCache {
     pub fn new(config: CacheConfig) -> SetAssocCache {
         let sets = config.sets();
         let ways = config.ways as usize;
+        let pow2 = sets.is_power_of_two();
         SetAssocCache {
             config,
             sets,
             ways,
+            set_mask: if pow2 { sets - 1 } else { 0 },
+            set_shift: if pow2 { sets.trailing_zeros() } else { 0 },
             lines: vec![INVALID; (sets as usize) * ways],
             clock: 0,
             stats: CacheStats::default(),
@@ -99,7 +108,11 @@ impl SetAssocCache {
     #[inline]
     fn set_and_tag(&self, addr: Hpa) -> (usize, u64) {
         let line = addr.line_index();
-        ((line % self.sets) as usize, line / self.sets)
+        if self.set_mask != 0 {
+            ((line & self.set_mask) as usize, line >> self.set_shift)
+        } else {
+            ((line % self.sets) as usize, line / self.sets)
+        }
     }
 
     #[inline]
@@ -199,10 +212,7 @@ impl SetAssocCache {
 
     /// Checks residency without updating LRU or statistics.
     pub fn contains(&self, addr: Hpa) -> bool {
-        let (set, tag) = {
-            let line = addr.line_index();
-            ((line % self.sets) as usize, line / self.sets)
-        };
+        let (set, tag) = self.set_and_tag(addr);
         let start = set * self.ways;
         self.lines[start..start + self.ways]
             .iter()

@@ -13,7 +13,7 @@
 use std::process::ExitCode;
 
 use pom_tlb::{
-    PomTlbConfig, Scheme, ShootdownStats, SimConfig, SimReport, Simulation, SystemConfig,
+    run_jobs, PomTlbConfig, Scheme, ShootdownStats, SimConfig, SimJob, SimReport, SystemConfig,
 };
 use pomtlb_tlb::WalkMode;
 use pomtlb_trace::OsEventRates;
@@ -60,6 +60,7 @@ struct Options {
     events: OsEventRates,
     check_consistency: bool,
     json: bool,
+    jobs: usize,
 }
 
 impl Default for Options {
@@ -77,6 +78,7 @@ impl Default for Options {
             events: OsEventRates::default(),
             check_consistency: false,
             json: false,
+            jobs: 1,
         }
     }
 }
@@ -111,6 +113,14 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--check-consistency" => o.check_consistency = true,
             "--json" => o.json = true,
+            "--jobs" | "-j" => {
+                let v = value("--jobs")?;
+                o.jobs = if v == "auto" {
+                    pom_tlb::default_jobs()
+                } else {
+                    num(&v)? as usize
+                };
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -163,18 +173,22 @@ fn run_command(args: &[String], kind: CommandKind) -> ExitCode {
             emit(&w, &[report], &opts);
         }
         CommandKind::Compare => {
-            let reports: Vec<SimReport> =
+            let jobs: Vec<SimJob> =
                 [Scheme::Baseline, Scheme::pom_tlb(), Scheme::SharedL2, Scheme::Tsb]
                     .into_iter()
-                    .map(|s| simulate(&w, s, &opts))
+                    .map(|s| job_for(&w, s, &opts))
                     .collect();
+            let reports: Vec<SimReport> =
+                run_jobs(jobs, opts.jobs).into_iter().map(|r| r.report).collect();
             emit(&w, &reports, &opts);
         }
     }
     ExitCode::SUCCESS
 }
 
-fn simulate(w: &PaperWorkload, scheme: Scheme, o: &Options) -> SimReport {
+/// Builds the fully-specified job `simulate` would run, so batched commands
+/// (compare, sweeps) can hand the same configuration to the parallel runner.
+fn job_for(w: &PaperWorkload, scheme: Scheme, o: &Options) -> SimJob {
     let sys = SystemConfig {
         n_cores: o.cores,
         walk_mode: if o.native { WalkMode::Native } else { WalkMode::Virtualized },
@@ -184,14 +198,18 @@ fn simulate(w: &PaperWorkload, scheme: Scheme, o: &Options) -> SimReport {
     let sim = SimConfig { refs_per_core: o.refs, warmup_per_core: o.warmup, seed: o.seed };
     let mut spec = w.spec.clone();
     spec.os_events = o.events;
-    let mut run = Simulation::new(&spec, scheme, sim)
-        .shared_memory(w.suite.shares_memory())
+    let mut job = SimJob::new(format!("{}/{}", w.name, scheme.label()), &spec, scheme, sim)
         .with_system_config(sys)
-        .prepopulate(o.prepopulate);
+        .shared_memory(w.suite.shares_memory());
+    job.prepopulate = o.prepopulate;
     if o.check_consistency {
-        run = run.check_consistency(true);
+        job.check_consistency = Some(true);
     }
-    run.run()
+    job
+}
+
+fn simulate(w: &PaperWorkload, scheme: Scheme, o: &Options) -> SimReport {
+    job_for(w, scheme, o).run()
 }
 
 /// One row of the `shootdown-sweep` output: scheme × unmap rate, with the
@@ -222,20 +240,32 @@ fn run_sweep(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let mut rows = Vec::new();
+    // Build the whole rate x scheme matrix as independent jobs, then run it
+    // on the worker pool; `run_jobs` keeps submission order, so rows come
+    // back exactly as the serial loop produced them.
+    let mut jobs = Vec::new();
+    let mut rates = Vec::new();
     for rate in [0.0, 1.0, 10.0] {
         for scheme in [Scheme::Baseline, Scheme::SharedL2, Scheme::Tsb, Scheme::pom_tlb()] {
             let mut o = opts.clone();
             o.events = OsEventRates::unmap_heavy(rate);
-            let r = simulate(&w, scheme, &o);
-            rows.push(SweepRow {
+            jobs.push(job_for(&w, scheme, &o));
+            rates.push(rate);
+        }
+    }
+    let rows: Vec<SweepRow> = run_jobs(jobs, opts.jobs)
+        .into_iter()
+        .zip(rates)
+        .map(|(res, rate)| {
+            let r = res.report;
+            SweepRow {
                 unmaps_per_10k: rate,
                 scheme: r.scheme.label().to_string(),
                 p_avg: r.p_avg(),
                 shootdowns: r.shootdowns,
-            });
-        }
-    }
+            }
+        })
+        .collect();
 
     if opts.json {
         println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
@@ -352,6 +382,9 @@ FLAGS:
   --vm-destroys-per-10k X VM-teardown events
   --check-consistency     enable the stale-translation watchdog (panics
                           if any level serves a dead mapping)
+  --jobs N          worker threads for batched commands (compare,
+                    shootdown-sweep); `auto` = all cores. Output is
+                    byte-identical to --jobs 1 (default)
   --json            machine-readable output"
     );
 }
@@ -401,6 +434,15 @@ mod tests {
         assert!(o.check_consistency);
         // Negative rates are rejected by validation.
         assert!(parse(&["--unmaps-per-10k".into(), "-1".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_jobs() {
+        assert_eq!(parse(&[]).unwrap().jobs, 1);
+        assert_eq!(parse(&["--jobs".into(), "4".into()]).unwrap().jobs, 4);
+        assert_eq!(parse(&["-j".into(), "2".into()]).unwrap().jobs, 2);
+        assert!(parse(&["--jobs".into(), "auto".into()]).unwrap().jobs >= 1);
+        assert!(parse(&["--jobs".into(), "x".into()]).is_err());
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod perf_model;
 pub mod pom_tlb;
 pub mod predictor;
 pub mod report;
+pub mod runner;
 pub mod scheme;
 pub mod shootdown;
 pub mod skew;
@@ -74,6 +75,7 @@ pub use mmu::{CoreMmu, MmuHit};
 pub use pom_tlb::{PomLookup, PomTlb, PomTlbStats};
 pub use predictor::{PredictorStats, SizeBypassPredictor};
 pub use report::SimReport;
+pub use runner::{default_jobs, run_jobs, JobResult, SimJob};
 pub use scheme::Scheme;
 pub use shootdown::{ShootdownCost, ShootdownEngine, ShootdownParts, ShootdownStats, StaleChecker};
 pub use skew::SkewPomTlb;

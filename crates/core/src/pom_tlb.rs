@@ -60,7 +60,10 @@ impl PomTlbStats {
 struct Partition {
     size: PageSize,
     base: Hpa,
-    n_sets: u64,
+    /// Set count minus one, precomputed: the set count is asserted to be a
+    /// power of two, so the Eq. (1) index extraction is a single AND per
+    /// lookup.
+    set_mask: u64,
     /// Bytes one set occupies in the address space (16 × ways).
     set_bytes: u64,
     /// `n_sets × ways` slots; LRU ages live in each entry (2 bits).
@@ -80,7 +83,7 @@ impl Partition {
         Partition {
             size,
             base,
-            n_sets,
+            set_mask: n_sets - 1,
             set_bytes,
             slots: vec![None; (n_sets * ways as u64) as usize],
             ways: ways as usize,
@@ -101,7 +104,13 @@ impl Partition {
         let vpn = Vpn::of(va, self.size).0;
         let salt = space.vm.as_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15)
             ^ space.process.as_u64().wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
-        (vpn ^ (salt >> 32)) & (self.n_sets - 1)
+        (vpn ^ (salt >> 32)) & self.set_mask
+    }
+
+    /// Number of sets in this partition.
+    #[cfg(test)]
+    fn n_sets(&self) -> u64 {
+        self.set_mask + 1
     }
 
     fn set_addr(&self, index: u64) -> Hpa {
@@ -352,8 +361,8 @@ mod tests {
         // 16 MB / 16 B = 1 M entries.
         assert_eq!(pom.capacity_entries(), 1 << 20);
         // 8 MB per partition / 64 B per set = 128 Ki sets each.
-        assert_eq!(pom.small.n_sets, 128 << 10);
-        assert_eq!(pom.large.n_sets, 128 << 10);
+        assert_eq!(pom.small.n_sets(), 128 << 10);
+        assert_eq!(pom.large.n_sets(), 128 << 10);
     }
 
     #[test]
@@ -424,7 +433,7 @@ mod tests {
     fn four_way_lru_replacement() {
         let mut pom = tiny();
         let s = space(0);
-        let n_sets = pom.small.n_sets;
+        let n_sets = pom.small.n_sets();
         // Five pages hitting the same set of the 32-set small partition.
         let vas: Vec<Gva> = (0..5).map(|i| Gva::new((7 + i * n_sets) << 12)).collect();
         for (i, va) in vas.iter().enumerate() {
@@ -442,7 +451,7 @@ mod tests {
     fn lookup_refreshes_lru() {
         let mut pom = tiny();
         let s = space(0);
-        let n_sets = pom.small.n_sets;
+        let n_sets = pom.small.n_sets();
         let vas: Vec<Gva> = (0..4).map(|i| Gva::new((3 + i * n_sets) << 12)).collect();
         for va in &vas {
             pom.insert(s, *va, PageSize::Small4K, Hpa::new(0x1000));

@@ -76,6 +76,39 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// An all-zero report carrying only identity fields. Used by planning
+    /// passes (e.g. the bench matrix's parallel prefetch) that must walk
+    /// figure-building code without running simulations; every rate method
+    /// on a placeholder returns 0 rather than dividing by zero.
+    pub fn placeholder(scheme: Scheme, workload: &str, n_cores: usize) -> SimReport {
+        SimReport {
+            scheme,
+            workload: workload.to_string(),
+            n_cores,
+            refs: 0,
+            instructions: 0,
+            l1_tlb_misses: 0,
+            l2_tlb_misses: 0,
+            total_penalty: Cycles::ZERO,
+            walk_penalty: Cycles::ZERO,
+            page_walks: 0,
+            resolved_l2d: 0,
+            resolved_l3d: 0,
+            resolved_pom_dram: 0,
+            resolved_shared_l2: 0,
+            resolved_tsb: 0,
+            size_pred: PredictorStats::default(),
+            bypass_pred: PredictorStats::default(),
+            pom_dram: DramStats::default(),
+            main_dram: DramStats::default(),
+            walker: WalkerStats::default(),
+            l2d_tlb_lines: KindStats::default(),
+            l3d_tlb_lines: KindStats::default(),
+            l3d_data_lines: KindStats::default(),
+            shootdowns: ShootdownStats::default(),
+        }
+    }
+
     /// Average penalty cycles per L2 TLB miss — the simulated
     /// `P_avg^scheme` of Eqs. 3–4. Zero if no misses occurred.
     pub fn p_avg(&self) -> f64 {
@@ -163,32 +196,7 @@ mod tests {
     use super::*;
 
     fn blank() -> SimReport {
-        SimReport {
-            scheme: Scheme::pom_tlb(),
-            workload: "test".into(),
-            n_cores: 8,
-            refs: 0,
-            instructions: 0,
-            l1_tlb_misses: 0,
-            l2_tlb_misses: 0,
-            total_penalty: Cycles::ZERO,
-            walk_penalty: Cycles::ZERO,
-            page_walks: 0,
-            resolved_l2d: 0,
-            resolved_l3d: 0,
-            resolved_pom_dram: 0,
-            resolved_shared_l2: 0,
-            resolved_tsb: 0,
-            size_pred: PredictorStats::default(),
-            bypass_pred: PredictorStats::default(),
-            pom_dram: DramStats::default(),
-            main_dram: DramStats::default(),
-            walker: WalkerStats::default(),
-            l2d_tlb_lines: KindStats::default(),
-            l3d_tlb_lines: KindStats::default(),
-            l3d_data_lines: KindStats::default(),
-            shootdowns: ShootdownStats::default(),
-        }
+        SimReport::placeholder(Scheme::pom_tlb(), "test", 8)
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Job-level parallel execution of independent simulations.
+//!
+//! Every experiment in this repository — scheme comparisons, capacity and
+//! core-count sweeps, the full figure matrix — decomposes into *independent*
+//! simulation runs: each owns its RNG seed, its page tables and its system
+//! state, and shares nothing with its siblings. That makes the sweep matrix
+//! embarrassingly parallel at job granularity while each simulation stays
+//! single-threaded and bit-for-bit deterministic (the determinism contract
+//! of DESIGN.md §3).
+//!
+//! [`run_jobs`] executes a batch of [`SimJob`]s on a scoped worker pool
+//! (`std::thread::scope`, no extra dependencies) and returns results in the
+//! *submission* order regardless of completion order, so any output derived
+//! from a batch — tables, JSON artifacts — is byte-identical to a serial
+//! run of the same jobs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use pomtlb_trace::WorkloadSpec;
+
+use crate::config::{SimConfig, SystemConfig};
+use crate::report::SimReport;
+use crate::scheme::Scheme;
+use crate::system::Simulation;
+
+/// One fully-specified simulation run: everything [`Simulation`]'s builder
+/// takes, captured as plain data so the job can execute on any thread.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// Display label (workload / scheme / variant), carried into the result.
+    pub label: String,
+    /// The workload to synthesize.
+    pub spec: WorkloadSpec,
+    /// Translation scheme.
+    pub scheme: Scheme,
+    /// Run lengths and RNG seed — each job owns its seed.
+    pub sim: SimConfig,
+    /// Hardware configuration.
+    pub sys: SystemConfig,
+    /// Shared-address-space (PARSEC/graph) vs SPECrate-copies mode.
+    pub shared_memory: bool,
+    /// Steady-state pre-population (see `Simulation::prepopulate`).
+    pub prepopulate: bool,
+    /// Stale-translation watchdog override; `None` keeps the build default.
+    pub check_consistency: Option<bool>,
+}
+
+impl SimJob {
+    /// A job with the builder's defaults (prepopulated, watchdog default).
+    pub fn new(label: impl Into<String>, spec: &WorkloadSpec, scheme: Scheme, sim: SimConfig) -> SimJob {
+        SimJob {
+            label: label.into(),
+            spec: spec.clone(),
+            scheme,
+            sim,
+            sys: SystemConfig::default(),
+            shared_memory: false,
+            prepopulate: true,
+            check_consistency: None,
+        }
+    }
+
+    /// Overrides the hardware configuration.
+    pub fn with_system_config(mut self, sys: SystemConfig) -> SimJob {
+        self.sys = sys;
+        self
+    }
+
+    /// Sets shared-address-space mode.
+    pub fn shared_memory(mut self, shared: bool) -> SimJob {
+        self.shared_memory = shared;
+        self
+    }
+
+    /// Executes the simulation synchronously on the calling thread.
+    pub fn run(&self) -> SimReport {
+        let mut sim = Simulation::new(&self.spec, self.scheme, self.sim)
+            .shared_memory(self.shared_memory)
+            .with_system_config(self.sys.clone())
+            .prepopulate(self.prepopulate);
+        if let Some(on) = self.check_consistency {
+            sim = sim.check_consistency(on);
+        }
+        sim.run()
+    }
+}
+
+/// The outcome of one job: the report plus wall-clock accounting.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's label, echoed back.
+    pub label: String,
+    /// The simulation's report.
+    pub report: SimReport,
+    /// Wall time this job took on its worker.
+    pub wall: Duration,
+}
+
+impl JobResult {
+    /// Simulated post-warmup references per wall-clock second.
+    pub fn refs_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.report.refs as f64 / secs
+        }
+    }
+}
+
+/// The worker-pool width to use when the user asks for "all cores".
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `jobs` on up to `n_workers` OS threads and returns the results in
+/// submission order.
+///
+/// `n_workers <= 1` runs everything serially on the calling thread (no pool
+/// is spawned); larger values use a scoped pool pulling from a shared work
+/// queue. Because every job is self-contained and seeds its own RNG, the
+/// reports — and anything rendered from them in submission order — are
+/// identical whatever `n_workers` is; only wall time changes.
+pub fn run_jobs(jobs: Vec<SimJob>, n_workers: usize) -> Vec<JobResult> {
+    let n_workers = n_workers.max(1).min(jobs.len().max(1));
+    if n_workers <= 1 {
+        return jobs
+            .into_iter()
+            .map(|job| {
+                let start = Instant::now();
+                let report = job.run();
+                JobResult { label: job.label, report, wall: start.elapsed() }
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Mutex<Option<JobResult>>> = Vec::with_capacity(jobs.len());
+    slots.resize_with(jobs.len(), || Mutex::new(None));
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(idx) else { break };
+                let start = Instant::now();
+                let report = job.run();
+                let result =
+                    JobResult { label: job.label.clone(), report, wall: start.elapsed() };
+                *slots[idx].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index was claimed by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pomtlb_trace::LocalityModel;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::builder("runner-unit")
+            .footprint_bytes(16 << 20)
+            .locality(LocalityModel::UniformRandom)
+            .build()
+    }
+
+    fn tiny() -> SimConfig {
+        SimConfig { refs_per_core: 1_500, warmup_per_core: 500, seed: 42 }
+    }
+
+    fn batch() -> Vec<SimJob> {
+        [Scheme::Baseline, Scheme::pom_tlb(), Scheme::SharedL2, Scheme::Tsb]
+            .into_iter()
+            .map(|s| {
+                SimJob::new(format!("{s:?}"), &spec(), s, tiny()).with_system_config(
+                    SystemConfig { n_cores: 2, ..Default::default() },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_keep_submission_order() {
+        let labels: Vec<String> = run_jobs(batch(), 4).into_iter().map(|r| r.label).collect();
+        let expected: Vec<String> = batch().into_iter().map(|j| j.label).collect();
+        assert_eq!(labels, expected);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let serial = run_jobs(batch(), 1);
+        let parallel = run_jobs(batch(), 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            let ja = serde_json::to_string(&a.report).unwrap();
+            let jb = serde_json::to_string(&b.report).unwrap();
+            assert_eq!(ja, jb, "job {} diverged across worker counts", a.label);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(run_jobs(Vec::new(), 8).is_empty());
+        assert!(run_jobs(Vec::new(), 0).is_empty());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_serial() {
+        let r = run_jobs(batch(), 0);
+        assert_eq!(r.len(), 4);
+        assert!(r.iter().all(|j| j.report.refs > 0));
+    }
+}

@@ -15,9 +15,7 @@
 //! distinct physical locations, each with a realistic address that contends
 //! in the data caches.
 
-use std::collections::HashMap;
-
-use pomtlb_types::{Gpa, Gva, Hpa, PageSize};
+use pomtlb_types::{FastMap, Gpa, Gva, Hpa, PageSize};
 use serde::{Deserialize, Serialize};
 
 /// Whether translation is one-dimensional (bare metal) or two-dimensional
@@ -67,14 +65,66 @@ impl FrameAlloc {
     }
 }
 
+/// Up to four physical addresses stored inline — one per radix level,
+/// root-first. x86-64 tables are at most four levels deep, so a walk path
+/// never heap-allocates (walks are the per-reference hot path; a `Vec`
+/// here cost two allocations per walk, ~48 of them per virtualized miss).
+///
+/// Dereferences to a slice, so indexing, `len()`, iteration and range
+/// comparisons all work as they did when this was a `Vec<u64>`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathLevels {
+    addrs: [u64; 4],
+    len: u8,
+}
+
+impl PathLevels {
+    /// An empty path.
+    pub const fn new() -> PathLevels {
+        PathLevels { addrs: [0; 4], len: 0 }
+    }
+
+    /// Appends a level address.
+    ///
+    /// # Panics
+    ///
+    /// Panics past four levels — deeper radix tables are not modeled.
+    pub fn push(&mut self, addr: u64) {
+        self.addrs[self.len as usize] = addr;
+        self.len += 1;
+    }
+
+    /// The populated prefix as a slice.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.addrs[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for PathLevels {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a PathLevels {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// The references a walk of one table makes, root-first.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalkPath {
     /// Physical address (in this table's own space) of each PTE read.
     /// Length 4 for a 4 KB leaf, 3 for a 2 MB leaf.
-    pub pte_addrs: Vec<u64>,
+    pub pte_addrs: PathLevels,
     /// Base address of the node containing each PTE (same length).
-    pub node_addrs: Vec<u64>,
+    pub node_addrs: PathLevels,
     /// Base address the leaf maps to (next address space).
     pub target_base: u64,
     /// The mapping's page size.
@@ -98,10 +148,13 @@ pub struct RadixPageTable {
     root: u64,
     /// Interior nodes keyed by (depth, va-prefix). Depth 1 = L3 node
     /// (pointed to by a root entry), depth 2 = L2 node, depth 3 = L1 node.
-    /// The prefix is `va >> LEVEL_SHIFTS[depth - 1]`.
-    nodes: HashMap<(u8, u64), u64>,
-    maps_small: HashMap<u64, u64>,
-    maps_large: HashMap<u64, u64>,
+    /// The prefix is `va >> LEVEL_SHIFTS[depth - 1]`. These maps sit on the
+    /// per-reference hot path (`translate_page` runs for every simulated
+    /// memory access), so they use the unkeyed [`FastMap`] hasher instead
+    /// of SipHash.
+    nodes: FastMap<(u8, u64), u64>,
+    maps_small: FastMap<u64, u64>,
+    maps_large: FastMap<u64, u64>,
     alloc: FrameAlloc,
     /// Node pages created since the last [`RadixPageTable::take_new_nodes`]
     /// call — the hypervisor layer must back these with host frames.
@@ -114,9 +167,9 @@ impl RadixPageTable {
         let root = alloc.alloc(NODE_BYTES);
         let mut t = RadixPageTable {
             root,
-            nodes: HashMap::new(),
-            maps_small: HashMap::new(),
-            maps_large: HashMap::new(),
+            nodes: FastMap::default(),
+            maps_small: FastMap::default(),
+            maps_large: FastMap::default(),
             alloc,
             new_nodes: Vec::new(),
         };
@@ -189,8 +242,8 @@ impl RadixPageTable {
             PageSize::Large2M => 3,
             PageSize::Huge1G => unreachable!("never mapped"),
         };
-        let mut pte_addrs = Vec::with_capacity(levels);
-        let mut node_addrs = Vec::with_capacity(levels);
+        let mut pte_addrs = PathLevels::new();
+        let mut node_addrs = PathLevels::new();
         let mut node = self.root;
         for (i, shift) in LEVEL_SHIFTS.iter().enumerate().take(levels) {
             node_addrs.push(node);

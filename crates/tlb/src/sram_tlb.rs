@@ -72,6 +72,10 @@ pub struct SramTlb {
     config: TlbConfig,
     sets: u32,
     ways: usize,
+    /// `sets - 1` when `sets` is a power of two (all shipped geometries),
+    /// so the per-lookup set index is a mask instead of a `%`. Zero means
+    /// "not a power of two, divide".
+    set_mask: u64,
     entries: Vec<Entry>,
     clock: u64,
     stats: TlbStats,
@@ -89,6 +93,7 @@ impl SramTlb {
             config,
             sets,
             ways: config.ways as usize,
+            set_mask: if sets.is_power_of_two() { (sets - 1) as u64 } else { 0 },
             entries: vec![INVALID; (sets * config.ways) as usize],
             clock: 0,
             stats: TlbStats::default(),
@@ -104,7 +109,9 @@ impl SramTlb {
     fn set_of(&self, vpn: u64, space: AddressSpace) -> usize {
         // XOR the VM id in to spread VMs across sets, as Eq. (1) does for
         // the POM-TLB.
-        ((vpn ^ space.vm.as_u64()) % self.sets as u64) as usize * self.ways
+        let hash = vpn ^ space.vm.as_u64();
+        let set = if self.set_mask != 0 { hash & self.set_mask } else { hash % self.sets as u64 };
+        set as usize * self.ways
     }
 
     /// Looks up the translation of `va` assuming page size `size`.

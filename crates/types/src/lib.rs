@@ -20,11 +20,13 @@
 
 pub mod addr;
 pub mod cycles;
+pub mod fasthash;
 pub mod ids;
 pub mod page;
 
 pub use addr::{Gpa, Gva, Hpa};
 pub use cycles::Cycles;
+pub use fasthash::{FastHasher, FastMap, FastSet};
 pub use ids::{AddressSpace, CoreId, ProcessId, VmId};
 pub use page::{PageSize, Ppn, Vpn};
 
