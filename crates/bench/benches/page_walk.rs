@@ -1,0 +1,118 @@
+//! Miss-heavy page-walk benchmark: the walk path the arena page tables
+//! optimize. A footprint far wider than the PDE PSC's reach forces every
+//! walk down the full 2-D radix descent, so the numbers track the indexed
+//! arena lookup rather than PSC hit handling (walker_micro covers the warm
+//! cases).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pomtlb_cache::{Hierarchy, HierarchyConfig};
+use pomtlb_dram::{Channel, DramTiming};
+use pomtlb_tlb::{NestedWalker, PscConfig, VirtTables, WalkMode};
+use pomtlb_types::{AddressSpace, CoreId, Cycles, Gva, PageSize};
+
+/// A page set spanning 1024 distinct 2 MB prefixes — 32x the default PSC —
+/// visited with a large stride so consecutive walks never share a PDE.
+fn miss_heavy_pages() -> Vec<Gva> {
+    (0..16_384u64)
+        .map(|i| {
+            let prefix = (i * 257) % 1024; // co-prime stride over the prefixes
+            let page = i % 512;
+            Gva::new(0x1000_0000_0000 + (prefix << 21) + (page << 12))
+        })
+        .collect()
+}
+
+fn page_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_walk");
+    let space = AddressSpace::default();
+
+    g.bench_function("virtualized_miss_heavy", |b| {
+        let mut tables = VirtTables::new(WalkMode::Virtualized);
+        let pages = miss_heavy_pages();
+        for p in &pages {
+            tables.ensure_mapped(*p, PageSize::Small4K);
+        }
+        let mut hier = Hierarchy::new(HierarchyConfig::default(), 1);
+        let mut dram = Channel::new(DramTiming::ddr4_2133(4.0), 16);
+        let mut walker = NestedWalker::new(PscConfig::default());
+        let mut i = 0usize;
+        let mut now = Cycles::ZERO;
+        b.iter(|| {
+            i = (i + 1) % pages.len();
+            now += Cycles::new(100);
+            black_box(
+                walker
+                    .walk(CoreId(0), space, pages[i], &tables, &mut hier, &mut dram, now)
+                    .unwrap(),
+            )
+        });
+    });
+
+    g.bench_function("native_miss_heavy", |b| {
+        let mut tables = VirtTables::new(WalkMode::Native);
+        let pages = miss_heavy_pages();
+        for p in &pages {
+            tables.ensure_mapped(*p, PageSize::Small4K);
+        }
+        let mut hier = Hierarchy::new(HierarchyConfig::default(), 1);
+        let mut dram = Channel::new(DramTiming::ddr4_2133(4.0), 16);
+        let mut walker = NestedWalker::new(PscConfig::default());
+        let mut i = 0usize;
+        let mut now = Cycles::ZERO;
+        b.iter(|| {
+            i = (i + 1) % pages.len();
+            now += Cycles::new(100);
+            black_box(
+                walker
+                    .walk(CoreId(0), space, pages[i], &tables, &mut hier, &mut dram, now)
+                    .unwrap(),
+            )
+        });
+    });
+
+    g.bench_function("guest_walk_descend_only", |b| {
+        // The raw arena descent with no walker, cache or DRAM modeling on
+        // top: four indexed slot loads per translation.
+        let mut tables = VirtTables::new(WalkMode::Virtualized);
+        let pages = miss_heavy_pages();
+        for p in &pages {
+            tables.ensure_mapped(*p, PageSize::Small4K);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % pages.len();
+            black_box(tables.guest_walk(pages[i]))
+        });
+    });
+
+    g.bench_function("guest_walk_mixed_sizes", |b| {
+        // 2 MB mappings shorten the descent by one level; the mix matches
+        // the paper's ~25% large-page workloads.
+        let mut tables = VirtTables::new(WalkMode::Virtualized);
+        let small: Vec<Gva> = (0..6_144u64)
+            .map(|i| Gva::new(0x1000_0000_0000 + (((i * 257) % 512) << 21) + ((i % 512) << 12)))
+            .collect();
+        let large: Vec<Gva> =
+            (0..2_048u64).map(|i| Gva::new(0x2000_0000_0000 + (i << 21))).collect();
+        for p in &small {
+            tables.ensure_mapped(*p, PageSize::Small4K);
+        }
+        for p in &large {
+            tables.ensure_mapped(*p, PageSize::Large2M);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let gva = if i.is_multiple_of(4) {
+                large[(i / 4) % large.len()]
+            } else {
+                small[i % small.len()]
+            };
+            black_box(tables.guest_walk(gva))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, page_walk);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--jobs N] [--json DIR] [ARTIFACT...]
+//! experiments [--quick] [--jobs N] [--trace-cache] [--json DIR] [ARTIFACT...]
 //!
 //! ARTIFACT: table1 table2 fig1 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12
 //!           capacity cores assoc predictor-sweep all   (default: all)
@@ -23,12 +23,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut jobs = 1usize;
+    let mut trace_cache = false;
     let mut json_dir: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--trace-cache" => trace_cache = true,
             "--json" => match it.next() {
                 Some(dir) => json_dir = Some(dir),
                 None => {
@@ -68,6 +70,7 @@ fn main() -> ExitCode {
 
     let cfg = if quick { ExpConfig::quick() } else { ExpConfig::standard() };
     let mut matrix = Matrix::new(cfg);
+    matrix.set_trace_cache(trace_cache);
     let mut produced: Vec<Figure> = Vec::new();
 
     if let Some(unknown) = wanted.iter().find(|n| !ALL_ARTIFACTS.contains(&n.as_str())) {
@@ -76,7 +79,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    if jobs > 1 {
+    if jobs > 1 || trace_cache {
         // Planning pass: walk every builder against placeholder reports to
         // collect the full simulation batch, run it on the pool, and leave
         // the cache warm. The real pass below then replays from the cache
@@ -144,6 +147,8 @@ const ALL_ARTIFACTS: &[&str] = &[
 ];
 
 fn print_help() {
-    eprintln!("usage: experiments [--quick] [--jobs N|auto] [--json DIR] [ARTIFACT...]");
+    eprintln!(
+        "usage: experiments [--quick] [--jobs N|auto] [--trace-cache] [--json DIR] [ARTIFACT...]"
+    );
     eprintln!("artifacts: {}", ALL_ARTIFACTS.join(" "));
 }

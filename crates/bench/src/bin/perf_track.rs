@@ -4,21 +4,39 @@
 //!
 //! ```text
 //! perf_track [--out PATH] [--jobs N|auto] [--refs N] [--warmup N]
+//!            [--laps N] [--baseline-serial-ms X]
 //! ```
+//!
+//! `--baseline-serial-ms X` records a prior commit's serial wall time for
+//! the same pinned matrix and emits the speedup of this build against it,
+//! so a checked-in artifact documents cross-commit comparisons explicitly.
+//!
+//! Each mode (serial / trace-cached / pooled) is run `--laps` times
+//! (default 3) and the best lap is reported: wall-clock medians on shared
+//! runners drift with neighbor load, but the minimum is a stable estimate
+//! of the achievable time and is the standard statistic for this kind of
+//! tracking.
 //!
 //! The matrix is fixed — three workloads spanning the paper's suites
 //! (`gups`, `mcf`, `streamcluster`) × all four schemes at reduced ref
 //! counts — and every job is seeded, so two runs on the same machine do the
-//! same work. The harness runs the matrix twice: serially (`--jobs 1`) for
-//! per-job wall time and single-thread refs/sec, then on the worker pool
-//! for the end-to-end speedup. It also cross-checks that both runs produced
-//! byte-identical reports (the runner's determinism contract) and fails
-//! loudly if they did not.
+//! same work. The harness runs the matrix three times: serially (`--jobs
+//! 1`) for per-job wall time, per-scheme refs/sec and ns/walk; serially
+//! with the shared trace cache (one recording per workload, replayed to
+//! every scheme); then on the worker pool for the end-to-end speedup. It
+//! cross-checks that all runs produced identical reports (the runner's and
+//! trace cache's determinism contracts) and fails loudly if they did not.
+//!
+//! The record is written with a local JSON emitter rather than a serde
+//! round trip: the artifact is diffed across commits by CI, so its byte
+//! layout should depend only on this file.
 
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use pom_tlb::{default_jobs, run_jobs, Scheme, SimConfig, SimJob};
+use pom_tlb::{default_jobs, run_jobs, share_traces, JobResult, Scheme, SimConfig, SimJob};
 use pomtlb_workloads::by_name;
 
 type SchemeCtor = fn() -> Scheme;
@@ -30,35 +48,6 @@ const SCHEMES: [(&str, SchemeCtor); 4] = [
     ("tsb", || Scheme::Tsb),
     ("pom_tlb", Scheme::pom_tlb),
 ];
-
-#[derive(serde::Serialize)]
-struct JobRow {
-    label: String,
-    refs: u64,
-    wall_ms: f64,
-    refs_per_sec: f64,
-}
-
-#[derive(serde::Serialize)]
-struct PerfRecord {
-    /// Matrix shape, so a changed pin shows up in the diff.
-    workloads: Vec<String>,
-    schemes: Vec<String>,
-    refs_per_core: u64,
-    warmup_per_core: u64,
-    seed: u64,
-    host_cores: usize,
-    jobs: usize,
-    /// Serial run: one worker, per-job accounting.
-    serial_wall_ms: f64,
-    serial_refs_per_sec: f64,
-    serial_jobs: Vec<JobRow>,
-    /// Pooled run of the identical batch.
-    parallel_wall_ms: f64,
-    speedup: f64,
-    /// Whether the serial and pooled runs produced byte-identical reports.
-    deterministic: bool,
-}
 
 fn batch(refs: u64, warmup: u64) -> Vec<SimJob> {
     let sim = SimConfig { refs_per_core: refs, warmup_per_core: warmup, seed: 0x90af };
@@ -77,11 +66,90 @@ fn batch(refs: u64, warmup: u64) -> Vec<SimJob> {
     jobs
 }
 
+/// A stable fingerprint of one report: JSON when serde_json is functional,
+/// the full Debug rendering otherwise. Both capture every field.
+fn fingerprint(r: &JobResult) -> String {
+    serde_json::to_string(&r.report).unwrap_or_else(|_| format!("{:?}", r.report))
+}
+
+fn same_reports(a: &[JobResult], b: &[JobResult]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| x.label == y.label && fingerprint(x) == fingerprint(y))
+}
+
+/// Per-scheme aggregation over the serial run: simulated references per
+/// wall-clock second and wall nanoseconds per completed page walk (the
+/// walk-path cost the arena page tables and SoA caches target).
+struct SchemeRow {
+    refs: u64,
+    page_walks: u64,
+    wall_secs: f64,
+}
+
+fn per_scheme(serial: &[JobResult]) -> BTreeMap<String, SchemeRow> {
+    let mut rows: BTreeMap<String, SchemeRow> = BTreeMap::new();
+    for r in serial {
+        let scheme = r.label.split('/').nth(1).unwrap_or("?").to_string();
+        let row = rows
+            .entry(scheme)
+            .or_insert(SchemeRow { refs: 0, page_walks: 0, wall_secs: 0.0 });
+        row.refs += r.report.refs;
+        row.page_walks += r.report.page_walks;
+        row.wall_secs += r.wall.as_secs_f64();
+    }
+    rows
+}
+
+/// Run `f` `laps` times; return the shortest wall time and that lap's
+/// results. Reports are identical across laps (determinism contract), so
+/// which lap's results survive only affects the per-job wall columns.
+fn best_of<F: FnMut() -> Vec<JobResult>>(laps: u32, mut f: F) -> (Duration, Vec<JobResult>) {
+    let mut best: Option<(Duration, Vec<JobResult>)> = None;
+    for _ in 0..laps.max(1) {
+        let t = Instant::now();
+        let r = f();
+        let wall = t.elapsed();
+        if best.as_ref().is_none_or(|(b, _)| wall < *b) {
+            best = Some((wall, r));
+        }
+    }
+    best.expect("at least one lap runs")
+}
+
+// --- minimal JSON emitter -------------------------------------------------
+
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.000".to_string()
+    }
+}
+
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 fn main() -> ExitCode {
     let mut out = "BENCH_perf.json".to_string();
     let mut jobs_n = default_jobs();
     let mut refs = 8_000u64;
     let mut warmup = 4_000u64;
+    let mut laps = 3u32;
+    let mut baseline_serial_ms: Option<f64> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -103,77 +171,166 @@ fn main() -> ExitCode {
             "--warmup" => value("--warmup").and_then(|v| {
                 v.parse().map(|n| warmup = n).map_err(|_| format!("bad --warmup `{v}`"))
             }),
+            "--laps" => value("--laps")
+                .and_then(|v| v.parse().map(|n| laps = n).map_err(|_| format!("bad --laps `{v}`"))),
+            "--baseline-serial-ms" => value("--baseline-serial-ms").and_then(|v| {
+                v.parse()
+                    .map(|x| baseline_serial_ms = Some(x))
+                    .map_err(|_| format!("bad --baseline-serial-ms `{v}`"))
+            }),
             other => Err(format!("unknown flag `{other}`")),
         };
         if let Err(e) = r {
             eprintln!("{e}");
-            eprintln!("usage: perf_track [--out PATH] [--jobs N|auto] [--refs N] [--warmup N]");
+            eprintln!(
+                "usage: perf_track [--out PATH] [--jobs N|auto] [--refs N] [--warmup N] \
+                 [--laps N] [--baseline-serial-ms X]"
+            );
             return ExitCode::FAILURE;
         }
     }
 
     eprintln!(
-        "perf_track: {} jobs ({} workloads x {} schemes), {refs} refs/core, pool of {jobs_n}",
+        "perf_track: {} jobs ({} workloads x {} schemes), {refs} refs/core, pool of {jobs_n}, \
+         best of {laps} lap(s)",
         WORKLOADS.len() * SCHEMES.len(),
         WORKLOADS.len(),
         SCHEMES.len(),
     );
 
-    let serial_start = Instant::now();
-    let serial = run_jobs(batch(refs, warmup), 1);
-    let serial_wall = serial_start.elapsed();
+    let (serial_wall, serial) = best_of(laps, || run_jobs(batch(refs, warmup), 1));
 
-    let parallel_start = Instant::now();
-    let parallel = run_jobs(batch(refs, warmup), jobs_n);
-    let parallel_wall = parallel_start.elapsed();
+    // Shared-trace serial pass: record each workload's stream once, replay
+    // it to all four schemes. Generation cost is measured separately so the
+    // artifact shows both the recording overhead and the replay win; the
+    // lap wall time includes it (a fresh recording is made every lap).
+    let mut recordings = 0;
+    let mut cache_gen_wall = Duration::MAX;
+    let (cache_wall, cached) = best_of(laps, || {
+        let gen_start = Instant::now();
+        let mut cached_jobs = batch(refs, warmup);
+        recordings = share_traces(&mut cached_jobs);
+        cache_gen_wall = cache_gen_wall.min(gen_start.elapsed());
+        run_jobs(cached_jobs, 1)
+    });
 
-    let deterministic = serial.len() == parallel.len()
-        && serial.iter().zip(&parallel).all(|(a, b)| {
-            serde_json::to_string(&a.report).expect("report serializes")
-                == serde_json::to_string(&b.report).expect("report serializes")
-        });
+    let (parallel_wall, parallel) = best_of(laps, || run_jobs(batch(refs, warmup), jobs_n));
+
+    let deterministic = same_reports(&serial, &parallel) && same_reports(&serial, &cached);
 
     let total_refs: u64 = serial.iter().map(|r| r.report.refs).sum();
     let serial_secs = serial_wall.as_secs_f64();
-    let record = PerfRecord {
-        workloads: WORKLOADS.iter().map(|s| s.to_string()).collect(),
-        schemes: SCHEMES.iter().map(|(s, _)| s.to_string()).collect(),
-        refs_per_core: refs,
-        warmup_per_core: warmup,
-        seed: 0x90af,
-        host_cores: default_jobs(),
-        jobs: jobs_n,
-        serial_wall_ms: serial_secs * 1e3,
-        serial_refs_per_sec: if serial_secs > 0.0 { total_refs as f64 / serial_secs } else { 0.0 },
-        serial_jobs: serial
-            .iter()
-            .map(|r| JobRow {
-                label: r.label.clone(),
-                refs: r.report.refs,
-                wall_ms: r.wall.as_secs_f64() * 1e3,
-                refs_per_sec: r.refs_per_sec(),
-            })
-            .collect(),
-        parallel_wall_ms: parallel_wall.as_secs_f64() * 1e3,
-        speedup: if parallel_wall.as_secs_f64() > 0.0 {
-            serial_secs / parallel_wall.as_secs_f64()
+    let cache_secs = cache_wall.as_secs_f64();
+    let parallel_secs = parallel_wall.as_secs_f64();
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(
+        j,
+        "  \"workloads\": [{}],",
+        WORKLOADS.map(jstr).join(", ")
+    );
+    let _ = writeln!(
+        j,
+        "  \"schemes\": [{}],",
+        SCHEMES.map(|(s, _)| jstr(s)).join(", ")
+    );
+    let _ = writeln!(j, "  \"refs_per_core\": {refs},");
+    let _ = writeln!(j, "  \"warmup_per_core\": {warmup},");
+    let _ = writeln!(j, "  \"seed\": {},", 0x90afu64);
+    let _ = writeln!(j, "  \"host_cores\": {},", default_jobs());
+    let _ = writeln!(j, "  \"jobs\": {jobs_n},");
+    let _ = writeln!(j, "  \"laps\": {},", laps.max(1));
+    let _ = writeln!(j, "  \"serial_wall_ms\": {},", jnum(serial_secs * 1e3));
+    let _ = writeln!(
+        j,
+        "  \"serial_refs_per_sec\": {},",
+        jnum(if serial_secs > 0.0 { total_refs as f64 / serial_secs } else { 0.0 })
+    );
+    j.push_str("  \"serial_jobs\": [\n");
+    for (i, r) in serial.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"label\": {}, \"refs\": {}, \"wall_ms\": {}, \"refs_per_sec\": {}}}{}",
+            jstr(&r.label),
+            r.report.refs,
+            jnum(r.wall.as_secs_f64() * 1e3),
+            jnum(r.refs_per_sec()),
+            if i + 1 < serial.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"per_scheme\": {\n");
+    let rows = per_scheme(&serial);
+    for (i, (scheme, row)) in rows.iter().enumerate() {
+        let rps = if row.wall_secs > 0.0 { row.refs as f64 / row.wall_secs } else { 0.0 };
+        let ns_per_walk = if row.page_walks > 0 {
+            row.wall_secs * 1e9 / row.page_walks as f64
         } else {
             0.0
-        },
-        deterministic,
-    };
+        };
+        let _ = writeln!(
+            j,
+            "    {}: {{\"refs_per_sec\": {}, \"page_walks\": {}, \"wall_ns_per_walk\": {}}}{}",
+            jstr(scheme),
+            jnum(rps),
+            row.page_walks,
+            jnum(ns_per_walk),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  },\n");
+    j.push_str("  \"trace_cache\": {\n");
+    let _ = writeln!(j, "    \"recordings\": {recordings},");
+    let _ = writeln!(j, "    \"generate_wall_ms\": {},", jnum(cache_gen_wall.as_secs_f64() * 1e3));
+    let _ = writeln!(j, "    \"serial_wall_ms\": {},", jnum(cache_secs * 1e3));
+    let _ = writeln!(
+        j,
+        "    \"speedup_vs_serial\": {}",
+        jnum(if cache_secs > 0.0 { serial_secs / cache_secs } else { 0.0 })
+    );
+    j.push_str("  },\n");
+    if let Some(base_ms) = baseline_serial_ms {
+        j.push_str("  \"baseline\": {\n");
+        let _ = writeln!(j, "    \"serial_wall_ms\": {},", jnum(base_ms));
+        let _ = writeln!(
+            j,
+            "    \"speedup_serial\": {},",
+            jnum(if serial_secs > 0.0 { base_ms / (serial_secs * 1e3) } else { 0.0 })
+        );
+        let _ = writeln!(
+            j,
+            "    \"speedup_trace_cache\": {}",
+            jnum(if cache_secs > 0.0 { base_ms / (cache_secs * 1e3) } else { 0.0 })
+        );
+        j.push_str("  },\n");
+    }
+    let _ = writeln!(j, "  \"parallel_wall_ms\": {},", jnum(parallel_secs * 1e3));
+    let _ = writeln!(
+        j,
+        "  \"speedup\": {},",
+        jnum(if parallel_secs > 0.0 { serial_secs / parallel_secs } else { 0.0 })
+    );
+    let _ = writeln!(j, "  \"deterministic\": {deterministic}");
+    j.push_str("}\n");
 
-    let json = serde_json::to_string_pretty(&record).expect("record serializes");
-    if let Err(e) = std::fs::write(&out, json + "\n") {
+    if let Err(e) = std::fs::write(&out, j) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "perf_track: serial {:.0} ms, pooled {:.0} ms on {} workers -> {:.2}x; wrote {out}",
-        record.serial_wall_ms, record.parallel_wall_ms, jobs_n, record.speedup
+        "perf_track: serial {:.0} ms, trace-cache {:.0} ms, pooled {:.0} ms on {} workers \
+         -> {:.2}x pool / {:.2}x cache; wrote {}",
+        serial_secs * 1e3,
+        cache_secs * 1e3,
+        parallel_secs * 1e3,
+        jobs_n,
+        if parallel_secs > 0.0 { serial_secs / parallel_secs } else { 0.0 },
+        if cache_secs > 0.0 { serial_secs / cache_secs } else { 0.0 },
+        out
     );
     if !deterministic {
-        eprintln!("perf_track: FAIL — pooled reports differ from serial reports");
+        eprintln!("perf_track: FAIL — pooled or trace-cached reports differ from serial reports");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -3,7 +3,7 @@
 use std::collections::{HashMap, HashSet};
 
 use pom_tlb::perf_model::improvement_pct;
-use pom_tlb::{run_jobs, Scheme, SimConfig, SimJob, SimReport, SystemConfig};
+use pom_tlb::{run_jobs, share_traces, Scheme, SimConfig, SimJob, SimReport, SystemConfig};
 use pomtlb_tlb::WalkMode;
 use pomtlb_workloads::PaperWorkload;
 
@@ -67,6 +67,9 @@ pub struct Matrix {
     planning: bool,
     planned: Vec<((String, String), SimJob)>,
     planned_keys: HashSet<(String, String)>,
+    /// When on, `execute_plan` records each distinct input stream once and
+    /// replays it to every scheme sharing it (see [`pom_tlb::share_traces`]).
+    trace_cache: bool,
     /// Echo each run to stderr as it happens (the full matrix takes a
     /// couple of minutes; silence is unnerving).
     pub verbose: bool,
@@ -81,8 +84,17 @@ impl Matrix {
             planning: false,
             planned: Vec::new(),
             planned_keys: HashSet::new(),
+            trace_cache: false,
             verbose: true,
         }
+    }
+
+    /// Enables shared-trace execution for planned batches: the scheme ×
+    /// variant jobs of one workload consume one recording of its reference
+    /// stream instead of regenerating it per job. Replay is bit-identical,
+    /// so cached reports — and every figure built from them — are unchanged.
+    pub fn set_trace_cache(&mut self, on: bool) {
+        self.trace_cache = on;
     }
 
     /// Switches plan mode on or off. While planning, `report_with` records
@@ -110,6 +122,13 @@ impl Matrix {
             eprintln!("  [plan] {} simulations on {} workers", planned.len(), n_workers);
         }
         let (keys, jobs): (Vec<_>, Vec<_>) = planned.into_iter().unzip();
+        let mut jobs = jobs;
+        if self.trace_cache {
+            let n = share_traces(&mut jobs);
+            if self.verbose {
+                eprintln!("  [plan] {} shared trace recording(s)", n);
+            }
+        }
         for (key, result) in keys.into_iter().zip(run_jobs(jobs, n_workers)) {
             self.cache.insert(key, result.report);
         }
@@ -271,6 +290,37 @@ mod tests {
             serde_json::to_string(&b).unwrap(),
             serde_json::to_string(&want_pom).unwrap()
         );
+    }
+
+    #[test]
+    fn trace_cached_plan_matches_serial() {
+        let w = by_name("gups").unwrap();
+
+        let mut serial = Matrix::new(tiny());
+        serial.verbose = false;
+        let want: Vec<SimReport> =
+            [Scheme::Baseline, Scheme::pom_tlb(), Scheme::SharedL2, Scheme::Tsb]
+                .into_iter()
+                .map(|s| serial.report(&w, s))
+                .collect();
+
+        let mut cached = Matrix::new(tiny());
+        cached.verbose = false;
+        cached.set_trace_cache(true);
+        cached.set_planning(true);
+        for s in [Scheme::Baseline, Scheme::pom_tlb(), Scheme::SharedL2, Scheme::Tsb] {
+            let _ = cached.report(&w, s);
+        }
+        cached.execute_plan(2);
+
+        for (s, want) in
+            [Scheme::Baseline, Scheme::pom_tlb(), Scheme::SharedL2, Scheme::Tsb]
+                .into_iter()
+                .zip(&want)
+        {
+            let got = cached.report(&w, s);
+            assert_eq!(format!("{got:?}"), format!("{want:?}"), "{s:?} diverged");
+        }
     }
 
     #[test]

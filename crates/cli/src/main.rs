@@ -13,7 +13,8 @@
 use std::process::ExitCode;
 
 use pom_tlb::{
-    run_jobs, PomTlbConfig, Scheme, ShootdownStats, SimConfig, SimJob, SimReport, SystemConfig,
+    run_jobs, share_traces, PomTlbConfig, Scheme, ShootdownStats, SimConfig, SimJob, SimReport,
+    SystemConfig,
 };
 use pomtlb_tlb::WalkMode;
 use pomtlb_trace::OsEventRates;
@@ -61,6 +62,7 @@ struct Options {
     check_consistency: bool,
     json: bool,
     jobs: usize,
+    trace_cache: bool,
 }
 
 impl Default for Options {
@@ -79,6 +81,7 @@ impl Default for Options {
             check_consistency: false,
             json: false,
             jobs: 1,
+            trace_cache: false,
         }
     }
 }
@@ -113,6 +116,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--check-consistency" => o.check_consistency = true,
             "--json" => o.json = true,
+            "--trace-cache" => o.trace_cache = true,
             "--jobs" | "-j" => {
                 let v = value("--jobs")?;
                 o.jobs = if v == "auto" {
@@ -173,11 +177,14 @@ fn run_command(args: &[String], kind: CommandKind) -> ExitCode {
             emit(&w, &[report], &opts);
         }
         CommandKind::Compare => {
-            let jobs: Vec<SimJob> =
+            let mut jobs: Vec<SimJob> =
                 [Scheme::Baseline, Scheme::pom_tlb(), Scheme::SharedL2, Scheme::Tsb]
                     .into_iter()
                     .map(|s| job_for(&w, s, &opts))
                     .collect();
+            if opts.trace_cache {
+                share_traces(&mut jobs);
+            }
             let reports: Vec<SimReport> =
                 run_jobs(jobs, opts.jobs).into_iter().map(|r| r.report).collect();
             emit(&w, &reports, &opts);
@@ -252,6 +259,11 @@ fn run_sweep(args: &[String]) -> ExitCode {
             jobs.push(job_for(&w, scheme, &o));
             rates.push(rate);
         }
+    }
+    if opts.trace_cache {
+        // One recording per unmap rate (the event mix changes the stream);
+        // the four schemes at each rate share it.
+        share_traces(&mut jobs);
     }
     let rows: Vec<SweepRow> = run_jobs(jobs, opts.jobs)
         .into_iter()
@@ -385,6 +397,9 @@ FLAGS:
   --jobs N          worker threads for batched commands (compare,
                     shootdown-sweep); `auto` = all cores. Output is
                     byte-identical to --jobs 1 (default)
+  --trace-cache     batched commands record each input stream once and
+                    replay it to every scheme instead of regenerating it
+                    per run. Output is byte-identical either way
   --json            machine-readable output"
     );
 }
@@ -443,6 +458,12 @@ mod tests {
         assert_eq!(parse(&["-j".into(), "2".into()]).unwrap().jobs, 2);
         assert!(parse(&["--jobs".into(), "auto".into()]).unwrap().jobs >= 1);
         assert!(parse(&["--jobs".into(), "x".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_trace_cache() {
+        assert!(!parse(&[]).unwrap().trace_cache);
+        assert!(parse(&["--trace-cache".into()]).unwrap().trace_cache);
     }
 
     #[test]

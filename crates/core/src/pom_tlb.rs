@@ -279,14 +279,18 @@ impl PomTlb {
         let mut evicted = Vec::new();
         for p in [&mut self.small, &mut self.large] {
             let ways = p.ways as u64;
-            let base = p.base.raw();
-            let set_bytes = p.set_bytes;
+            let mut dead = Vec::new();
             for (i, slot) in p.slots.iter_mut().enumerate() {
                 if slot.is_some_and(|e| e.space.vm == vm) {
                     *slot = None;
-                    evicted.push(Hpa::new(base + (i as u64 / ways) * set_bytes));
+                    dead.push(i as u64 / ways);
                 }
             }
+            // Reconstruct through the same Eq. (1) helper every other
+            // consumer uses — the shootdown engine scrubs data-cache copies
+            // of exactly these addresses, so a divergent re-derivation here
+            // would silently break the mostly-inclusive rule.
+            evicted.extend(dead.into_iter().map(|set| p.set_addr(set)));
         }
         self.stats.invalidations += evicted.len() as u64;
         evicted

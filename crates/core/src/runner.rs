@@ -15,10 +15,10 @@
 //! run of the same jobs.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use pomtlb_trace::WorkloadSpec;
+use pomtlb_trace::{SharedTrace, WorkloadSpec};
 
 use crate::config::{SimConfig, SystemConfig};
 use crate::report::SimReport;
@@ -45,6 +45,10 @@ pub struct SimJob {
     pub prepopulate: bool,
     /// Stale-translation watchdog override; `None` keeps the build default.
     pub check_consistency: Option<bool>,
+    /// Pre-recorded input stream to replay instead of generating (see
+    /// [`share_traces`]). Jobs sharing one recording hold clones of one
+    /// `Arc`.
+    pub trace: Option<Arc<SharedTrace>>,
 }
 
 impl SimJob {
@@ -59,6 +63,7 @@ impl SimJob {
             shared_memory: false,
             prepopulate: true,
             check_consistency: None,
+            trace: None,
         }
     }
 
@@ -74,6 +79,12 @@ impl SimJob {
         self
     }
 
+    /// The total reference budget (warmup + measured, summed over cores) a
+    /// replayed trace must cover for this job.
+    fn total_refs(&self) -> u64 {
+        (self.sim.warmup_per_core + self.sim.refs_per_core) * self.sys.n_cores as u64
+    }
+
     /// Executes the simulation synchronously on the calling thread.
     pub fn run(&self) -> SimReport {
         let mut sim = Simulation::new(&self.spec, self.scheme, self.sim)
@@ -83,8 +94,50 @@ impl SimJob {
         if let Some(on) = self.check_consistency {
             sim = sim.check_consistency(on);
         }
+        if let Some(trace) = &self.trace {
+            sim = sim.with_trace(Arc::clone(trace));
+        }
         sim.run()
     }
+}
+
+/// Records each distinct input stream in `jobs` once and attaches the
+/// recording to every job that consumes it, so a compare/sweep batch
+/// generates each (workload, seed, core-count) trace a single time instead
+/// of once per scheme. Returns the number of distinct recordings made.
+///
+/// Jobs are grouped by the exact parameters that determine the stream —
+/// spec, seed, core count, sharing mode and reference budget — and replay
+/// is bit-identical to live generation, so batch output is unchanged.
+/// Jobs that already carry a trace are left alone.
+pub fn share_traces(jobs: &mut [SimJob]) -> usize {
+    let mut recordings: Vec<Arc<SharedTrace>> = Vec::new();
+    for job in jobs.iter_mut() {
+        if job.trace.is_some() {
+            continue;
+        }
+        let n = job.sys.n_cores;
+        let total = job.total_refs();
+        let existing = recordings.iter().find(|t| {
+            t.matches(&job.spec, job.sim.seed, n, job.shared_memory, total)
+        });
+        let trace = match existing {
+            Some(t) => Arc::clone(t),
+            None => {
+                let t = Arc::new(SharedTrace::generate(
+                    &job.spec,
+                    job.sim.seed,
+                    n,
+                    job.shared_memory,
+                    total,
+                ));
+                recordings.push(Arc::clone(&t));
+                t
+            }
+        };
+        job.trace = Some(trace);
+    }
+    recordings.len()
 }
 
 /// The outcome of one job: the report plus wall-clock accounting.
@@ -204,6 +257,38 @@ mod tests {
             let ja = serde_json::to_string(&a.report).unwrap();
             let jb = serde_json::to_string(&b.report).unwrap();
             assert_eq!(ja, jb, "job {} diverged across worker counts", a.label);
+        }
+    }
+
+    #[test]
+    fn share_traces_records_each_stream_once() {
+        let mut jobs = batch();
+        let n = share_traces(&mut jobs);
+        assert_eq!(n, 1, "four schemes over one workload share one recording");
+        let first = jobs[0].trace.as_ref().unwrap();
+        for job in &jobs {
+            assert!(Arc::ptr_eq(first, job.trace.as_ref().unwrap()));
+        }
+        // A job with a different seed needs its own recording.
+        let mut reseeded = batch();
+        reseeded[3].sim.seed = 77;
+        assert_eq!(share_traces(&mut reseeded), 2);
+        assert!(!Arc::ptr_eq(
+            reseeded[0].trace.as_ref().unwrap(),
+            reseeded[3].trace.as_ref().unwrap()
+        ));
+    }
+
+    #[test]
+    fn shared_trace_reports_match_generated_reports() {
+        let live = run_jobs(batch(), 1);
+        let mut jobs = batch();
+        share_traces(&mut jobs);
+        let replayed = run_jobs(jobs, 1);
+        for (a, b) in live.iter().zip(&replayed) {
+            let fa = format!("{:?}", a.report);
+            let fb = format!("{:?}", b.report);
+            assert_eq!(fa, fb, "job {} diverged under trace replay", a.label);
         }
     }
 

@@ -20,9 +20,11 @@ use pomtlb_cache::{Hierarchy, Level};
 use pomtlb_dram::Channel;
 use pomtlb_sram_model::SramModel;
 use pomtlb_tlb::{NestedWalker, SramTlb, TlbConfig, Tsb, VirtTables};
+use std::sync::Arc;
+
 use pomtlb_trace::{
-    AddressLayout, Interleaver, OsEvent, OsEventKind, TraceItem, WorkloadSpec, WorkloadStream,
-    PROMOTE_WINDOW_PAGES,
+    AddressLayout, CoreItem, Interleaver, OsEvent, OsEventKind, SharedTrace, TraceItem,
+    WorkloadSpec, WorkloadStream, PROMOTE_WINDOW_PAGES,
 };
 use pomtlb_types::{
     AccessKind, AddressSpace, CoreId, Cycles, Gva, Hpa, PageSize, ProcessId, VmId,
@@ -611,6 +613,7 @@ pub struct Simulation {
     shared_memory: bool,
     prepopulate: bool,
     check_consistency: Option<bool>,
+    trace: Option<Arc<SharedTrace>>,
 }
 
 impl Simulation {
@@ -624,6 +627,7 @@ impl Simulation {
             shared_memory: false,
             prepopulate: true,
             check_consistency: None,
+            trace: None,
         }
     }
 
@@ -657,6 +661,18 @@ impl Simulation {
     /// Default: on in debug builds, off in release (see [`StaleChecker`]).
     pub fn check_consistency(mut self, on: bool) -> Simulation {
         self.check_consistency = Some(on);
+        self
+    }
+
+    /// Replays a pre-recorded input stream instead of running the
+    /// generators. The recording must have been generated with exactly this
+    /// simulation's spec, seed, core count, sharing mode and reference
+    /// budget ([`SharedTrace::matches`]); a compare batch records once and
+    /// hands the same `Arc` to every scheme, which is observationally
+    /// identical to live generation (the replay yields the same merged
+    /// stream bit for bit).
+    pub fn with_trace(mut self, trace: Arc<SharedTrace>) -> Simulation {
+        self.trace = Some(trace);
         self
     }
 
@@ -700,15 +716,39 @@ impl Simulation {
             }
         }
 
-        let streams: Vec<WorkloadStream> = (0..n)
-            .map(|c| {
-                WorkloadStream::new(&self.spec, self.sim_cfg.seed + c as u64, spaces[c], n as u16)
-            })
-            .collect();
-        let mut merged = Interleaver::new(streams);
-
         let warm_total = self.sim_cfg.warmup_per_core * n as u64;
         let main_total = self.sim_cfg.refs_per_core * n as u64;
+
+        // Input stream: live generators, or a shared recording of the
+        // identical stream (one generation amortized over a whole batch).
+        let mut merged: Box<dyn Iterator<Item = CoreItem<TraceItem>>> = match &self.trace {
+            Some(trace) => {
+                assert!(
+                    trace.matches(
+                        &self.spec,
+                        self.sim_cfg.seed,
+                        n,
+                        self.shared_memory,
+                        warm_total + main_total,
+                    ),
+                    "shared trace was recorded for different parameters than this run"
+                );
+                Box::new(trace.replay())
+            }
+            None => {
+                let streams: Vec<WorkloadStream> = (0..n)
+                    .map(|c| {
+                        WorkloadStream::new(
+                            &self.spec,
+                            self.sim_cfg.seed + c as u64,
+                            spaces[c],
+                            n as u16,
+                        )
+                    })
+                    .collect();
+                Box::new(Interleaver::new(streams))
+            }
+        };
         let mut core_stall = vec![Cycles::ZERO; n];
         let mut icount_latest = vec![0u64; n];
         let mut icount_base = vec![0u64; n];

@@ -15,7 +15,7 @@
 //! distinct physical locations, each with a realistic address that contends
 //! in the data caches.
 
-use pomtlb_types::{FastMap, Gpa, Gva, Hpa, PageSize};
+use pomtlb_types::{Gpa, Gva, Hpa, PageSize};
 use serde::{Deserialize, Serialize};
 
 /// Whether translation is one-dimensional (bare metal) or two-dimensional
@@ -135,26 +135,46 @@ const NODE_BYTES: u64 = 4 << 10;
 const PTE_BYTES: u64 = 8;
 const IDX_MASK: u64 = 0x1ff;
 
+/// Slot entries per radix node: 512 eight-byte PTEs in a 4 KB node page.
+const NODE_SLOTS: usize = 512;
+
+/// Slot-word tag distinguishing leaves from child links. Simulated physical
+/// addresses stay far below 2^63, so the top bit is free to carry it.
+const LEAF_BIT: u64 = 1 << 63;
+
 /// Shifts of the four x86-64 radix levels, root-first.
 const LEVEL_SHIFTS: [u32; 4] = [39, 30, 21, 12];
 
-/// One 4-level x86-style radix page table.
+/// One 4-level x86-style radix page table, stored as a flat node arena.
 ///
-/// Node pages are allocated from the table's own [`FrameAlloc`]; leaf
-/// mappings are stored by VPN. The table does not model PTE contents
-/// (permissions etc.), only the structure the walker traverses.
+/// Every node — root included — lives in one contiguous slot vector, 512
+/// slot words per node; `node_phys[i]` holds the simulated physical address
+/// of node `i`. A slot word is one of:
+///
+/// * `0` — empty;
+/// * a **child link**: the child's arena index plus one (the `+1` keeps
+///   index 0, the root, distinguishable from "empty"; indices fit in `u32`
+///   with room to spare);
+/// * a **leaf**: the mapped target base address with [`LEAF_BIT`] set.
+///
+/// Translations and walks descend by indexed loads only — no hashing.
+/// This is the simulator's hottest data structure: `translate_page` runs
+/// for every simulated memory reference and a virtualized walk reads up to
+/// 24 table locations, each of which used to cost a hash-map probe.
+///
+/// Node pages are allocated from the table's own [`FrameAlloc`]; the table
+/// does not model PTE contents (permissions etc.), only the structure the
+/// walker traverses.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RadixPageTable {
     root: u64,
-    /// Interior nodes keyed by (depth, va-prefix). Depth 1 = L3 node
-    /// (pointed to by a root entry), depth 2 = L2 node, depth 3 = L1 node.
-    /// The prefix is `va >> LEVEL_SHIFTS[depth - 1]`. These maps sit on the
-    /// per-reference hot path (`translate_page` runs for every simulated
-    /// memory access), so they use the unkeyed [`FastMap`] hasher instead
-    /// of SipHash.
-    nodes: FastMap<(u8, u64), u64>,
-    maps_small: FastMap<u64, u64>,
-    maps_large: FastMap<u64, u64>,
+    /// Slot words of every node, concatenated: node `i` owns
+    /// `slots[i * NODE_SLOTS .. (i + 1) * NODE_SLOTS]`.
+    slots: Vec<u64>,
+    /// Physical address of each arena node; index 0 is the root.
+    node_phys: Vec<u64>,
+    n_small: u64,
+    n_large: u64,
     alloc: FrameAlloc,
     /// Node pages created since the last [`RadixPageTable::take_new_nodes`]
     /// call — the hypervisor layer must back these with host frames.
@@ -165,16 +185,15 @@ impl RadixPageTable {
     /// Creates an empty table whose nodes come from `alloc`.
     pub fn new(mut alloc: FrameAlloc) -> RadixPageTable {
         let root = alloc.alloc(NODE_BYTES);
-        let mut t = RadixPageTable {
+        RadixPageTable {
             root,
-            nodes: FastMap::default(),
-            maps_small: FastMap::default(),
-            maps_large: FastMap::default(),
+            slots: vec![0; NODE_SLOTS],
+            node_phys: vec![root],
+            n_small: 0,
+            n_large: 0,
             alloc,
-            new_nodes: Vec::new(),
-        };
-        t.new_nodes.push(root);
-        t
+            new_nodes: vec![root],
+        }
     }
 
     /// Physical address of the root node.
@@ -184,7 +203,18 @@ impl RadixPageTable {
 
     /// Number of leaf mappings installed.
     pub fn mapping_count(&self) -> u64 {
-        (self.maps_small.len() + self.maps_large.len()) as u64
+        self.n_small + self.n_large
+    }
+
+    /// Allocates a fresh empty node and returns its arena index.
+    fn add_node(&mut self) -> usize {
+        let phys = self.alloc.alloc(NODE_BYTES);
+        let idx = self.node_phys.len();
+        assert!(idx <= u32::MAX as usize, "arena index exceeds u32 child links");
+        self.node_phys.push(phys);
+        self.slots.resize(self.slots.len() + NODE_SLOTS, 0);
+        self.new_nodes.push(phys);
+        idx
     }
 
     /// Installs a mapping `va → target_base` of `size`, creating interior
@@ -192,38 +222,70 @@ impl RadixPageTable {
     ///
     /// # Panics
     ///
-    /// Panics on 1 GB pages (unused by the paper's workloads) and if `va`
-    /// or `target_base` are not size-aligned.
+    /// Panics on 1 GB pages (unused by the paper's workloads), if `va` or
+    /// `target_base` are not size-aligned, or if the mapping would mix
+    /// 4 KB and 2 MB pages inside one 2 MB-aligned window (the layouts
+    /// this simulator generates keep the sizes in disjoint regions).
     pub fn map(&mut self, va: u64, size: PageSize, target_base: u64) {
         assert!(size != PageSize::Huge1G, "1 GB pages are not modeled");
         assert_eq!(va & (size.bytes() - 1), 0, "va {va:#x} not {size}-aligned");
         assert_eq!(target_base & (size.bytes() - 1), 0, "target {target_base:#x} not {size}-aligned");
-        let depth_of_leaf = match size {
-            PageSize::Small4K => 3, // nodes at depths 1..=3, leaf entry in L1 node
-            PageSize::Large2M => 2, // leaf entry in L2 node
+        debug_assert!(target_base < LEAF_BIT, "target {target_base:#x} collides with the leaf tag");
+        let leaf_level = match size {
+            PageSize::Small4K => 3, // leaf slot in the L1 node
+            PageSize::Large2M => 2, // leaf slot in the L2 node
             PageSize::Huge1G => unreachable!(),
         };
-        for depth in 1..=depth_of_leaf {
-            let prefix = va >> LEVEL_SHIFTS[depth as usize - 1];
-            if !self.nodes.contains_key(&(depth, prefix)) {
-                let node = self.alloc.alloc(NODE_BYTES);
-                self.nodes.insert((depth, prefix), node);
-                self.new_nodes.push(node);
+        let mut node = 0usize;
+        for shift in &LEVEL_SHIFTS[..leaf_level] {
+            let pos = node * NODE_SLOTS + ((va >> shift) & IDX_MASK) as usize;
+            let slot = self.slots[pos];
+            node = if slot == 0 {
+                let child = self.add_node();
+                self.slots[pos] = child as u64 + 1;
+                child
+            } else {
+                assert!(
+                    slot & LEAF_BIT == 0,
+                    "mapping {va:#x} ({size}) under an existing larger-page leaf is not modeled"
+                );
+                (slot - 1) as usize
+            };
+        }
+        let pos = node * NODE_SLOTS + ((va >> LEVEL_SHIFTS[leaf_level]) & IDX_MASK) as usize;
+        let old = self.slots[pos];
+        assert!(
+            old == 0 || old & LEAF_BIT != 0,
+            "2 MB mapping at {va:#x} would overwrite an interior node of 4 KB mappings"
+        );
+        if old == 0 {
+            match size {
+                PageSize::Small4K => self.n_small += 1,
+                PageSize::Large2M => self.n_large += 1,
+                PageSize::Huge1G => unreachable!(),
             }
         }
-        match size {
-            PageSize::Small4K => self.maps_small.insert(va >> 12, target_base),
-            PageSize::Large2M => self.maps_large.insert(va >> 21, target_base),
-            PageSize::Huge1G => unreachable!(),
-        };
+        self.slots[pos] = target_base | LEAF_BIT;
     }
 
     /// Translates `va` (any offset), returning the mapped base and size.
     pub fn translate_page(&self, va: u64) -> Option<(u64, PageSize)> {
-        if let Some(&base) = self.maps_large.get(&(va >> 21)) {
-            return Some((base, PageSize::Large2M));
+        let mut node = 0usize;
+        for (level, shift) in LEVEL_SHIFTS.iter().enumerate() {
+            let slot = self.slots[node * NODE_SLOTS + ((va >> shift) & IDX_MASK) as usize];
+            if slot == 0 {
+                return None;
+            }
+            if slot & LEAF_BIT != 0 {
+                // A leaf in the L2 node (level 2) is a 2 MB page; in the L1
+                // node (level 3) a 4 KB page. Leaves never appear higher
+                // (1 GB pages are not modeled).
+                let size = if level == 3 { PageSize::Small4K } else { PageSize::Large2M };
+                return Some((slot & !LEAF_BIT, size));
+            }
+            node = (slot - 1) as usize;
         }
-        self.maps_small.get(&(va >> 12)).map(|&base| (base, PageSize::Small4K))
+        None
     }
 
     /// Translates `va` fully, carrying the in-page offset across.
@@ -236,39 +298,55 @@ impl RadixPageTable {
     ///
     /// Returns `None` for unmapped addresses.
     pub fn walk(&self, va: u64) -> Option<WalkPath> {
-        let (target_base, size) = self.translate_page(va)?;
-        let levels = match size {
-            PageSize::Small4K => 4,
-            PageSize::Large2M => 3,
-            PageSize::Huge1G => unreachable!("never mapped"),
-        };
         let mut pte_addrs = PathLevels::new();
         let mut node_addrs = PathLevels::new();
-        let mut node = self.root;
-        for (i, shift) in LEVEL_SHIFTS.iter().enumerate().take(levels) {
-            node_addrs.push(node);
-            pte_addrs.push(node + ((va >> shift) & IDX_MASK) * PTE_BYTES);
-            if i + 1 < levels {
-                let depth = (i + 1) as u8;
-                let prefix = va >> LEVEL_SHIFTS[i];
-                node = *self
-                    .nodes
-                    .get(&(depth, prefix))
-                    .expect("interior nodes exist for every mapping");
+        let mut node = 0usize;
+        for (level, shift) in LEVEL_SHIFTS.iter().enumerate() {
+            let idx = ((va >> shift) & IDX_MASK) as usize;
+            let slot = self.slots[node * NODE_SLOTS + idx];
+            if slot == 0 {
+                return None;
             }
+            let phys = self.node_phys[node];
+            node_addrs.push(phys);
+            pte_addrs.push(phys + idx as u64 * PTE_BYTES);
+            if slot & LEAF_BIT != 0 {
+                let size = if level == 3 { PageSize::Small4K } else { PageSize::Large2M };
+                return Some(WalkPath { pte_addrs, node_addrs, target_base: slot & !LEAF_BIT, size });
+            }
+            node = (slot - 1) as usize;
         }
-        Some(WalkPath { pte_addrs, node_addrs, target_base, size })
+        None
     }
 
     /// Removes a mapping (page unmap / remap during shootdown tests).
     /// Returns whether it existed. Interior nodes are retained, as real
     /// kernels retain them.
     pub fn unmap(&mut self, va: u64, size: PageSize) -> bool {
-        match size {
-            PageSize::Small4K => self.maps_small.remove(&(va >> 12)).is_some(),
-            PageSize::Large2M => self.maps_large.remove(&(va >> 21)).is_some(),
-            PageSize::Huge1G => false,
+        let leaf_level = match size {
+            PageSize::Small4K => 3,
+            PageSize::Large2M => 2,
+            PageSize::Huge1G => return false,
+        };
+        let mut node = 0usize;
+        for shift in &LEVEL_SHIFTS[..leaf_level] {
+            let slot = self.slots[node * NODE_SLOTS + ((va >> shift) & IDX_MASK) as usize];
+            if slot == 0 || slot & LEAF_BIT != 0 {
+                return false;
+            }
+            node = (slot - 1) as usize;
         }
+        let pos = node * NODE_SLOTS + ((va >> LEVEL_SHIFTS[leaf_level]) & IDX_MASK) as usize;
+        if self.slots[pos] & LEAF_BIT == 0 {
+            return false; // empty, or an interior node of the other size
+        }
+        self.slots[pos] = 0;
+        match size {
+            PageSize::Small4K => self.n_small -= 1,
+            PageSize::Large2M => self.n_large -= 1,
+            PageSize::Huge1G => unreachable!(),
+        }
+        true
     }
 
     /// Drains the list of node pages created since the last call.
@@ -278,7 +356,7 @@ impl RadixPageTable {
 
     /// Bytes of node storage allocated so far.
     pub fn node_bytes(&self) -> u64 {
-        (self.nodes.len() as u64 + 1) * NODE_BYTES
+        self.node_phys.len() as u64 * NODE_BYTES
     }
 }
 
@@ -578,6 +656,42 @@ mod tests {
         assert!(t.unmap(0x1000, PageSize::Small4K));
         assert_eq!(t.translate(0x1000), None);
         assert!(!t.unmap(0x1000, PageSize::Small4K));
+    }
+
+    #[test]
+    fn remap_after_unmap_reuses_nodes() {
+        let mut t = RadixPageTable::new(FrameAlloc::new(0x10_0000, 1 << 30));
+        t.map(0x1000, PageSize::Small4K, 0x9000);
+        let nodes_before = t.node_bytes();
+        assert!(t.unmap(0x1000, PageSize::Small4K));
+        t.map(0x1000, PageSize::Small4K, 0xa000);
+        assert_eq!(t.node_bytes(), nodes_before, "interior chain is retained");
+        assert_eq!(t.translate(0x1000), Some(0xa000));
+        assert_eq!(t.mapping_count(), 1);
+    }
+
+    #[test]
+    fn mapping_count_tracks_both_sizes() {
+        let mut t = RadixPageTable::new(FrameAlloc::new(0x10_0000, 1 << 30));
+        t.map(0x1000_0000_0000, PageSize::Small4K, 0x1000);
+        t.map(0x2000_0020_0000, PageSize::Large2M, 0x4000_0000);
+        assert_eq!(t.mapping_count(), 2);
+        // Re-mapping in place does not double-count.
+        t.map(0x1000_0000_0000, PageSize::Small4K, 0x3000);
+        assert_eq!(t.mapping_count(), 2);
+        assert!(t.unmap(0x2000_0020_0000, PageSize::Large2M));
+        assert_eq!(t.mapping_count(), 1);
+    }
+
+    #[test]
+    fn unmap_with_wrong_size_is_a_no_op() {
+        let mut t = RadixPageTable::new(FrameAlloc::new(0x10_0000, 1 << 30));
+        t.map(0x5000_0000_0000, PageSize::Small4K, 0x9000);
+        assert!(!t.unmap(0x5000_0000_0000, PageSize::Large2M));
+        assert_eq!(t.translate(0x5000_0000_0000), Some(0x9000));
+        t.map(0x6000_0020_0000, PageSize::Large2M, 0x4000_0000);
+        assert!(!t.unmap(0x6000_0020_0000, PageSize::Small4K));
+        assert_eq!(t.translate_page(0x6000_0020_0000), Some((0x4000_0000, PageSize::Large2M)));
     }
 
     #[test]

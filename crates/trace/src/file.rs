@@ -23,7 +23,7 @@ use pomtlb_types::{AccessKind, AddressSpace, Gva, ProcessId, VmId};
 use crate::record::MemoryRef;
 
 const MAGIC: &[u8; 8] = b"POMTRC1\n";
-const RECORD_BYTES: usize = 22;
+pub(crate) const RECORD_BYTES: usize = 22;
 
 /// Writes `refs` to `w`, returning how many records were written.
 ///
@@ -38,13 +38,13 @@ pub fn write_trace<W: Write>(
     w.write_all(&(records.len() as u64).to_le_bytes())?;
     let mut buf = [0u8; RECORD_BYTES];
     for r in &records {
-        encode(r, &mut buf);
+        encode_record(r, &mut buf);
         w.write_all(&buf)?;
     }
     Ok(records.len() as u64)
 }
 
-fn encode(r: &MemoryRef, buf: &mut [u8; RECORD_BYTES]) {
+pub(crate) fn encode_record(r: &MemoryRef, buf: &mut [u8; RECORD_BYTES]) {
     buf[0..8].copy_from_slice(&r.icount.to_le_bytes());
     buf[8..16].copy_from_slice(&r.addr.raw().to_le_bytes());
     buf[16..18].copy_from_slice(&r.space.vm.0.to_le_bytes());
@@ -56,7 +56,7 @@ fn encode(r: &MemoryRef, buf: &mut [u8; RECORD_BYTES]) {
     buf[21] = 0;
 }
 
-fn decode(buf: &[u8; RECORD_BYTES]) -> io::Result<MemoryRef> {
+pub(crate) fn decode_record(buf: &[u8; RECORD_BYTES]) -> io::Result<MemoryRef> {
     let icount = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
     let addr = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
     let vm = u16::from_le_bytes(buf[16..18].try_into().expect("2 bytes"));
@@ -132,7 +132,7 @@ impl<R: Read> Iterator for TraceReader<R> {
         self.remaining -= 1;
         let mut buf = [0u8; RECORD_BYTES];
         match self.inner.read_exact(&mut buf) {
-            Ok(()) => Some(decode(&buf)),
+            Ok(()) => Some(decode_record(&buf)),
             Err(e) => {
                 self.remaining = 0;
                 Some(Err(e))

@@ -49,6 +49,7 @@ mod generator;
 mod interleave;
 mod picker;
 mod record;
+mod shared;
 mod spec;
 mod zipf;
 
@@ -60,6 +61,7 @@ pub use file::{write_trace, TraceReader};
 pub use generator::{AddressLayout, TraceGenerator, LARGE_REGION_BASE, SMALL_REGION_BASE};
 pub use interleave::{CoreItem, CoreRef, Interleaver, Timestamped};
 pub use record::MemoryRef;
+pub use shared::{SharedTrace, SharedTraceIter, TraceKey};
 pub use spec::{LocalityModel, WorkloadSpec, WorkloadSpecBuilder};
 pub use zipf::Zipf;
 
