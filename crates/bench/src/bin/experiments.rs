@@ -1,7 +1,8 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--jobs N] [--trace-cache] [--json DIR] [ARTIFACT...]
+//! experiments [--quick] [--jobs N] [--trace-cache] [--trace-cache-dir DIR]
+//!             [--json DIR] [ARTIFACT...]
 //!
 //! ARTIFACT: table1 table2 fig1 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12
 //!           capacity cores assoc predictor-sweep all   (default: all)
@@ -12,18 +13,27 @@
 //! batch runs on a worker pool, and the builders then replay against the
 //! warm cache — so stdout and the JSON in `--json DIR` are byte-identical
 //! to a serial run.
+//!
+//! `--trace-cache-dir DIR` persists the shared recordings to a POMTRC2
+//! store at DIR (implies `--trace-cache`): the first invocation records
+//! every distinct input stream, a second invocation over the same matrix
+//! replays all of them from disk and runs zero generator passes. Damaged
+//! or stale store files fall back to live generation — output never
+//! changes, only speed.
 
 use std::fs;
 use std::process::ExitCode;
 
 use pomtlb_bench::figures::{self, Figure};
 use pomtlb_bench::matrix::{ExpConfig, Matrix};
+use pomtlb_trace::TraceStore;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut jobs = 1usize;
     let mut trace_cache = false;
+    let mut trace_cache_dir: Option<String> = None;
     let mut json_dir: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -31,6 +41,13 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--quick" => quick = true,
             "--trace-cache" => trace_cache = true,
+            "--trace-cache-dir" => match it.next() {
+                Some(dir) => trace_cache_dir = Some(dir),
+                None => {
+                    eprintln!("--trace-cache-dir needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--json" => match it.next() {
                 Some(dir) => json_dir = Some(dir),
                 None => {
@@ -71,6 +88,18 @@ fn main() -> ExitCode {
     let cfg = if quick { ExpConfig::quick() } else { ExpConfig::standard() };
     let mut matrix = Matrix::new(cfg);
     matrix.set_trace_cache(trace_cache);
+    if let Some(dir) = &trace_cache_dir {
+        match TraceStore::open(dir) {
+            Ok(store) => {
+                trace_cache = true;
+                matrix.set_trace_store(Some(store));
+            }
+            Err(e) => {
+                eprintln!("cannot open trace store {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let mut produced: Vec<Figure> = Vec::new();
 
     if let Some(unknown) = wanted.iter().find(|n| !ALL_ARTIFACTS.contains(&n.as_str())) {
@@ -148,7 +177,10 @@ const ALL_ARTIFACTS: &[&str] = &[
 
 fn print_help() {
     eprintln!(
-        "usage: experiments [--quick] [--jobs N|auto] [--trace-cache] [--json DIR] [ARTIFACT...]"
+        "usage: experiments [--quick] [--jobs N|auto] [--trace-cache] \
+         [--trace-cache-dir DIR] [--json DIR] [ARTIFACT...]"
     );
+    eprintln!("  --trace-cache-dir DIR  persist shared recordings to a POMTRC2 store");
+    eprintln!("                         (implies --trace-cache; warm runs skip generation)");
     eprintln!("artifacts: {}", ALL_ARTIFACTS.join(" "));
 }

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! perf_track [--out PATH] [--jobs N|auto] [--refs N] [--warmup N]
-//!            [--laps N] [--baseline-serial-ms X]
+//!            [--laps N] [--baseline-serial-ms X] [--trace-store DIR]
 //! ```
 //!
 //! `--baseline-serial-ms X` records a prior commit's serial wall time for
@@ -27,6 +27,17 @@
 //! cross-checks that all runs produced identical reports (the runner's and
 //! trace cache's determinism contracts) and fails loudly if they did not.
 //!
+//! On top of those three, two persistent-store passes exercise the POMTRC2
+//! disk path: a *record* pass through a cold (or CI-restored) store, then a
+//! *replay* pass through a **fresh** handle over the same directory — the
+//! cross-invocation boundary. The replay pass must serve every stream from
+//! disk (zero generator passes) or the harness fails; both passes join the
+//! determinism cross-check. `--trace-store DIR` points the store at a
+//! persistent directory (CI caches it across commits); without the flag an
+//! ephemeral pid-suffixed temp directory is used and removed on exit. The
+//! store numbers land in a NEW top-level `"trace_store"` object — every
+//! pre-existing field of `BENCH_perf.json` keeps its name and meaning.
+//!
 //! The record is written with a local JSON emitter rather than a serde
 //! round trip: the artifact is diffed across commits by CI, so its byte
 //! layout should depend only on this file.
@@ -36,7 +47,11 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use pom_tlb::{default_jobs, run_jobs, share_traces, JobResult, Scheme, SimConfig, SimJob};
+use pom_tlb::{
+    default_jobs, run_jobs, share_traces, share_traces_with_store, JobResult, Scheme,
+    ShareOutcome, SimConfig, SimJob,
+};
+use pomtlb_trace::TraceStore;
 use pomtlb_workloads::by_name;
 
 type SchemeCtor = fn() -> Scheme;
@@ -150,6 +165,7 @@ fn main() -> ExitCode {
     let mut warmup = 4_000u64;
     let mut laps = 3u32;
     let mut baseline_serial_ms: Option<f64> = None;
+    let mut trace_store_dir: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -178,13 +194,16 @@ fn main() -> ExitCode {
                     .map(|x| baseline_serial_ms = Some(x))
                     .map_err(|_| format!("bad --baseline-serial-ms `{v}`"))
             }),
+            "--trace-store" => {
+                value("--trace-store").map(|v| trace_store_dir = Some(v.clone()))
+            }
             other => Err(format!("unknown flag `{other}`")),
         };
         if let Err(e) = r {
             eprintln!("{e}");
             eprintln!(
                 "usage: perf_track [--out PATH] [--jobs N|auto] [--refs N] [--warmup N] \
-                 [--laps N] [--baseline-serial-ms X]"
+                 [--laps N] [--baseline-serial-ms X] [--trace-store DIR]"
             );
             return ExitCode::FAILURE;
         }
@@ -216,7 +235,55 @@ fn main() -> ExitCode {
 
     let (parallel_wall, parallel) = best_of(laps, || run_jobs(batch(refs, warmup), jobs_n));
 
-    let deterministic = same_reports(&serial, &parallel) && same_reports(&serial, &cached);
+    // Persistent-store passes. The record pass runs once (its wall time
+    // includes recording overhead, which only happens once per store
+    // lifetime); the replay pass is best-of-laps like the others, through a
+    // *fresh* handle over the same directory so every byte crosses the
+    // process-invocation boundary via the files.
+    let ephemeral = trace_store_dir.is_none();
+    let store_dir = trace_store_dir.unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("pomtlb-perf-store-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    let store = match TraceStore::open(&store_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open trace store {store_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let record_start = Instant::now();
+    let mut record_jobs = batch(refs, warmup);
+    let record = share_traces_with_store(&mut record_jobs, Some(&store));
+    let recorded_results = run_jobs(record_jobs, 1);
+    let record_wall = record_start.elapsed();
+    drop(store);
+
+    let store = match TraceStore::open(&store_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot reopen trace store {store_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut replay = ShareOutcome::default();
+    let (replay_wall, replayed_results) = best_of(laps, || {
+        let mut jobs = batch(refs, warmup);
+        replay = share_traces_with_store(&mut jobs, Some(&store));
+        run_jobs(jobs, 1)
+    });
+    drop(store);
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+    let replay_all_hits = replay.store_misses == 0 && replay.store_hits == replay.attached;
+
+    let deterministic = same_reports(&serial, &parallel)
+        && same_reports(&serial, &cached)
+        && same_reports(&serial, &recorded_results)
+        && same_reports(&serial, &replayed_results);
 
     let total_refs: u64 = serial.iter().map(|r| r.report.refs).sum();
     let serial_secs = serial_wall.as_secs_f64();
@@ -290,6 +357,28 @@ fn main() -> ExitCode {
         jnum(if cache_secs > 0.0 { serial_secs / cache_secs } else { 0.0 })
     );
     j.push_str("  },\n");
+    let replay_secs = replay_wall.as_secs_f64();
+    j.push_str("  \"trace_store\": {\n");
+    let _ = writeln!(
+        j,
+        "    \"record\": {{\"store_hits\": {}, \"store_misses\": {}, \"recorded\": {}}},",
+        record.store_hits, record.store_misses, record.recorded
+    );
+    let _ = writeln!(
+        j,
+        "    \"replay\": {{\"store_hits\": {}, \"store_misses\": {}, \"recorded\": {}}},",
+        replay.store_hits, replay.store_misses, replay.recorded
+    );
+    let _ = writeln!(j, "    \"bytes_mapped\": {},", replay.bytes_mapped);
+    let _ = writeln!(j, "    \"record_wall_ms\": {},", jnum(record_wall.as_secs_f64() * 1e3));
+    let _ = writeln!(j, "    \"replay_wall_ms\": {},", jnum(replay_secs * 1e3));
+    let _ = writeln!(
+        j,
+        "    \"replay_speedup_vs_serial\": {},",
+        jnum(if replay_secs > 0.0 { serial_secs / replay_secs } else { 0.0 })
+    );
+    let _ = writeln!(j, "    \"replay_all_hits\": {replay_all_hits}");
+    j.push_str("  },\n");
     if let Some(base_ms) = baseline_serial_ms {
         j.push_str("  \"baseline\": {\n");
         let _ = writeln!(j, "    \"serial_wall_ms\": {},", jnum(base_ms));
@@ -320,17 +409,32 @@ fn main() -> ExitCode {
     }
     eprintln!(
         "perf_track: serial {:.0} ms, trace-cache {:.0} ms, pooled {:.0} ms on {} workers \
-         -> {:.2}x pool / {:.2}x cache; wrote {}",
+         -> {:.2}x pool / {:.2}x cache; store replay {:.0} ms ({} hit(s), {} byte(s) mapped); \
+         wrote {}",
         serial_secs * 1e3,
         cache_secs * 1e3,
         parallel_secs * 1e3,
         jobs_n,
         if parallel_secs > 0.0 { serial_secs / parallel_secs } else { 0.0 },
         if cache_secs > 0.0 { serial_secs / cache_secs } else { 0.0 },
+        replay_secs * 1e3,
+        replay.store_hits,
+        replay.bytes_mapped,
         out
     );
     if !deterministic {
-        eprintln!("perf_track: FAIL — pooled or trace-cached reports differ from serial reports");
+        eprintln!(
+            "perf_track: FAIL — pooled, trace-cached or store-replayed reports differ from \
+             serial reports"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !replay_all_hits {
+        eprintln!(
+            "perf_track: FAIL — store replay pass missed ({} hit(s), {} miss(es) of {} \
+             stream(s)); a just-recorded store must serve every stream from disk",
+            replay.store_hits, replay.store_misses, replay.attached
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

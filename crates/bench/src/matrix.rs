@@ -3,8 +3,11 @@
 use std::collections::{HashMap, HashSet};
 
 use pom_tlb::perf_model::improvement_pct;
-use pom_tlb::{run_jobs, share_traces, Scheme, SimConfig, SimJob, SimReport, SystemConfig};
+use pom_tlb::{
+    run_jobs, share_traces_with_store, Scheme, SimConfig, SimJob, SimReport, SystemConfig,
+};
 use pomtlb_tlb::WalkMode;
+use pomtlb_trace::TraceStore;
 use pomtlb_workloads::PaperWorkload;
 
 /// Run-length preset for the harness.
@@ -70,6 +73,9 @@ pub struct Matrix {
     /// When on, `execute_plan` records each distinct input stream once and
     /// replays it to every scheme sharing it (see [`pom_tlb::share_traces`]).
     trace_cache: bool,
+    /// Persistent backing for the trace cache: recordings hit here replay
+    /// from disk across invocations (see [`pom_tlb::share_traces_with_store`]).
+    trace_store: Option<TraceStore>,
     /// Echo each run to stderr as it happens (the full matrix takes a
     /// couple of minutes; silence is unnerving).
     pub verbose: bool,
@@ -85,6 +91,7 @@ impl Matrix {
             planned: Vec::new(),
             planned_keys: HashSet::new(),
             trace_cache: false,
+            trace_store: None,
             verbose: true,
         }
     }
@@ -95,6 +102,24 @@ impl Matrix {
     /// so cached reports — and every figure built from them — are unchanged.
     pub fn set_trace_cache(&mut self, on: bool) {
         self.trace_cache = on;
+    }
+
+    /// Backs the trace cache with a persistent store: planned batches
+    /// replay recordings from disk when present (map-on-hit) and persist
+    /// what they generate (record-on-miss), so a *second* invocation over
+    /// the same matrix runs zero generator passes. Implies
+    /// [`Matrix::set_trace_cache`]. Store defects degrade to live
+    /// generation; output never changes.
+    pub fn set_trace_store(&mut self, store: Option<TraceStore>) {
+        if store.is_some() {
+            self.trace_cache = true;
+        }
+        self.trace_store = store;
+    }
+
+    /// The persistent trace store, if one is attached.
+    pub fn trace_store(&self) -> Option<&TraceStore> {
+        self.trace_store.as_ref()
     }
 
     /// Switches plan mode on or off. While planning, `report_with` records
@@ -124,9 +149,12 @@ impl Matrix {
         let (keys, jobs): (Vec<_>, Vec<_>) = planned.into_iter().unzip();
         let mut jobs = jobs;
         if self.trace_cache {
-            let n = share_traces(&mut jobs);
+            let outcome = share_traces_with_store(&mut jobs, self.trace_store.as_ref());
             if self.verbose {
-                eprintln!("  [plan] {} shared trace recording(s)", n);
+                eprintln!(
+                    "  [plan] {} shared trace recording(s) ({} replayed from disk, {} recorded)",
+                    outcome.attached, outcome.store_hits, outcome.recorded
+                );
             }
         }
         for (key, result) in keys.into_iter().zip(run_jobs(jobs, n_workers)) {

@@ -8,16 +8,24 @@
 //!            [--json]
 //! pomtlb compare --workload gups [--cores 8] [--refs 40000] [--json]
 //! pomtlb shootdown-sweep --workload gups [--json]
+//! pomtlb trace-store stats|verify|gc --dir DIR [--max-mb N]
 //! ```
+//!
+//! Batched commands (`compare`, `shootdown-sweep`) accept
+//! `--trace-cache-dir DIR`: shared recordings persist to a POMTRC2 store at
+//! DIR and later invocations replay them from disk instead of regenerating.
+//! `trace-store` inspects such a store: `stats` lists its recordings,
+//! `verify` integrity-checks every file (exit code 1 if any fails), `gc`
+//! evicts least-recently-used recordings down to `--max-mb`.
 
 use std::process::ExitCode;
 
 use pom_tlb::{
-    run_jobs, share_traces, PomTlbConfig, Scheme, ShootdownStats, SimConfig, SimJob, SimReport,
-    SystemConfig,
+    run_jobs, share_traces_with_store, PomTlbConfig, Scheme, ShootdownStats, SimConfig, SimJob,
+    SimReport, SystemConfig,
 };
 use pomtlb_tlb::WalkMode;
-use pomtlb_trace::OsEventRates;
+use pomtlb_trace::{OsEventRates, TraceStore};
 use pomtlb_workloads::{by_name, names, PaperWorkload};
 
 fn main() -> ExitCode {
@@ -30,6 +38,7 @@ fn main() -> ExitCode {
         Some("sim") => run_command(&args[1..], CommandKind::Sim),
         Some("compare") => run_command(&args[1..], CommandKind::Compare),
         Some("shootdown-sweep") => run_sweep(&args[1..]),
+        Some("trace-store") => run_trace_store(&args[1..]),
         Some("--help") | Some("-h") | None => {
             help();
             ExitCode::SUCCESS
@@ -63,6 +72,7 @@ struct Options {
     json: bool,
     jobs: usize,
     trace_cache: bool,
+    trace_cache_dir: Option<String>,
 }
 
 impl Default for Options {
@@ -82,6 +92,7 @@ impl Default for Options {
             json: false,
             jobs: 1,
             trace_cache: false,
+            trace_cache_dir: None,
         }
     }
 }
@@ -117,6 +128,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--check-consistency" => o.check_consistency = true,
             "--json" => o.json = true,
             "--trace-cache" => o.trace_cache = true,
+            "--trace-cache-dir" => {
+                o.trace_cache_dir = Some(value("--trace-cache-dir")?);
+                o.trace_cache = true;
+            }
             "--jobs" | "-j" => {
                 let v = value("--jobs")?;
                 o.jobs = if v == "auto" {
@@ -183,7 +198,14 @@ fn run_command(args: &[String], kind: CommandKind) -> ExitCode {
                     .map(|s| job_for(&w, s, &opts))
                     .collect();
             if opts.trace_cache {
-                share_traces(&mut jobs);
+                let store = match open_store(&opts.trace_cache_dir) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                share_traces_with_store(&mut jobs, store.as_ref());
             }
             let reports: Vec<SimReport> =
                 run_jobs(jobs, opts.jobs).into_iter().map(|r| r.report).collect();
@@ -191,6 +213,17 @@ fn run_command(args: &[String], kind: CommandKind) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Opens the persistent trace store when `--trace-cache-dir` was given;
+/// `Ok(None)` means plain in-memory sharing.
+fn open_store(dir: &Option<String>) -> Result<Option<TraceStore>, String> {
+    match dir {
+        Some(d) => TraceStore::open(d)
+            .map(Some)
+            .map_err(|e| format!("cannot open trace store {d}: {e}")),
+        None => Ok(None),
+    }
 }
 
 /// Builds the fully-specified job `simulate` would run, so batched commands
@@ -263,7 +296,14 @@ fn run_sweep(args: &[String]) -> ExitCode {
     if opts.trace_cache {
         // One recording per unmap rate (the event mix changes the stream);
         // the four schemes at each rate share it.
-        share_traces(&mut jobs);
+        let store = match open_store(&opts.trace_cache_dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        share_traces_with_store(&mut jobs, store.as_ref());
     }
     let rows: Vec<SweepRow> = run_jobs(jobs, opts.jobs)
         .into_iter()
@@ -305,6 +345,123 @@ fn run_sweep(args: &[String]) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// `pomtlb trace-store stats|verify|gc --dir DIR [--max-mb N]` — inspect,
+/// integrity-check, or trim a persistent POMTRC2 recording store.
+fn run_trace_store(args: &[String]) -> ExitCode {
+    let mut action: Option<String> = None;
+    let mut dir: Option<String> = None;
+    let mut max_mb: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "stats" | "verify" | "gc" if action.is_none() => action = Some(a.clone()),
+            "--dir" => match it.next() {
+                Some(v) => dir = Some(v.clone()),
+                None => {
+                    eprintln!("--dir needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-mb" => match it.next().map(|v| num(v)) {
+                Some(Ok(n)) => max_mb = Some(n),
+                _ => {
+                    eprintln!("--max-mb needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown trace-store argument `{other}`");
+                eprintln!("usage: pomtlb trace-store stats|verify|gc --dir DIR [--max-mb N]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(action) = action else {
+        eprintln!("trace-store needs an action: stats | verify | gc");
+        return ExitCode::FAILURE;
+    };
+    let Some(dir) = dir else {
+        eprintln!("trace-store needs --dir DIR");
+        return ExitCode::FAILURE;
+    };
+    let store = match TraceStore::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open trace store {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let store = match max_mb {
+        Some(mb) => store.with_max_bytes(mb.saturating_mul(1 << 20)),
+        None => store,
+    };
+
+    match action.as_str() {
+        "stats" => {
+            let entries = store.entries();
+            println!(
+                "trace store {}: {} recording(s), {} bytes (cap {} bytes)",
+                store.root().display(),
+                entries.len(),
+                store.total_bytes(),
+                store.max_bytes(),
+            );
+            if !entries.is_empty() {
+                println!(
+                    "{:<16} {:<14} {:>10} {:>5} {:>10} {:>10} {:>11}",
+                    "digest", "workload", "seed", "cores", "refs", "bytes", "last_used"
+                );
+                for e in &entries {
+                    println!(
+                        "{:<16} {:<14} {:>10} {:>5} {:>10} {:>10} {:>11}",
+                        &e.digest[..e.digest.len().min(16)],
+                        e.workload,
+                        e.seed,
+                        e.n_cores,
+                        e.refs,
+                        e.bytes,
+                        e.last_used,
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "verify" => {
+            let entries = store.verify();
+            let mut bad = 0usize;
+            for e in &entries {
+                match &e.error {
+                    None => println!("OK    {} ({} bytes)", e.digest, e.bytes),
+                    Some(err) => {
+                        bad += 1;
+                        println!("FAIL  {} ({} bytes): {err}", e.digest, e.bytes);
+                    }
+                }
+            }
+            println!("{} recording(s), {} defective", entries.len(), bad);
+            if bad > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        "gc" => {
+            let report = store.gc();
+            for (digest, bytes) in &report.evicted {
+                println!("evicted {digest} ({bytes} bytes)");
+            }
+            println!(
+                "{} recording(s) evicted, {} bytes live (cap {} bytes)",
+                report.evicted.len(),
+                report.live_bytes,
+                store.max_bytes(),
+            );
+            ExitCode::SUCCESS
+        }
+        _ => unreachable!("actions are validated above"),
+    }
 }
 
 fn emit(w: &PaperWorkload, reports: &[SimReport], o: &Options) {
@@ -377,6 +534,9 @@ USAGE:
   pomtlb compare         --workload NAME [flags]   all four schemes side by side
   pomtlb shootdown-sweep --workload NAME [flags]   0/1/10 unmaps per 10k refs
                                                    x all four schemes
+  pomtlb trace-store stats|verify|gc --dir DIR [--max-mb N]
+                                                   inspect / integrity-check /
+                                                   trim a recording store
 
 FLAGS:
   --scheme S        baseline | pom-tlb | pom-uncached | shared-l2 | tsb
@@ -400,6 +560,10 @@ FLAGS:
   --trace-cache     batched commands record each input stream once and
                     replay it to every scheme instead of regenerating it
                     per run. Output is byte-identical either way
+  --trace-cache-dir DIR   persist those recordings to a POMTRC2 store at
+                    DIR (implies --trace-cache); later invocations replay
+                    them from disk. Damaged files fall back to live
+                    generation — output never changes
   --json            machine-readable output"
     );
 }
@@ -464,6 +628,14 @@ mod tests {
     fn parse_trace_cache() {
         assert!(!parse(&[]).unwrap().trace_cache);
         assert!(parse(&["--trace-cache".into()]).unwrap().trace_cache);
+    }
+
+    #[test]
+    fn parse_trace_cache_dir_implies_trace_cache() {
+        let o = parse(&["--trace-cache-dir".into(), "/tmp/store".into()]).unwrap();
+        assert!(o.trace_cache);
+        assert_eq!(o.trace_cache_dir.as_deref(), Some("/tmp/store"));
+        assert!(parse(&["--trace-cache-dir".into()]).is_err());
     }
 
     #[test]

@@ -75,7 +75,10 @@ pub use mmu::{CoreMmu, MmuHit};
 pub use pom_tlb::{PomLookup, PomTlb, PomTlbStats};
 pub use predictor::{PredictorStats, SizeBypassPredictor};
 pub use report::SimReport;
-pub use runner::{default_jobs, run_jobs, share_traces, JobResult, SimJob};
+pub use runner::{
+    default_jobs, run_jobs, share_traces, share_traces_with_store, JobResult, ShareOutcome,
+    SimJob,
+};
 pub use scheme::Scheme;
 pub use shootdown::{ShootdownCost, ShootdownEngine, ShootdownParts, ShootdownStats, StaleChecker};
 pub use skew::SkewPomTlb;

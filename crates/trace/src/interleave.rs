@@ -14,11 +14,26 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use pomtlb_types::CoreId;
 
 use crate::event::{OsEvent, TraceItem};
 use crate::record::MemoryRef;
+
+/// Process-wide count of [`Interleaver`] constructions.
+static CONSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// How many [`Interleaver`]s this process has constructed so far.
+///
+/// Every live generator pass builds exactly one interleaver, and trace
+/// replay builds none — so a delta of zero across a batch *proves* the
+/// batch ran entirely from recordings (the trace store's cross-invocation
+/// integration tests assert exactly that). Monotonic and process-global;
+/// meaningful as a before/after delta, not an absolute.
+pub fn interleaver_constructions() -> u64 {
+    CONSTRUCTIONS.load(Ordering::Relaxed)
+}
 
 /// Anything carrying a cumulative instruction count the merge can order by.
 pub trait Timestamped {
@@ -68,6 +83,7 @@ pub struct Interleaver<I: Iterator> {
 impl<T: Timestamped, I: Iterator<Item = T>> Interleaver<I> {
     /// Creates an interleaver over one stream per core.
     pub fn new(mut streams: Vec<I>) -> Self {
+        CONSTRUCTIONS.fetch_add(1, Ordering::Relaxed);
         let mut heap = BinaryHeap::with_capacity(streams.len());
         let mut pending = Vec::with_capacity(streams.len());
         for (i, s) in streams.iter_mut().enumerate() {

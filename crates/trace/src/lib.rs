@@ -40,9 +40,15 @@
 //! assert_eq!(first, again, "same seed, same trace");
 //! ```
 
-#![forbid(unsafe_code)]
+// The crate is `unsafe`-free except for the audited `disk::sys_mmap` FFI
+// module, which only exists under the opt-in `mmap` feature — so the lint
+// can stay a hard `forbid` for the default build and a `deny` (overridden
+// only in that one module) when the feature is on.
+#![cfg_attr(not(feature = "mmap"), forbid(unsafe_code))]
+#![cfg_attr(feature = "mmap", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+mod disk;
 mod event;
 pub mod file;
 mod generator;
@@ -51,6 +57,7 @@ mod picker;
 mod record;
 mod shared;
 mod spec;
+mod store;
 mod zipf;
 
 pub use event::{
@@ -59,10 +66,14 @@ pub use event::{
 };
 pub use file::{write_trace, TraceReader};
 pub use generator::{AddressLayout, TraceGenerator, LARGE_REGION_BASE, SMALL_REGION_BASE};
-pub use interleave::{CoreItem, CoreRef, Interleaver, Timestamped};
+pub use interleave::{interleaver_constructions, CoreItem, CoreRef, Interleaver, Timestamped};
 pub use record::MemoryRef;
 pub use shared::{SharedTrace, SharedTraceIter, TraceKey};
 pub use spec::{LocalityModel, WorkloadSpec, WorkloadSpecBuilder};
+pub use store::{
+    GcReport, StoreCounters, StoreEntry, TraceStore, VerifyEntry, DEFAULT_MAX_BYTES,
+    STORE_FORMAT_VERSION,
+};
 pub use zipf::Zipf;
 
 /// Re-exported for downstream crates that need the spec module path.

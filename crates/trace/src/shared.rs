@@ -28,10 +28,45 @@ use std::sync::Arc;
 
 use pomtlb_types::{AddressSpace, CoreId, ProcessId, VmId};
 
+use crate::disk::{self, Mapping, CORE_BYTES};
 use crate::event::{OsEvent, TraceItem, WorkloadStream};
 use crate::file::{decode_record, encode_record, RECORD_BYTES};
 use crate::interleave::{CoreItem, Interleaver};
 use crate::spec::WorkloadSpec;
+
+/// Backing storage of one recording section: a buffer the generator owns,
+/// or a byte range inside a store [`Mapping`] (replayed recordings decode
+/// in place; the `Arc` keeps the mapping alive for every sharing iterator).
+#[derive(Debug, Clone)]
+pub(crate) enum Section {
+    /// Recorded live into an owned buffer.
+    Owned(Vec<u8>),
+    /// A byte range of a persistent recording.
+    Stored {
+        /// The mapped (or read) file.
+        map: Arc<Mapping>,
+        /// Section start within the file.
+        offset: usize,
+        /// Section length in bytes.
+        len: usize,
+    },
+}
+
+impl Section {
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            Section::Owned(v) => v,
+            Section::Stored { map, offset, len } => &map.bytes()[*offset..*offset + *len],
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Section::Owned(v) => v.len(),
+            Section::Stored { len, .. } => *len,
+        }
+    }
+}
 
 /// The parameters a recorded stream is valid for. Two simulations can share
 /// a trace exactly when these compare equal.
@@ -49,15 +84,36 @@ pub struct TraceKey {
     pub total_refs: u64,
 }
 
+impl TraceKey {
+    /// A stable 256-bit content digest of this key.
+    ///
+    /// Computed over a versioned, field-by-field canonical byte encoding —
+    /// not `#[derive(Hash)]` — so it depends only on the key's *values*:
+    /// the same key digests to the same 32 bytes on every run, build and
+    /// platform, which is what lets a [`crate::TraceStore`] address
+    /// recordings by content across processes. Bumping the encoding bumps
+    /// its version constant, which is baked into both the digest input and
+    /// the POMTRC2 header, so stale digests can never alias new ones.
+    pub fn digest(&self) -> [u8; 32] {
+        disk::key_digest(self)
+    }
+
+    /// [`TraceKey::digest`] as lowercase hex — the store's file stem.
+    pub fn digest_hex(&self) -> String {
+        disk::digest_hex(&self.digest())
+    }
+}
+
 /// One workload's merged reference + OS-event stream, recorded once and
 /// replayable by any number of scheme runs.
 #[derive(Debug, Clone)]
 pub struct SharedTrace {
     key: TraceKey,
-    /// Issuing core of every item (reference or event), in merge order.
-    cores: Vec<u16>,
+    /// Issuing core of every item (reference or event) as little-endian
+    /// `u16`s, in merge order.
+    cores: Section,
     /// POMTRC1-encoded records of the reference items, in merge order.
-    refs: Vec<u8>,
+    refs: Section,
     /// OS events as (item position, event), sparse and position-sorted.
     events: Vec<(u64, OsEvent)>,
 }
@@ -94,8 +150,8 @@ impl SharedTrace {
         let mut refs_done = 0u64;
         while refs_done < total_refs {
             let ci = merged.next().expect("streams are infinite");
-            let pos = cores.len() as u64;
-            cores.push(ci.core.0);
+            let pos = (cores.len() / CORE_BYTES) as u64;
+            cores.extend_from_slice(&ci.core.0.to_le_bytes());
             match ci.item {
                 TraceItem::Ref(r) => {
                     encode_record(&r, &mut buf);
@@ -113,10 +169,23 @@ impl SharedTrace {
                 shared_memory,
                 total_refs,
             },
-            cores,
-            refs,
+            cores: Section::Owned(cores),
+            refs: Section::Owned(refs),
             events,
         }
+    }
+
+    /// Assembles a recording from pre-validated sections — the
+    /// [`crate::TraceStore`] load path. The caller vouches that `cores` and
+    /// `refs` hold exactly the encodings [`SharedTrace::generate`] produces
+    /// for `key` (the store checks digest + checksums before calling this).
+    pub(crate) fn from_sections(
+        key: TraceKey,
+        cores: Section,
+        refs: Section,
+        events: Vec<(u64, OsEvent)>,
+    ) -> SharedTrace {
+        SharedTrace { key, cores, refs, events }
     }
 
     /// The parameters this recording is valid for.
@@ -139,7 +208,7 @@ impl SharedTrace {
 
     /// Total items recorded (references + events).
     pub fn items(&self) -> u64 {
-        self.cores.len() as u64
+        (self.cores.len() / CORE_BYTES) as u64
     }
 
     /// Memory references recorded.
@@ -152,11 +221,41 @@ impl SharedTrace {
         self.events.len() as u64
     }
 
-    /// Approximate heap footprint of the recording, in bytes.
+    /// Approximate heap (or mapped-file) footprint of the recording, in
+    /// bytes.
     pub fn buffer_bytes(&self) -> usize {
         self.refs.len()
-            + self.cores.len() * size_of::<u16>()
-            + self.events.len() * size_of::<(u64, OsEvent)>()
+            + self.cores.len()
+            + self.events.len() * std::mem::size_of::<(u64, OsEvent)>()
+    }
+
+    /// Whether the recording replays out of a persistent store mapping
+    /// rather than a live-generated buffer.
+    pub fn is_stored(&self) -> bool {
+        matches!(self.refs, Section::Stored { .. })
+    }
+
+    /// The cores section bytes (one little-endian `u16` per item).
+    pub(crate) fn cores_bytes(&self) -> &[u8] {
+        self.cores.as_bytes()
+    }
+
+    /// The refs section bytes (POMTRC1 records).
+    pub(crate) fn refs_bytes(&self) -> &[u8] {
+        self.refs.as_bytes()
+    }
+
+    /// The sparse event list.
+    pub(crate) fn events_list(&self) -> &[(u64, OsEvent)] {
+        &self.events
+    }
+
+    /// Issuing core of item `i`, if recorded.
+    fn core_at(&self, i: usize) -> Option<u16> {
+        let bytes = self.cores.as_bytes();
+        let off = i.checked_mul(CORE_BYTES)?;
+        let pair = bytes.get(off..off + CORE_BYTES)?;
+        Some(u16::from_le_bytes([pair[0], pair[1]]))
     }
 
     /// An owning replay iterator (the `Arc` keeps the buffer alive, so the
@@ -181,19 +280,19 @@ impl Iterator for SharedTraceIter {
     type Item = CoreItem<TraceItem>;
 
     fn next(&mut self) -> Option<CoreItem<TraceItem>> {
-        let core = CoreId(*self.trace.cores.get(self.item)?);
+        let core = CoreId(self.trace.core_at(self.item)?);
         let item = match self.trace.events.get(self.event_idx) {
             Some((pos, e)) if *pos == self.item as u64 => {
                 self.event_idx += 1;
                 TraceItem::Event(*e)
             }
             _ => {
-                let buf: &[u8; RECORD_BYTES] = self.trace.refs
+                let buf: &[u8; RECORD_BYTES] = self.trace.refs.as_bytes()
                     [self.ref_off..self.ref_off + RECORD_BYTES]
                     .try_into()
                     .expect("record slice has RECORD_BYTES bytes");
                 self.ref_off += RECORD_BYTES;
-                TraceItem::Ref(decode_record(buf).expect("in-memory records are well-formed"))
+                TraceItem::Ref(decode_record(buf).expect("checksummed records are well-formed"))
             }
         };
         self.item += 1;

@@ -1,0 +1,761 @@
+//! A persistent, content-addressed store of [`SharedTrace`] recordings.
+//!
+//! PR 3's `SharedTrace` removed redundant generator passes *within* one
+//! batch; every recording still died with the process. The store spills
+//! recordings to disk in the checksummed POMTRC2 format (see `disk`) so the
+//! *next* invocation — a repeated `experiments` sweep, a CI perf run on a
+//! restored cache — replays every stream straight off the page cache and
+//! runs **zero** generator passes.
+//!
+//! # Layout on disk
+//!
+//! ```text
+//! <root>/
+//!   <64-hex-char key digest>.pomtrc   one recording each (POMTRC2)
+//!   manifest.tsv                      advisory index: sizes, LRU stamps
+//! ```
+//!
+//! Files are content-addressed by [`TraceKey::digest`], written to a tmp
+//! name and atomically renamed, so readers never observe a half-written
+//! recording. The manifest is *advisory*: it accelerates `stats` and feeds
+//! LRU eviction, but the recordings are self-describing and self-checking —
+//! a deleted or stale manifest only costs metadata, never correctness.
+//!
+//! # Fallback rules
+//!
+//! [`TraceStore::load`] returns `None` — and the caller regenerates live —
+//! for *any* defect: missing file, foreign magic, version or digest
+//! mismatch, bad length, failed checksum. A defective entry is reported on
+//! stderr and counted, never trusted; a subsequent save overwrites it. The
+//! store can therefore make a run faster or leave it unchanged, but never
+//! wrong.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use pomtlb_trace::{SharedTrace, TraceStore, WorkloadSpec};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let store = TraceStore::open(".pomtlb-trace-store")?;
+//! let spec = WorkloadSpec::builder("mine").build();
+//! // First call generates and records; every later call (any process)
+//! // replays from disk.
+//! let trace: Arc<SharedTrace> = store.load_or_record(&spec, 42, 4, false, 100_000);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fs;
+use std::io::{self, BufWriter};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::disk::{self, Mapping};
+use crate::shared::{Section, SharedTrace, TraceKey};
+use crate::spec::WorkloadSpec;
+
+/// The POMTRC2 on-disk format version. A CI cache key (or any other
+/// invalidation scheme) should incorporate this: readers reject every other
+/// version, so a mismatched cache is only dead weight.
+pub const STORE_FORMAT_VERSION: u32 = disk::FORMAT_VERSION;
+
+/// Default size cap for [`TraceStore::gc`]: 2 GiB.
+pub const DEFAULT_MAX_BYTES: u64 = 2 << 30;
+
+const MANIFEST_FILE: &str = "manifest.tsv";
+const TRACE_EXT: &str = "pomtrc";
+
+/// A persistent, content-addressed cache of trace recordings under one
+/// directory. See the module docs for the on-disk contract.
+///
+/// Handles are cheap and independent: two processes (or two handles in one
+/// process) pointed at the same directory interoperate through the
+/// atomic-rename write protocol.
+#[derive(Debug)]
+pub struct TraceStore {
+    root: PathBuf,
+    max_bytes: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes_mapped: AtomicU64,
+    load_failures: AtomicU64,
+    /// Serializes manifest read-modify-write cycles within this handle.
+    manifest_lock: Mutex<()>,
+}
+
+/// Counter snapshot of one store handle's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Recordings served from disk.
+    pub hits: u64,
+    /// Lookups that found no usable recording (absent or defective).
+    pub misses: u64,
+    /// Total bytes of recording files mapped (or read) for hits.
+    pub bytes_mapped: u64,
+    /// Misses caused by a defective file rather than an absent one.
+    pub load_failures: u64,
+}
+
+/// One recording visible in the store directory, merged from the file
+/// scan and the advisory manifest.
+#[derive(Debug, Clone)]
+pub struct StoreEntry {
+    /// Content digest (the file stem).
+    pub digest: String,
+    /// Generating workload name ("?" when the manifest lacks the entry).
+    pub workload: String,
+    /// Base seed of the recording.
+    pub seed: u64,
+    /// Cores merged into the stream.
+    pub n_cores: usize,
+    /// Whether all cores shared one address space.
+    pub shared_memory: bool,
+    /// Reference budget of the recording.
+    pub total_refs: u64,
+    /// File size in bytes (from the file system, not the manifest).
+    pub bytes: u64,
+    /// Memory references recorded.
+    pub refs: u64,
+    /// OS events recorded.
+    pub events: u64,
+    /// Unix seconds of last load or save (0 when unknown).
+    pub last_used: u64,
+}
+
+/// Integrity-check result for one on-disk recording.
+#[derive(Debug, Clone)]
+pub struct VerifyEntry {
+    /// Content digest (the file stem).
+    pub digest: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// `None` when the file passed every check, else the failure reason.
+    pub error: Option<String>,
+}
+
+impl VerifyEntry {
+    /// Whether the recording passed every check.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// What one [`TraceStore::gc`] pass evicted.
+#[derive(Debug, Clone, Default)]
+pub struct GcReport {
+    /// `(digest, bytes)` of evicted recordings, least recently used first.
+    pub evicted: Vec<(String, u64)>,
+    /// Recording bytes remaining on disk after the pass.
+    pub live_bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct Manifest {
+    format_version: u32,
+    entries: Vec<StoreEntry>,
+}
+
+/// Renders the manifest as a versioned tab-separated table: a header line,
+/// then one line per entry with the workload name last (the only free-form
+/// field, so embedded tabs cannot shift the fixed columns). Kept
+/// dependency-free on purpose — the manifest must stay writable even in
+/// builds where no JSON serializer is available.
+fn format_manifest(m: &Manifest) -> String {
+    let mut out = format!("pomtlb-manifest\t{}\n", m.format_version);
+    for e in &m.entries {
+        let workload: String = e.workload.chars().filter(|c| !c.is_control()).collect();
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            e.digest,
+            e.seed,
+            e.n_cores,
+            u8::from(e.shared_memory),
+            e.total_refs,
+            e.bytes,
+            e.refs,
+            e.events,
+            e.last_used,
+            workload,
+        ));
+    }
+    out
+}
+
+/// Inverse of [`format_manifest`]. Unreadable lines are skipped rather than
+/// failing the whole file: the manifest is advisory, so partial recovery
+/// beats none.
+fn parse_manifest(text: &str) -> Manifest {
+    let mut lines = text.lines();
+    let Some(version) = lines
+        .next()
+        .and_then(|h| h.strip_prefix("pomtlb-manifest\t"))
+        .and_then(|v| v.parse().ok())
+    else {
+        return Manifest::default();
+    };
+    let mut m = Manifest { format_version: version, entries: Vec::new() };
+    for line in lines {
+        let f: Vec<&str> = line.splitn(10, '\t').collect();
+        if f.len() != 10 {
+            continue;
+        }
+        let num = |s: &str| s.parse::<u64>().ok();
+        let (Some(seed), Some(n_cores), Some(total_refs), Some(bytes), Some(refs), Some(events), Some(last_used)) =
+            (num(f[1]), num(f[2]), num(f[4]), num(f[5]), num(f[6]), num(f[7]), num(f[8]))
+        else {
+            continue;
+        };
+        m.entries.push(StoreEntry {
+            digest: f[0].to_string(),
+            workload: f[9].to_string(),
+            seed,
+            n_cores: n_cores as usize,
+            shared_memory: f[3] == "1",
+            total_refs,
+            bytes,
+            refs,
+            events,
+            last_used,
+        });
+    }
+    m
+}
+
+fn unix_now() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+impl TraceStore {
+    /// Opens (creating if needed) a store rooted at `dir`, with the default
+    /// [`DEFAULT_MAX_BYTES`] garbage-collection cap.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<TraceStore> {
+        let root = dir.into();
+        fs::create_dir_all(&root)?;
+        Ok(TraceStore {
+            root,
+            max_bytes: DEFAULT_MAX_BYTES,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bytes_mapped: AtomicU64::new(0),
+            load_failures: AtomicU64::new(0),
+            manifest_lock: Mutex::new(()),
+        })
+    }
+
+    /// Replaces the garbage-collection size cap (floored at one byte).
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> TraceStore {
+        self.max_bytes = max_bytes.max(1);
+        self
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The garbage-collection size cap in bytes.
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes
+    }
+
+    /// Snapshot of this handle's hit/miss counters.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bytes_mapped: self.bytes_mapped.load(Ordering::Relaxed),
+            load_failures: self.load_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    fn file_path(&self, digest_hex: &str) -> PathBuf {
+        self.root.join(format!("{digest_hex}.{TRACE_EXT}"))
+    }
+
+    /// Loads the recording for `key`, or `None` on a miss.
+    ///
+    /// A miss is an absent file *or any defect whatsoever* — wrong magic,
+    /// version or digest mismatch, truncation, checksum failure. Defects
+    /// warn on stderr and count as [`StoreCounters::load_failures`]; the
+    /// caller falls back to live generation, so a damaged store can cost
+    /// time but never correctness.
+    pub fn load(&self, key: &TraceKey) -> Option<Arc<SharedTrace>> {
+        let hex = key.digest_hex();
+        let path = self.file_path(&hex);
+        if !path.exists() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        match self.try_load(key, &path) {
+            Ok(trace) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.bytes_mapped.fetch_add(trace.buffer_bytes() as u64, Ordering::Relaxed);
+                self.touch(&hex);
+                Some(Arc::new(trace))
+            }
+            Err(e) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.load_failures.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "trace-store: {} unusable ({e}); falling back to live generation",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+
+    fn try_load(&self, key: &TraceKey, path: &Path) -> io::Result<SharedTrace> {
+        let map = Arc::new(Mapping::open(path)?);
+        let bytes = map.bytes();
+        let header = disk::parse_header(bytes)?;
+        if header.digest != key.digest() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stored digest does not match the requested key",
+            ));
+        }
+        disk::validate_sections(bytes, &header)?;
+        // Events are sparse: decode them eagerly (with full validation) and
+        // keep the two bulk sections zero-copy inside the mapping.
+        let events = disk::decode_events(&bytes[header.events_range.clone()], header.n_items)?;
+        let cores = Section::Stored {
+            map: Arc::clone(&map),
+            offset: header.cores_range.start,
+            len: header.cores_range.len(),
+        };
+        let refs = Section::Stored {
+            map,
+            offset: header.refs_range.start,
+            len: header.refs_range.len(),
+        };
+        Ok(SharedTrace::from_sections(key.clone(), cores, refs, events))
+    }
+
+    /// Persists `trace`, returning the bytes written. The write goes to a
+    /// tmp file and is atomically renamed into place, then the manifest is
+    /// updated and a GC pass enforces the size cap.
+    pub fn save(&self, trace: &SharedTrace) -> io::Result<u64> {
+        let key = trace.key();
+        let hex = key.digest_hex();
+        let tmp = self.root.join(format!(".{hex}.tmp"));
+        let path = self.file_path(&hex);
+        let digest = key.digest();
+        let file = fs::File::create(&tmp)?;
+        let mut w = BufWriter::new(file);
+        let written = disk::write_stored(
+            &mut w,
+            &digest,
+            trace.cores_bytes(),
+            trace.refs_bytes(),
+            trace.events_list(),
+        )?;
+        let file = w.into_inner().map_err(|e| e.into_error())?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, &path)?;
+        self.index(trace, &hex, written);
+        self.gc();
+        Ok(written)
+    }
+
+    /// Loads the recording for these parameters, or generates, persists and
+    /// returns it. Generation failures panic exactly as
+    /// [`SharedTrace::generate`] does; persistence failures only warn — the
+    /// freshly generated trace is returned either way.
+    pub fn load_or_record(
+        &self,
+        spec: &WorkloadSpec,
+        seed: u64,
+        n_cores: usize,
+        shared_memory: bool,
+        total_refs: u64,
+    ) -> Arc<SharedTrace> {
+        let key = TraceKey {
+            spec: spec.clone(),
+            seed,
+            n_cores,
+            shared_memory,
+            total_refs,
+        };
+        if let Some(t) = self.load(&key) {
+            return t;
+        }
+        let trace = Arc::new(SharedTrace::generate(spec, seed, n_cores, shared_memory, total_refs));
+        if let Err(e) = self.save(&trace) {
+            eprintln!("trace-store: cannot persist recording for `{}`: {e}", spec.name);
+        }
+        trace
+    }
+
+    /// Scans the directory for recording files: `(digest, bytes)` pairs.
+    fn scan(&self) -> Vec<(String, u64)> {
+        let Ok(dir) = fs::read_dir(&self.root) else { return Vec::new() };
+        let mut out: Vec<(String, u64)> = dir
+            .flatten()
+            .filter_map(|entry| {
+                let path = entry.path();
+                if path.extension().is_some_and(|e| e == TRACE_EXT) {
+                    let stem = path.file_stem()?.to_str()?.to_string();
+                    let bytes = entry.metadata().ok()?.len();
+                    Some((stem, bytes))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn file_mtime_unix(&self, digest: &str) -> u64 {
+        fs::metadata(self.file_path(digest))
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    }
+
+    /// Every recording currently on disk, most recently used first.
+    pub fn entries(&self) -> Vec<StoreEntry> {
+        let manifest = self.read_manifest();
+        let mut out: Vec<StoreEntry> = self
+            .scan()
+            .into_iter()
+            .map(|(digest, bytes)| {
+                match manifest.entries.iter().find(|e| e.digest == digest) {
+                    Some(m) => StoreEntry { bytes, ..m.clone() },
+                    None => {
+                        // Not indexed (the manifest is advisory) — recover
+                        // the record counts from the file header itself.
+                        let (refs, events) = disk::Mapping::open(&self.file_path(&digest))
+                            .ok()
+                            .and_then(|m| disk::parse_header(m.bytes()).ok())
+                            .map(|h| (h.n_refs, h.n_events))
+                            .unwrap_or((0, 0));
+                        StoreEntry {
+                            last_used: self.file_mtime_unix(&digest),
+                            digest,
+                            workload: "?".into(),
+                            seed: 0,
+                            n_cores: 0,
+                            shared_memory: false,
+                            total_refs: 0,
+                            bytes,
+                            refs,
+                            events,
+                        }
+                    }
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| b.last_used.cmp(&a.last_used).then_with(|| a.digest.cmp(&b.digest)));
+        out
+    }
+
+    /// Total bytes of recordings on disk (manifest excluded).
+    pub fn total_bytes(&self) -> u64 {
+        self.scan().iter().map(|(_, b)| b).sum()
+    }
+
+    /// Integrity-checks every recording on disk: header, exact length,
+    /// section checksums, record-level tags. Defective entries are reported
+    /// with the reason but left in place (the next `save` of that key
+    /// overwrites them; `gc` evicts them like any other entry).
+    pub fn verify(&self) -> Vec<VerifyEntry> {
+        self.scan()
+            .into_iter()
+            .map(|(digest, bytes)| {
+                let error = disk::verify_file(&self.file_path(&digest)).err().map(|e| e.to_string());
+                VerifyEntry { digest, bytes, error }
+            })
+            .collect()
+    }
+
+    /// Evicts least-recently-used recordings until the store fits
+    /// [`TraceStore::max_bytes`]. Recency comes from the manifest's
+    /// `last_used` stamps, falling back to file mtime for unindexed files;
+    /// ties break by digest so the pass is deterministic.
+    pub fn gc(&self) -> GcReport {
+        let files = self.scan();
+        let mut total: u64 = files.iter().map(|(_, b)| b).sum();
+        if total <= self.max_bytes {
+            return GcReport { evicted: Vec::new(), live_bytes: total };
+        }
+        let manifest = self.read_manifest();
+        let mut ranked: Vec<(u64, String, u64)> = files
+            .into_iter()
+            .map(|(digest, bytes)| {
+                let stamp = manifest
+                    .entries
+                    .iter()
+                    .find(|e| e.digest == digest)
+                    .map(|e| e.last_used)
+                    .unwrap_or_else(|| self.file_mtime_unix(&digest));
+                (stamp, digest, bytes)
+            })
+            .collect();
+        ranked.sort();
+        let mut evicted = Vec::new();
+        for (_, digest, bytes) in ranked {
+            if total <= self.max_bytes {
+                break;
+            }
+            if fs::remove_file(self.file_path(&digest)).is_ok() {
+                total = total.saturating_sub(bytes);
+                evicted.push((digest, bytes));
+            }
+        }
+        if !evicted.is_empty() {
+            let _guard = self.manifest_lock.lock().unwrap_or_else(|e| e.into_inner());
+            let mut manifest = self.read_manifest();
+            manifest.entries.retain(|e| !evicted.iter().any(|(d, _)| *d == e.digest));
+            self.write_manifest(&manifest);
+        }
+        GcReport { evicted, live_bytes: total }
+    }
+
+    fn read_manifest(&self) -> Manifest {
+        fs::read_to_string(self.root.join(MANIFEST_FILE))
+            .map(|s| parse_manifest(&s))
+            .unwrap_or_default()
+    }
+
+    /// Best-effort manifest write (tmp + rename). The manifest is advisory,
+    /// so failures are silently absorbed.
+    fn write_manifest(&self, manifest: &Manifest) {
+        let tmp = self.root.join(".manifest.tmp");
+        if fs::write(&tmp, format_manifest(manifest)).is_ok() {
+            let _ = fs::rename(&tmp, self.root.join(MANIFEST_FILE));
+        }
+    }
+
+    fn index(&self, trace: &SharedTrace, digest: &str, bytes: u64) {
+        let _guard = self.manifest_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut manifest = self.read_manifest();
+        manifest.format_version = STORE_FORMAT_VERSION;
+        manifest.entries.retain(|e| e.digest != digest);
+        let key = trace.key();
+        manifest.entries.push(StoreEntry {
+            digest: digest.to_string(),
+            workload: key.spec.name.clone(),
+            seed: key.seed,
+            n_cores: key.n_cores,
+            shared_memory: key.shared_memory,
+            total_refs: key.total_refs,
+            bytes,
+            refs: trace.refs(),
+            events: trace.events(),
+            last_used: unix_now(),
+        });
+        self.write_manifest(&manifest);
+    }
+
+    fn touch(&self, digest: &str) {
+        let _guard = self.manifest_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut manifest = self.read_manifest();
+        if let Some(entry) = manifest.entries.iter_mut().find(|e| e.digest == digest) {
+            entry.last_used = unix_now();
+            self.write_manifest(&manifest);
+        }
+    }
+
+    #[cfg(test)]
+    fn force_last_used(&self, digest: &str, stamp: u64) {
+        let _guard = self.manifest_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut manifest = self.read_manifest();
+        if let Some(entry) = manifest.entries.iter_mut().find(|e| e.digest == digest) {
+            entry.last_used = stamp;
+            self.write_manifest(&manifest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OsEventRates;
+    use crate::spec::LocalityModel;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let path = std::env::temp_dir()
+                .join(format!("pomtlb-store-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&path);
+            fs::create_dir_all(&path).expect("create temp dir");
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn spec(name: &str) -> WorkloadSpec {
+        WorkloadSpec::builder(name)
+            .footprint_bytes(16 << 20)
+            .large_page_frac(0.25)
+            .locality(LocalityModel::Zipf { alpha: 0.9 })
+            .os_events(OsEventRates::unmap_heavy(4.0))
+            .build()
+    }
+
+    #[test]
+    fn save_then_load_replays_identically() {
+        let dir = TempDir::new("roundtrip");
+        let store = TraceStore::open(&dir.0).expect("open");
+        let s = spec("rt");
+        let live = Arc::new(SharedTrace::generate(&s, 11, 2, false, 2000));
+        store.save(&live).expect("save");
+
+        let reopened = TraceStore::open(&dir.0).expect("reopen");
+        let key = live.key().clone();
+        let loaded = reopened.load(&key).expect("hit after save");
+        assert!(loaded.is_stored(), "loaded trace replays from the store");
+        assert_eq!(loaded.refs(), live.refs());
+        assert_eq!(loaded.events(), live.events());
+        let a: Vec<_> = live.replay().collect();
+        let b: Vec<_> = loaded.replay().collect();
+        assert_eq!(a, b, "disk replay is bit-identical to the live recording");
+        let c = reopened.counters();
+        assert_eq!((c.hits, c.misses, c.load_failures), (1, 0, 0));
+        assert!(c.bytes_mapped > 0);
+    }
+
+    #[test]
+    fn absent_key_is_a_clean_miss() {
+        let dir = TempDir::new("miss");
+        let store = TraceStore::open(&dir.0).expect("open");
+        let key = TraceKey {
+            spec: spec("nope"),
+            seed: 1,
+            n_cores: 2,
+            shared_memory: false,
+            total_refs: 100,
+        };
+        assert!(store.load(&key).is_none());
+        let c = store.counters();
+        assert_eq!((c.hits, c.misses, c.load_failures), (0, 1, 0));
+    }
+
+    #[test]
+    fn load_or_record_records_once_then_hits() {
+        let dir = TempDir::new("lor");
+        let store = TraceStore::open(&dir.0).expect("open");
+        let s = spec("lor");
+        let first = store.load_or_record(&s, 5, 2, true, 1000);
+        assert!(!first.is_stored(), "first call generates live");
+        let second = store.load_or_record(&s, 5, 2, true, 1000);
+        assert!(second.is_stored(), "second call replays from disk");
+        let a: Vec<_> = first.replay().collect();
+        let b: Vec<_> = second.replay().collect();
+        assert_eq!(a, b);
+        let c = store.counters();
+        assert_eq!((c.hits, c.misses), (1, 1));
+    }
+
+    #[test]
+    fn corrupt_file_warns_and_misses_then_heals_on_save() {
+        let dir = TempDir::new("corrupt");
+        let store = TraceStore::open(&dir.0).expect("open");
+        let s = spec("bad");
+        let live = Arc::new(SharedTrace::generate(&s, 9, 2, false, 500));
+        store.save(&live).expect("save");
+        let path = store.file_path(&live.key().digest_hex());
+        let mut bytes = fs::read(&path).expect("read back");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).expect("corrupt");
+
+        assert_eq!(store.verify().iter().filter(|e| !e.is_ok()).count(), 1);
+        assert!(store.load(live.key()).is_none(), "corrupt entry must miss");
+        let c = store.counters();
+        assert_eq!((c.hits, c.misses, c.load_failures), (0, 1, 1));
+
+        store.save(&live).expect("re-save heals");
+        assert!(store.verify().iter().all(VerifyEntry::is_ok));
+        assert!(store.load(live.key()).is_some());
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_first() {
+        let dir = TempDir::new("gc");
+        let s = spec("gc");
+        let traces: Vec<Arc<SharedTrace>> = (0..3)
+            .map(|seed| Arc::new(SharedTrace::generate(&s, seed, 1, false, 400)))
+            .collect();
+        // Write with the default (never-evicting) cap first, then re-open
+        // capped so exactly one explicit GC pass does the evicting.
+        let writer = TraceStore::open(&dir.0).expect("open");
+        let sizes: Vec<u64> =
+            traces.iter().map(|t| writer.save(t).expect("save")).collect();
+        // Make recency unambiguous: oldest → newest by seed.
+        for (i, t) in traces.iter().enumerate() {
+            writer.force_last_used(&t.key().digest_hex(), 1000 + i as u64);
+        }
+        // Cap fits the two newest recordings but not all three.
+        let store = TraceStore::open(&dir.0)
+            .expect("open")
+            .with_max_bytes(sizes[1] + sizes[2] + sizes[0] / 2);
+        let report = store.gc();
+        assert_eq!(report.evicted.len(), 1, "one eviction brings the store under cap");
+        assert_eq!(report.evicted[0].0, traces[0].key().digest_hex(), "LRU entry goes first");
+        assert!(report.live_bytes <= store.max_bytes());
+        assert!(store.load(traces[0].key()).is_none(), "evicted entry is gone");
+        assert!(store.load(traces[2].key()).is_some(), "recent entry survives");
+    }
+
+    #[test]
+    fn entries_reflect_disk_and_manifest() {
+        let dir = TempDir::new("entries");
+        let store = TraceStore::open(&dir.0).expect("open");
+        let s = spec("ent");
+        let t = Arc::new(SharedTrace::generate(&s, 3, 2, false, 600));
+        store.save(&t).expect("save");
+        let entries = store.entries();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.digest, t.key().digest_hex());
+        assert_eq!(e.workload, "ent");
+        assert_eq!(e.refs, 600);
+        assert_eq!(e.n_cores, 2);
+        assert!(e.bytes > 0 && e.last_used > 0);
+        assert_eq!(store.total_bytes(), e.bytes);
+    }
+
+    #[test]
+    fn manifest_round_trips_through_text() {
+        let m = Manifest {
+            format_version: STORE_FORMAT_VERSION,
+            entries: vec![StoreEntry {
+                digest: "ab".repeat(32),
+                workload: "gups".into(),
+                seed: 7,
+                n_cores: 4,
+                shared_memory: true,
+                total_refs: 9000,
+                bytes: 1234,
+                refs: 8000,
+                events: 12,
+                last_used: 1722,
+            }],
+        };
+        let back = parse_manifest(&format_manifest(&m));
+        assert_eq!(back.format_version, m.format_version);
+        assert_eq!(back.entries.len(), 1);
+        let (a, b) = (&m.entries[0], &back.entries[0]);
+        assert_eq!((a.digest.as_str(), a.workload.as_str()), (b.digest.as_str(), b.workload.as_str()));
+        assert_eq!((a.seed, a.n_cores, a.shared_memory), (b.seed, b.n_cores, b.shared_memory));
+        assert_eq!(
+            (a.total_refs, a.bytes, a.refs, a.events, a.last_used),
+            (b.total_refs, b.bytes, b.refs, b.events, b.last_used)
+        );
+        assert!(parse_manifest("not a manifest\n").entries.is_empty());
+    }
+}

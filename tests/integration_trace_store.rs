@@ -1,0 +1,215 @@
+//! Cross-invocation contract of the persistent trace store: a cold batch
+//! records every distinct stream to disk, a second invocation (a fresh
+//! `TraceStore` handle sharing nothing in memory with the first) replays
+//! every recording with **zero** `Interleaver` constructions — no generator
+//! pass at all — and reports from live, in-memory-shared and disk-replayed
+//! runs are byte-identical across all four schemes. Corruption (a flipped
+//! byte, a truncated file) degrades to live generation with the same
+//! reports and a `verify` failure on the damaged entry.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use pom_tlb::{
+    run_jobs, share_traces, share_traces_with_store, Scheme, SimConfig, SimJob, SystemConfig,
+};
+use pomtlb_trace::{interleaver_constructions, TraceStore};
+use pomtlb_workloads::by_name;
+
+/// `interleaver_constructions()` is process-global and the test harness
+/// runs this binary's tests on parallel threads, so anything counting
+/// constructions (or sharing a store directory) takes this lock.
+fn serialize() -> MutexGuard<'static, ()> {
+    static SEQ: OnceLock<Mutex<()>> = OnceLock::new();
+    SEQ.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path =
+            std::env::temp_dir().join(format!("pomtlb-store-it-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Two workloads × all four schemes: two distinct input streams.
+fn batch() -> Vec<SimJob> {
+    let sim = SimConfig { refs_per_core: 3_000, warmup_per_core: 1_000, seed: 0xbeef };
+    let sys = SystemConfig { n_cores: 2, ..Default::default() };
+    let mut jobs = Vec::new();
+    for name in ["gups", "mcf"] {
+        let w = by_name(name).expect("workload exists");
+        for scheme in [Scheme::Baseline, Scheme::SharedL2, Scheme::Tsb, Scheme::pom_tlb()] {
+            jobs.push(
+                SimJob::new(format!("{name}/{}", scheme.label()), &w.spec, scheme, sim)
+                    .with_system_config(sys.clone())
+                    .shared_memory(w.suite.shares_memory()),
+            );
+        }
+    }
+    jobs
+}
+
+const DISTINCT_STREAMS: usize = 2;
+
+/// A stable per-report fingerprint (JSON, or Debug if serde ever fails):
+/// captures every field, which is what "byte-identical" means here.
+fn fingerprints(results: &[pom_tlb::JobResult]) -> Vec<String> {
+    results
+        .iter()
+        .map(|r| serde_json::to_string(&r.report).unwrap_or_else(|_| format!("{:?}", r.report)))
+        .collect()
+}
+
+fn store_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read store dir")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "pomtrc"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn cold_run_records_and_second_invocation_replays_with_zero_generator_passes() {
+    let _guard = serialize();
+    let dir = TempDir::new("replay");
+
+    // Reference reports: every stream generated live, no sharing at all.
+    let live = run_jobs(batch(), 1);
+
+    // Invocation 1 — cold store: every distinct stream is generated once
+    // and recorded to disk (record-on-miss).
+    let store = TraceStore::open(dir.path()).expect("open store");
+    let mut jobs = batch();
+    let cold = share_traces_with_store(&mut jobs, Some(&store));
+    assert_eq!(cold.attached, DISTINCT_STREAMS);
+    assert_eq!(cold.recorded, DISTINCT_STREAMS, "cold store records every stream");
+    assert_eq!((cold.store_hits, cold.store_misses), (0, DISTINCT_STREAMS));
+    let cold_results = run_jobs(jobs, 1);
+    assert_eq!(
+        store_files(dir.path()).len(),
+        DISTINCT_STREAMS,
+        "one POMTRC2 file per distinct stream"
+    );
+    drop(store);
+
+    // Invocation 2 — a fresh handle over the same directory, sharing no
+    // memory with invocation 1 (the process-level boundary is the store
+    // handle: everything flows through the files). Every stream replays
+    // from disk and the batch constructs not a single Interleaver — zero
+    // generator passes.
+    let store = TraceStore::open(dir.path()).expect("reopen store");
+    let mut jobs = batch();
+    let before = interleaver_constructions();
+    let warm = share_traces_with_store(&mut jobs, Some(&store));
+    assert_eq!(warm.store_hits, DISTINCT_STREAMS, "warm store serves every stream");
+    assert_eq!((warm.recorded, warm.store_misses), (0, 0));
+    assert!(warm.bytes_mapped > 0, "hits report their mapped footprint");
+    assert!(jobs.iter().all(|j| j.trace.as_ref().is_some_and(|t| t.is_stored())));
+    let warm_results = run_jobs(jobs, 1);
+    assert_eq!(
+        interleaver_constructions() - before,
+        0,
+        "a fully-warm store must not construct a single Interleaver"
+    );
+
+    // Byte-identity across all three execution modes, all four schemes.
+    let mut shared = batch();
+    share_traces(&mut shared);
+    let shared_results = run_jobs(shared, 1);
+    assert_eq!(fingerprints(&live), fingerprints(&cold_results), "record pass changed a report");
+    assert_eq!(fingerprints(&live), fingerprints(&shared_results), "in-memory sharing diverged");
+    assert_eq!(fingerprints(&live), fingerprints(&warm_results), "disk replay diverged");
+}
+
+#[test]
+fn flipped_byte_fails_verify_and_falls_back_to_identical_live_generation() {
+    let _guard = serialize();
+    let dir = TempDir::new("flip");
+    let live = run_jobs(batch(), 1);
+
+    let store = TraceStore::open(dir.path()).expect("open store");
+    let mut jobs = batch();
+    share_traces_with_store(&mut jobs, Some(&store));
+    drop((jobs, store));
+
+    // Flip one byte in the middle of the first recording.
+    let victim = store_files(dir.path()).into_iter().next().expect("a recording exists");
+    let mut bytes = std::fs::read(&victim).expect("read recording");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&victim, &bytes).expect("write corruption");
+
+    let store = TraceStore::open(dir.path()).expect("reopen store");
+    let verify = store.verify();
+    assert_eq!(verify.len(), DISTINCT_STREAMS);
+    assert_eq!(
+        verify.iter().filter(|e| !e.is_ok()).count(),
+        1,
+        "exactly the corrupted entry fails verify"
+    );
+
+    // The damaged stream regenerates live (warn + fallback), the intact one
+    // replays; reports stay byte-identical either way.
+    let mut jobs = batch();
+    let outcome = share_traces_with_store(&mut jobs, Some(&store));
+    assert_eq!(outcome.store_hits, DISTINCT_STREAMS - 1);
+    assert_eq!(outcome.recorded, 1, "only the corrupted stream regenerates");
+    let results = run_jobs(jobs, 1);
+    assert_eq!(fingerprints(&live), fingerprints(&results), "fallback changed a report");
+
+    // The fallback re-recorded a clean file over the damaged one.
+    assert!(store.verify().iter().all(|e| e.is_ok()), "store healed by the re-record");
+}
+
+#[test]
+fn truncated_recording_fails_verify_and_falls_back_to_identical_live_generation() {
+    let _guard = serialize();
+    let dir = TempDir::new("truncate");
+    let live = run_jobs(batch(), 1);
+
+    let store = TraceStore::open(dir.path()).expect("open store");
+    let mut jobs = batch();
+    share_traces_with_store(&mut jobs, Some(&store));
+    drop((jobs, store));
+
+    // Cut the last recording off mid-file.
+    let victim = store_files(dir.path()).into_iter().last().expect("a recording exists");
+    let bytes = std::fs::read(&victim).expect("read recording");
+    std::fs::write(&victim, &bytes[..bytes.len() * 3 / 5]).expect("truncate");
+
+    let store = TraceStore::open(dir.path()).expect("reopen store");
+    let bad: Vec<String> = store
+        .verify()
+        .into_iter()
+        .filter(|e| !e.is_ok())
+        .map(|e| e.error.unwrap_or_default())
+        .collect();
+    assert_eq!(bad.len(), 1, "exactly the truncated entry fails verify");
+    assert!(bad[0].contains("truncated"), "reason names the defect: {}", bad[0]);
+
+    let mut jobs = batch();
+    let outcome = share_traces_with_store(&mut jobs, Some(&store));
+    assert_eq!(outcome.store_hits, DISTINCT_STREAMS - 1);
+    assert_eq!(outcome.recorded, 1, "only the truncated stream regenerates");
+    let results = run_jobs(jobs, 1);
+    assert_eq!(fingerprints(&live), fingerprints(&results), "fallback changed a report");
+    assert!(store.verify().iter().all(|e| e.is_ok()), "store healed by the re-record");
+}
