@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--quick] [--jobs N] [--trace-cache] [--trace-cache-dir DIR]
-//!             [--json DIR] [ARTIFACT...]
+//!             [--checkpoint FILE [--resume]] [--json DIR] [ARTIFACT...]
 //!
 //! ARTIFACT: table1 table2 fig1 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12
 //!           capacity cores assoc predictor-sweep all   (default: all)
@@ -20,6 +20,12 @@
 //! replays all of them from disk and runs zero generator passes. Damaged
 //! or stale store files fall back to live generation — output never
 //! changes, only speed.
+//!
+//! `--checkpoint FILE` journals every completed simulation to FILE as it
+//! lands; `--resume` preloads the matrix from that journal, so a sweep
+//! killed mid-run restarts where it stopped. Simulations are
+//! deterministic, so a resumed run's output is byte-identical to an
+//! uninterrupted one.
 
 use std::fs;
 use std::process::ExitCode;
@@ -34,6 +40,8 @@ fn main() -> ExitCode {
     let mut jobs = 1usize;
     let mut trace_cache = false;
     let mut trace_cache_dir: Option<String> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
     let mut json_dir: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -48,6 +56,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--checkpoint" => match it.next() {
+                Some(file) => checkpoint = Some(file),
+                None => {
+                    eprintln!("--checkpoint needs a file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--resume" => resume = true,
             "--json" => match it.next() {
                 Some(dir) => json_dir = Some(dir),
                 None => {
@@ -100,6 +116,20 @@ fn main() -> ExitCode {
             }
         }
     }
+    if resume && checkpoint.is_none() {
+        eprintln!("--resume needs --checkpoint FILE");
+        return ExitCode::FAILURE;
+    }
+    if let Some(file) = &checkpoint {
+        match matrix.set_checkpoint(file, resume) {
+            Ok(n) if n > 0 => eprintln!("resumed {n} checkpointed simulation(s) from {file}"),
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("cannot open checkpoint {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let mut produced: Vec<Figure> = Vec::new();
 
     if let Some(unknown) = wanted.iter().find(|n| !ALL_ARTIFACTS.contains(&n.as_str())) {
@@ -108,7 +138,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    if jobs > 1 || trace_cache {
+    // A checkpoint forces the planning pass even serially, so cells are
+    // journaled (and restored cells skipped) through one code path.
+    if jobs > 1 || trace_cache || checkpoint.is_some() {
         // Planning pass: walk every builder against placeholder reports to
         // collect the full simulation batch, run it on the pool, and leave
         // the cache warm. The real pass below then replays from the cache
@@ -178,9 +210,11 @@ const ALL_ARTIFACTS: &[&str] = &[
 fn print_help() {
     eprintln!(
         "usage: experiments [--quick] [--jobs N|auto] [--trace-cache] \
-         [--trace-cache-dir DIR] [--json DIR] [ARTIFACT...]"
+         [--trace-cache-dir DIR] [--checkpoint FILE [--resume]] [--json DIR] [ARTIFACT...]"
     );
     eprintln!("  --trace-cache-dir DIR  persist shared recordings to a POMTRC2 store");
     eprintln!("                         (implies --trace-cache; warm runs skip generation)");
+    eprintln!("  --checkpoint FILE      journal each completed simulation to FILE");
+    eprintln!("  --resume               preload the matrix from FILE before running");
     eprintln!("artifacts: {}", ALL_ARTIFACTS.join(" "));
 }

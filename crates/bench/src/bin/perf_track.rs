@@ -38,6 +38,11 @@
 //! store numbers land in a NEW top-level `"trace_store"` object — every
 //! pre-existing field of `BENCH_perf.json` keeps its name and meaning.
 //!
+//! The pooled pass runs through the fault-tolerant runner entry point and
+//! the artifact records a `"job_outcomes"` tally (ok / retried / timed-out
+//! / panicked, summed over every pooled lap). On a healthy build every
+//! outcome is `ok`; a panicked job fails the run outright.
+//!
 //! The record is written with a local JSON emitter rather than a serde
 //! round trip: the artifact is diffed across commits by CI, so its byte
 //! layout should depend only on this file.
@@ -48,8 +53,8 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use pom_tlb::{
-    default_jobs, run_jobs, share_traces, share_traces_with_store, JobResult, Scheme,
-    ShareOutcome, SimConfig, SimJob,
+    default_jobs, run_jobs, run_jobs_with, share_traces, share_traces_with_store, JobResult,
+    RunPolicy, Scheme, ShareOutcome, SimConfig, SimJob,
 };
 use pomtlb_trace::TraceStore;
 use pomtlb_workloads::by_name;
@@ -233,7 +238,27 @@ fn main() -> ExitCode {
         run_jobs(cached_jobs, 1)
     });
 
-    let (parallel_wall, parallel) = best_of(laps, || run_jobs(batch(refs, warmup), jobs_n));
+    // The pooled pass goes through the fault-tolerant entry point so the
+    // artifact also tracks per-job outcome tallies, summed over every pooled
+    // lap. On a healthy build every outcome is `ok`; any `retried`,
+    // `timed-out` or `panicked` count is a robustness regression signal
+    // worth catching commit over commit.
+    let mut job_outcomes: BTreeMap<&'static str, u64> =
+        ["ok", "retried", "timed-out", "panicked"].into_iter().map(|s| (s, 0)).collect();
+    let (parallel_wall, parallel) = best_of(laps, || {
+        let outcomes =
+            run_jobs_with(batch(refs, warmup), jobs_n, RunPolicy::default(), &|_, _| {});
+        let mut results = Vec::new();
+        for o in outcomes {
+            *job_outcomes.entry(o.status()).or_insert(0) += 1;
+            if let Some(r) = o.into_result() {
+                results.push(r);
+            }
+        }
+        results
+    });
+    let outcome = |s: &str| job_outcomes.get(s).copied().unwrap_or(0);
+    let panicked_jobs = outcome("panicked");
 
     // Persistent-store passes. The record pass runs once (its wall time
     // includes recording overhead, which only happens once per store
@@ -308,6 +333,14 @@ fn main() -> ExitCode {
     let _ = writeln!(j, "  \"host_cores\": {},", default_jobs());
     let _ = writeln!(j, "  \"jobs\": {jobs_n},");
     let _ = writeln!(j, "  \"laps\": {},", laps.max(1));
+    let _ = writeln!(
+        j,
+        "  \"job_outcomes\": {{\"ok\": {}, \"retried\": {}, \"timed-out\": {}, \"panicked\": {}}},",
+        outcome("ok"),
+        outcome("retried"),
+        outcome("timed-out"),
+        outcome("panicked")
+    );
     let _ = writeln!(j, "  \"serial_wall_ms\": {},", jnum(serial_secs * 1e3));
     let _ = writeln!(
         j,
@@ -422,6 +455,14 @@ fn main() -> ExitCode {
         replay.bytes_mapped,
         out
     );
+    if panicked_jobs > 0 {
+        eprintln!(
+            "perf_track: FAIL — {panicked_jobs} pooled job(s) panicked across {} lap(s); the \
+             pinned matrix must complete cleanly",
+            laps.max(1)
+        );
+        return ExitCode::FAILURE;
+    }
     if !deterministic {
         eprintln!(
             "perf_track: FAIL — pooled, trace-cached or store-replayed reports differ from \

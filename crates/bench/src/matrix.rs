@@ -1,14 +1,20 @@
 //! Memoized simulation matrix and the anchored performance model.
 
 use std::collections::{HashMap, HashSet};
+use std::fs;
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
 
 use pom_tlb::perf_model::improvement_pct;
 use pom_tlb::{
-    run_jobs, share_traces_with_store, Scheme, SimConfig, SimJob, SimReport, SystemConfig,
+    run_jobs_with, share_traces_with_store, JobOutcome, RunPolicy, Scheme, SimConfig, SimJob,
+    SimReport, SystemConfig,
 };
 use pomtlb_tlb::WalkMode;
 use pomtlb_trace::TraceStore;
 use pomtlb_workloads::PaperWorkload;
+use serde::{Deserialize, Serialize};
 
 /// Run-length preset for the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +43,81 @@ impl ExpConfig {
             refs_per_core: self.refs_per_core,
             warmup_per_core: self.warmup_per_core,
             seed: self.seed,
+        }
+    }
+}
+
+/// Journal format version; bumped if the line layout ever changes.
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// First line of a checkpoint journal: identifies the format and pins the
+/// run-length configuration, so a resume against different lengths or a
+/// different seed discards the journal instead of mixing incompatible
+/// reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct CheckpointHeader {
+    pomtlb_checkpoint: u32,
+    refs_per_core: u64,
+    warmup_per_core: u64,
+    seed: u64,
+}
+
+impl CheckpointHeader {
+    fn for_config(cfg: &ExpConfig) -> CheckpointHeader {
+        CheckpointHeader {
+            pomtlb_checkpoint: CHECKPOINT_VERSION,
+            refs_per_core: cfg.refs_per_core,
+            warmup_per_core: cfg.warmup_per_core,
+            seed: cfg.seed,
+        }
+    }
+}
+
+/// One completed matrix cell, journaled the moment its simulation lands.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CheckpointCell {
+    workload: String,
+    variant: String,
+    report: SimReport,
+}
+
+/// An append-only JSON-lines journal of completed matrix cells.
+///
+/// Each line is self-contained, so a run killed mid-sweep leaves at worst
+/// one torn final line; resume keeps the valid prefix, drops the tear, and
+/// rewrites the journal atomically before appending again. Simulations are
+/// deterministic (each cell owns its seed), so cells replayed from the
+/// journal are byte-identical to recomputing them — a resumed sweep's
+/// output cannot differ from an uninterrupted one.
+#[derive(Debug)]
+struct Checkpoint {
+    path: PathBuf,
+    /// Append handle; a Mutex because `execute_plan`'s workers journal
+    /// cells from their own threads.
+    file: Mutex<fs::File>,
+}
+
+impl Checkpoint {
+    /// Serializes and appends one completed cell, flushing so a kill right
+    /// after costs nothing. Journal I/O is best-effort: a failed append
+    /// only warns (the cell is still cached in memory and the sweep goes
+    /// on — it would merely be recomputed on a later resume).
+    fn append(&self, workload: &str, variant: &str, report: &SimReport) {
+        let cell = CheckpointCell {
+            workload: workload.to_string(),
+            variant: variant.to_string(),
+            report: report.clone(),
+        };
+        let line = match serde_json::to_string(&cell) {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("checkpoint: cannot serialize cell {workload}/{variant}: {e}");
+                return;
+            }
+        };
+        let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
+        if let Err(e) = writeln!(file, "{line}").and_then(|()| file.flush()) {
+            eprintln!("checkpoint: cannot append to {}: {e}", self.path.display());
         }
     }
 }
@@ -76,6 +157,9 @@ pub struct Matrix {
     /// Persistent backing for the trace cache: recordings hit here replay
     /// from disk across invocations (see [`pom_tlb::share_traces_with_store`]).
     trace_store: Option<TraceStore>,
+    /// Optional journal of completed cells; `--resume` preloads the cache
+    /// from it, so a killed sweep restarts where it stopped.
+    checkpoint: Option<Checkpoint>,
     /// Echo each run to stderr as it happens (the full matrix takes a
     /// couple of minutes; silence is unnerving).
     pub verbose: bool,
@@ -92,8 +176,69 @@ impl Matrix {
             planned_keys: HashSet::new(),
             trace_cache: false,
             trace_store: None,
+            checkpoint: None,
             verbose: true,
         }
+    }
+
+    /// Attaches a checkpoint journal at `path` and, with `resume`, preloads
+    /// the cache from cells a previous (possibly killed) run journaled
+    /// there. Returns how many cells were restored.
+    ///
+    /// The journal's header must match this matrix's run-length config and
+    /// seed; a mismatched or unreadable journal is discarded (restoring 0
+    /// cells) rather than mixing incompatible reports. A torn final line —
+    /// the signature of a kill mid-append — is dropped and the journal is
+    /// compacted to its valid prefix before new cells are appended.
+    /// Restored cells satisfy `report_with` straight from the cache, so the
+    /// planner never re-runs them, and determinism makes the resumed output
+    /// byte-identical to an uninterrupted sweep.
+    pub fn set_checkpoint(&mut self, path: impl Into<PathBuf>, resume: bool) -> io::Result<usize> {
+        let path = path.into();
+        let header = CheckpointHeader::for_config(&self.cfg);
+        let mut restored: Vec<CheckpointCell> = Vec::new();
+        if resume {
+            if let Ok(text) = fs::read_to_string(&path) {
+                let mut lines = text.lines();
+                let header_ok = lines
+                    .next()
+                    .and_then(|l| serde_json::from_str::<CheckpointHeader>(l).ok())
+                    .is_some_and(|h| h == header);
+                if header_ok {
+                    for line in lines {
+                        match serde_json::from_str::<CheckpointCell>(line) {
+                            Ok(cell) => restored.push(cell),
+                            // First unreadable line is the torn tail of a
+                            // killed append; nothing after it is trusted.
+                            Err(_) => break,
+                        }
+                    }
+                } else if self.verbose {
+                    eprintln!(
+                        "  [ckpt] {} belongs to a different configuration; starting fresh",
+                        path.display()
+                    );
+                }
+            }
+        }
+        // Rewrite header + valid prefix atomically, then keep appending.
+        let tmp = path.with_extension("tmp");
+        {
+            let mut out = fs::File::create(&tmp)?;
+            writeln!(out, "{}", serde_json::to_string(&header).map_err(io::Error::other)?)?;
+            for cell in &restored {
+                writeln!(out, "{}", serde_json::to_string(cell).map_err(io::Error::other)?)?;
+            }
+            out.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        let file = fs::OpenOptions::new().append(true).open(&path)?;
+        let n = restored.len();
+        for cell in restored {
+            self.cache.insert((cell.workload, cell.variant), cell.report);
+        }
+        self.checkpoint = Some(Checkpoint { path, file: Mutex::new(file) });
+        Ok(n)
     }
 
     /// Enables shared-trace execution for planned batches: the scheme ×
@@ -131,11 +276,18 @@ impl Matrix {
     }
 
     /// Runs every planned job on `n_workers` threads (see
-    /// [`pom_tlb::run_jobs`]) and moves the reports into the cache, then
-    /// leaves plan mode. Rebuilding the same figures afterwards replays
-    /// entirely from the warm cache, so output is byte-identical to a
-    /// serial run — each job owns its seed and the cache is keyed exactly
-    /// like serial memoization.
+    /// [`pom_tlb::run_jobs_with`]) and moves the reports into the cache,
+    /// then leaves plan mode. Rebuilding the same figures afterwards
+    /// replays entirely from the warm cache, so output is byte-identical
+    /// to a serial run — each job owns its seed and the cache is keyed
+    /// exactly like serial memoization.
+    ///
+    /// Jobs run under panic isolation: a cell whose simulation panics is
+    /// warned about and left uncached (its siblings complete normally),
+    /// so the figure pass recomputes it on demand — and only then does the
+    /// panic surface, attributed to exactly that cell. With a checkpoint
+    /// attached, every completed cell is journaled the moment it lands,
+    /// from the worker that ran it.
     pub fn execute_plan(&mut self, n_workers: usize) {
         self.planning = false;
         let planned = std::mem::take(&mut self.planned);
@@ -157,8 +309,28 @@ impl Matrix {
                 );
             }
         }
-        for (key, result) in keys.into_iter().zip(run_jobs(jobs, n_workers)) {
-            self.cache.insert(key, result.report);
+        let checkpoint = self.checkpoint.as_ref();
+        let observer = |idx: usize, outcome: &JobOutcome| {
+            if let (Some(ckpt), Some(result)) = (checkpoint, outcome.result()) {
+                let (workload, variant) = &keys[idx];
+                ckpt.append(workload, variant, &result.report);
+            }
+        };
+        let outcomes = run_jobs_with(jobs, n_workers, RunPolicy::strict(), &observer);
+        for (key, outcome) in keys.iter().zip(outcomes) {
+            match outcome {
+                JobOutcome::Panicked { label, message, .. } => {
+                    eprintln!(
+                        "  [plan] job `{label}` panicked ({message}); \
+                         cell left uncached for on-demand recompute"
+                    );
+                }
+                other => {
+                    if let Some(result) = other.into_result() {
+                        self.cache.insert(key.clone(), result.report);
+                    }
+                }
+            }
         }
     }
 
@@ -199,6 +371,9 @@ impl Matrix {
             eprintln!("  [sim] {} / {} / {variant}", w.name, scheme.label());
         }
         let report = job.run();
+        if let Some(ckpt) = &self.checkpoint {
+            ckpt.append(&key.0, &key.1, &report);
+        }
         self.cache.insert(key, report.clone());
         report
     }
@@ -349,6 +524,127 @@ mod tests {
             let got = cached.report(&w, s);
             assert_eq!(format!("{got:?}"), format!("{want:?}"), "{s:?} diverged");
         }
+    }
+
+    struct TempFile(PathBuf);
+
+    impl TempFile {
+        fn new(tag: &str) -> TempFile {
+            TempFile(
+                std::env::temp_dir()
+                    .join(format!("pomtlb-ckpt-{tag}-{}.jsonl", std::process::id())),
+            )
+        }
+    }
+
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = fs::remove_file(&self.0);
+        }
+    }
+
+    fn all_schemes() -> [Scheme; 4] {
+        [Scheme::Baseline, Scheme::pom_tlb(), Scheme::SharedL2, Scheme::Tsb]
+    }
+
+    /// Offline builds stub serde_json with an always-Err serializer; the
+    /// journal cannot be written at all there, so the checkpoint tests
+    /// only run where serialization is functional.
+    fn serde_is_stubbed() -> bool {
+        serde_json::to_string(&CheckpointHeader::for_config(&tiny())).is_err()
+    }
+
+    #[test]
+    fn resumed_checkpoint_run_is_byte_identical() {
+        if serde_is_stubbed() {
+            eprintln!("serde_json stubbed; skipping checkpoint round trip");
+            return;
+        }
+        let w = by_name("gups").unwrap();
+        let ckpt = TempFile::new("resume");
+        let _ = fs::remove_file(&ckpt.0);
+
+        // Ground truth: an uninterrupted, checkpoint-free run.
+        let mut truth = Matrix::new(tiny());
+        truth.verbose = false;
+        let want: Vec<String> = all_schemes()
+            .into_iter()
+            .map(|s| serde_json::to_string(&truth.report(&w, s)).unwrap())
+            .collect();
+
+        // "Killed" run: journals only the first two cells, then the
+        // process (here: the Matrix) goes away.
+        let mut first = Matrix::new(tiny());
+        first.verbose = false;
+        assert_eq!(first.set_checkpoint(&ckpt.0, true).unwrap(), 0, "nothing to resume yet");
+        first.set_planning(true);
+        for s in &all_schemes()[..2] {
+            let _ = first.report(&w, *s);
+        }
+        first.execute_plan(2);
+        drop(first);
+
+        // Resumed run: the two journaled cells preload the cache (and must
+        // not be planned again); the rest run now.
+        let mut second = Matrix::new(tiny());
+        second.verbose = false;
+        let restored = second.set_checkpoint(&ckpt.0, true).unwrap();
+        assert_eq!(restored, 2, "both completed cells come back");
+        second.set_planning(true);
+        for s in all_schemes() {
+            let _ = second.report(&w, s);
+        }
+        assert_eq!(second.planned.len(), 2, "restored cells are not re-planned");
+        second.execute_plan(2);
+        for (s, want) in all_schemes().into_iter().zip(&want) {
+            let got = serde_json::to_string(&second.report(&w, s)).unwrap();
+            assert_eq!(&got, want, "{s:?} diverged after resume");
+        }
+
+        // Third run over the fully-journaled matrix: pure replay.
+        let mut third = Matrix::new(tiny());
+        third.verbose = false;
+        assert_eq!(third.set_checkpoint(&ckpt.0, true).unwrap(), 4);
+        for (s, want) in all_schemes().into_iter().zip(&want) {
+            let got = serde_json::to_string(&third.report(&w, s)).unwrap();
+            assert_eq!(&got, want, "{s:?} diverged on full replay");
+        }
+    }
+
+    #[test]
+    fn torn_tail_and_foreign_headers_are_discarded() {
+        if serde_is_stubbed() {
+            eprintln!("serde_json stubbed; skipping torn-tail test");
+            return;
+        }
+        let w = by_name("streamcluster").unwrap();
+        let ckpt = TempFile::new("torn");
+        let _ = fs::remove_file(&ckpt.0);
+
+        let mut m = Matrix::new(tiny());
+        m.verbose = false;
+        m.set_checkpoint(&ckpt.0, false).unwrap();
+        let want = serde_json::to_string(&m.baseline(&w)).unwrap();
+        drop(m);
+
+        // A kill mid-append leaves a torn final line.
+        let mut text = fs::read_to_string(&ckpt.0).unwrap();
+        text.push_str("{\"workload\":\"gups\",\"vari");
+        fs::write(&ckpt.0, &text).unwrap();
+
+        let mut resumed = Matrix::new(tiny());
+        resumed.verbose = false;
+        assert_eq!(resumed.set_checkpoint(&ckpt.0, true).unwrap(), 1, "valid prefix survives");
+        assert_eq!(serde_json::to_string(&resumed.baseline(&w)).unwrap(), want);
+        // The compacted journal has no tear left (its only cell is the
+        // streamcluster baseline; the torn gups fragment is gone).
+        assert!(!fs::read_to_string(&ckpt.0).unwrap().contains("gups"));
+
+        // A journal recorded under different run lengths must not leak
+        // its cells into this configuration.
+        let mut other_cfg = Matrix::new(ExpConfig { refs_per_core: 999, ..tiny() });
+        other_cfg.verbose = false;
+        assert_eq!(other_cfg.set_checkpoint(&ckpt.0, true).unwrap(), 0);
     }
 
     #[test]

@@ -8,21 +8,31 @@
 //!            [--json]
 //! pomtlb compare --workload gups [--cores 8] [--refs 40000] [--json]
 //! pomtlb shootdown-sweep --workload gups [--json]
+//! pomtlb fault-sweep --workload gups [--fault-seed N] [--assert-detection]
+//!                    [--json]
 //! pomtlb trace-store stats|verify|gc --dir DIR [--max-mb N]
 //! ```
 //!
-//! Batched commands (`compare`, `shootdown-sweep`) accept
+//! Batched commands (`compare`, `shootdown-sweep`, `fault-sweep`) accept
 //! `--trace-cache-dir DIR`: shared recordings persist to a POMTRC2 store at
 //! DIR and later invocations replay them from disk instead of regenerating.
 //! `trace-store` inspects such a store: `stats` lists its recordings,
 //! `verify` integrity-checks every file (exit code 1 if any fails), `gc`
 //! evicts least-recently-used recordings down to `--max-mb`.
+//!
+//! `fault-sweep` runs every scheme with seeded fault injection (POM-TLB
+//! DRAM bit flips, cached-copy flips, dropped shootdown IPIs, stale
+//! reinsertions — see `pom_tlb::fault`) twice: with the consistency
+//! machinery detecting-and-repairing, and with it off. The report
+//! quantifies detection coverage, detection latency and wrong-translation
+//! escapes per scheme; `--assert-detection` turns the expected invariants
+//! into the exit code for CI.
 
 use std::process::ExitCode;
 
 use pom_tlb::{
-    run_jobs, share_traces_with_store, PomTlbConfig, Scheme, ShootdownStats, SimConfig, SimJob,
-    SimReport, SystemConfig,
+    run_jobs, share_traces_with_store, FaultConfig, FaultStats, PomTlbConfig, Scheme,
+    ShootdownStats, SimConfig, SimJob, SimReport, SystemConfig,
 };
 use pomtlb_tlb::WalkMode;
 use pomtlb_trace::{OsEventRates, TraceStore};
@@ -38,6 +48,7 @@ fn main() -> ExitCode {
         Some("sim") => run_command(&args[1..], CommandKind::Sim),
         Some("compare") => run_command(&args[1..], CommandKind::Compare),
         Some("shootdown-sweep") => run_sweep(&args[1..]),
+        Some("fault-sweep") => run_fault_sweep(&args[1..]),
         Some("trace-store") => run_trace_store(&args[1..]),
         Some("--help") | Some("-h") | None => {
             help();
@@ -73,6 +84,8 @@ struct Options {
     jobs: usize,
     trace_cache: bool,
     trace_cache_dir: Option<String>,
+    fault_seed: u64,
+    assert_detection: bool,
 }
 
 impl Default for Options {
@@ -93,6 +106,8 @@ impl Default for Options {
             jobs: 1,
             trace_cache: false,
             trace_cache_dir: None,
+            fault_seed: 0x5eed,
+            assert_detection: false,
         }
     }
 }
@@ -126,6 +141,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 o.events.vm_destroys = fnum(&value("--vm-destroys-per-10k")?)?;
             }
             "--check-consistency" => o.check_consistency = true,
+            "--fault-seed" => o.fault_seed = num(&value("--fault-seed")?)?,
+            "--assert-detection" => o.assert_detection = true,
             "--json" => o.json = true,
             "--trace-cache" => o.trace_cache = true,
             "--trace-cache-dir" => {
@@ -320,8 +337,16 @@ fn run_sweep(args: &[String]) -> ExitCode {
         .collect();
 
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
-        return ExitCode::SUCCESS;
+        return match serde_json::to_string_pretty(&rows) {
+            Ok(s) => {
+                println!("{s}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot serialize sweep rows: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     println!("workload {} ({:?}), {} cores: unmap-rate sweep", w.name, w.suite, opts.cores);
     println!(
@@ -343,6 +368,167 @@ fn run_sweep(args: &[String]) -> ExitCode {
             s.cached_line_invalidations,
             s.penalty.raw(),
         );
+    }
+    ExitCode::SUCCESS
+}
+
+/// One row of the `fault-sweep` output: scheme × detection mode, with the
+/// fault-injection outcome counters.
+#[derive(serde::Serialize)]
+struct FaultRow {
+    scheme: String,
+    consistency: bool,
+    p_avg: f64,
+    faults: FaultStats,
+}
+
+/// The OS event mix `fault-sweep` uses when no event flags were given:
+/// remap-heavy enough that dropped-IPI and stale-reinsertion faults have
+/// real OS events to ride on (the bit-flip kinds need none).
+fn fault_sweep_default_events() -> OsEventRates {
+    OsEventRates { unmaps: 12.0, remaps: 6.0, promotes: 0.5, migrations: 1.0, vm_destroys: 0.0 }
+}
+
+/// Builds the fault-sweep batch: every scheme × consistency {on, off},
+/// each armed with the same seeded fault plan. Returns the jobs and, per
+/// job, whether detection is on.
+fn fault_sweep_jobs(w: &PaperWorkload, opts: &Options) -> (Vec<SimJob>, Vec<bool>) {
+    let fault_cfg = FaultConfig { seed: opts.fault_seed, ..FaultConfig::default() };
+    let mut o = opts.clone();
+    if o.events == OsEventRates::default() {
+        o.events = fault_sweep_default_events();
+    }
+    let mut jobs = Vec::new();
+    let mut detect = Vec::new();
+    for consistency in [true, false] {
+        for scheme in [Scheme::Baseline, Scheme::SharedL2, Scheme::Tsb, Scheme::pom_tlb()] {
+            let mut job = job_for(w, scheme, &o).with_faults(fault_cfg);
+            job.check_consistency = Some(consistency);
+            jobs.push(job);
+            detect.push(consistency);
+        }
+    }
+    (jobs, detect)
+}
+
+/// The invariants `--assert-detection` turns into the exit code: with
+/// consistency on no injected fault may escape as a wrong translation
+/// (POM-TLB must also actually detect some), and with it off the POM-TLB
+/// run must show the escapes the machinery would have caught.
+fn fault_rows_hold_invariants(rows: &[FaultRow]) -> bool {
+    let mut ok = true;
+    for row in rows.iter().filter(|r| r.consistency) {
+        if row.faults.escapes > 0 {
+            eprintln!(
+                "fault-sweep: {} let {} stale serve(s) escape with consistency ON",
+                row.scheme, row.faults.escapes
+            );
+            ok = false;
+        }
+    }
+    let pom_on = rows.iter().find(|r| r.consistency && r.scheme == Scheme::pom_tlb().label());
+    if pom_on.is_none_or(|r| r.faults.detected_total == 0) {
+        eprintln!("fault-sweep: POM-TLB with consistency ON detected no injected faults");
+        ok = false;
+    }
+    let pom_off = rows.iter().find(|r| !r.consistency && r.scheme == Scheme::pom_tlb().label());
+    if pom_off.is_none_or(|r| r.faults.escapes == 0) {
+        eprintln!("fault-sweep: POM-TLB with consistency OFF shows no escapes to quantify");
+        ok = false;
+    }
+    ok
+}
+
+/// `pomtlb fault-sweep`: every scheme with and without the consistency
+/// machinery, under one seeded fault plan, reporting detection coverage,
+/// latency and wrong-translation escapes.
+fn run_fault_sweep(args: &[String]) -> ExitCode {
+    let opts = match parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n");
+            help();
+            return ExitCode::FAILURE;
+        }
+    };
+    let name = opts.workload.clone().unwrap_or_else(|| "gups".to_string());
+    let Some(w) = by_name(&name) else {
+        eprintln!("unknown workload `{name}`; known: {}", names().join(" "));
+        return ExitCode::FAILURE;
+    };
+
+    let (mut jobs, detect) = fault_sweep_jobs(&w, &opts);
+    if opts.trace_cache {
+        // All rows consume one recording: the fault plan perturbs served
+        // translations, never the input stream.
+        let store = match open_store(&opts.trace_cache_dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        share_traces_with_store(&mut jobs, store.as_ref());
+    }
+    let rows: Vec<FaultRow> = run_jobs(jobs, opts.jobs)
+        .into_iter()
+        .zip(detect)
+        .map(|(res, consistency)| {
+            let r = res.report;
+            FaultRow {
+                scheme: r.scheme.label().to_string(),
+                consistency,
+                p_avg: r.p_avg(),
+                faults: r.faults,
+            }
+        })
+        .collect();
+
+    if opts.json {
+        match serde_json::to_string_pretty(&rows) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("cannot serialize fault-sweep rows: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        println!(
+            "workload {} ({:?}), {} cores: fault sweep (fault seed {:#x})",
+            w.name, w.suite, opts.cores, opts.fault_seed
+        );
+        println!(
+            "{:>12} {:>7} {:>9} {:>9} {:>8} {:>8} {:>8} {:>10} {:>12} {:>10}",
+            "scheme",
+            "detect",
+            "injected",
+            "detected",
+            "escapes",
+            "faults",
+            "dormant",
+            "lat(refs)",
+            "repair(cyc)",
+            "p_avg"
+        );
+        for row in &rows {
+            let f = &row.faults;
+            println!(
+                "{:>12} {:>7} {:>9} {:>9} {:>8} {:>8} {:>8} {:>10.1} {:>12} {:>10.1}",
+                row.scheme,
+                if row.consistency { "on" } else { "off" },
+                f.injected_total(),
+                f.detected_total,
+                f.escapes,
+                f.escaped_faults,
+                f.dormant,
+                f.mean_detection_latency_refs(),
+                f.repair_penalty.raw(),
+                row.p_avg,
+            );
+        }
+    }
+    if opts.assert_detection && !fault_rows_hold_invariants(&rows) {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -472,7 +658,10 @@ fn emit(w: &PaperWorkload, reports: &[SimReport], o: &Options) {
             "table2": w.table2,
             "reports": reports,
         });
-        println!("{}", serde_json::to_string_pretty(&value).expect("reports serialize"));
+        match serde_json::to_string_pretty(&value) {
+            Ok(s) => println!("{s}"),
+            Err(e) => eprintln!("cannot serialize reports: {e}"),
+        }
         return;
     }
     println!(
@@ -534,6 +723,10 @@ USAGE:
   pomtlb compare         --workload NAME [flags]   all four schemes side by side
   pomtlb shootdown-sweep --workload NAME [flags]   0/1/10 unmaps per 10k refs
                                                    x all four schemes
+  pomtlb fault-sweep    [--workload NAME] [flags]  seeded fault injection x
+                                                   all four schemes, with the
+                                                   consistency machinery on
+                                                   and off (default: gups)
   pomtlb trace-store stats|verify|gc --dir DIR [--max-mb N]
                                                    inspect / integrity-check /
                                                    trim a recording store
@@ -554,6 +747,11 @@ FLAGS:
   --vm-destroys-per-10k X VM-teardown events
   --check-consistency     enable the stale-translation watchdog (panics
                           if any level serves a dead mapping)
+  --fault-seed N    RNG seed for fault-sweep's injection plan
+                    (default 0x5eed)
+  --assert-detection      fault-sweep exits nonzero unless consistency-on
+                          rows show zero escapes and POM-TLB detects
+                          injected faults (for CI)
   --jobs N          worker threads for batched commands (compare,
                     shootdown-sweep); `auto` = all cores. Output is
                     byte-identical to --jobs 1 (default)
@@ -660,5 +858,83 @@ mod tests {
         let r = simulate(&w, Scheme::pom_tlb(), &o);
         assert!(r.refs > 0);
         assert!(r.walks_eliminated() > 0.9);
+    }
+
+    #[test]
+    fn parse_fault_flags() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.fault_seed, 0x5eed);
+        assert!(!o.assert_detection);
+        let o = parse(&["--fault-seed".into(), "7".into(), "--assert-detection".into()]).unwrap();
+        assert_eq!(o.fault_seed, 7);
+        assert!(o.assert_detection);
+        assert!(parse(&["--fault-seed".into(), "x".into()]).is_err());
+    }
+
+    #[test]
+    fn fault_sweep_batch_covers_schemes_and_modes() {
+        let w = by_name("gups").unwrap();
+        let o = Options { cores: 2, refs: 1_000, warmup: 300, ..Default::default() };
+        let (jobs, detect) = fault_sweep_jobs(&w, &o);
+        assert_eq!(jobs.len(), 8, "four schemes x consistency on/off");
+        assert_eq!(detect.iter().filter(|d| **d).count(), 4);
+        for (job, on) in jobs.iter().zip(&detect) {
+            assert!(job.faults.is_some(), "every row is fault-armed");
+            assert_eq!(job.check_consistency, Some(*on));
+            assert!(job.spec.os_events.remaps > 0.0, "eventful default mix applied");
+        }
+    }
+
+    #[test]
+    fn fault_sweep_rows_respect_detection_mode() {
+        let w = by_name("gups").unwrap();
+        // 50k total accesses: at the default per-10k rates every scheme —
+        // including Baseline, which only sees the shootdown-borne kinds —
+        // applies some fault with near-certainty under the pinned seed.
+        let o = Options { cores: 2, refs: 20_000, warmup: 5_000, ..Default::default() };
+        let (jobs, detect) = fault_sweep_jobs(&w, &o);
+        let rows: Vec<FaultRow> = run_jobs(jobs, 2)
+            .into_iter()
+            .zip(detect)
+            .map(|(res, consistency)| {
+                let r = res.report;
+                FaultRow {
+                    scheme: r.scheme.label().to_string(),
+                    consistency,
+                    p_avg: r.p_avg(),
+                    faults: r.faults,
+                }
+            })
+            .collect();
+        // Structural guarantees at any run length: the detector never
+        // lets a serve escape while on, and never claims detections while
+        // off. (Detection *counts* need longer runs — the CI fault-smoke
+        // job asserts those via --assert-detection.)
+        for row in &rows {
+            assert!(row.faults.injected_total() > 0, "{}: faults were injected", row.scheme);
+            if row.consistency {
+                assert_eq!(row.faults.escapes, 0, "{}: no escapes with detection on", row.scheme);
+            } else {
+                assert_eq!(row.faults.detected_total, 0, "{}: nothing detected when off", row.scheme);
+            }
+        }
+    }
+
+    #[test]
+    fn detection_invariants_judge_rows_correctly() {
+        let row = |scheme: &str, consistency: bool, detected: u64, escapes: u64| {
+            let faults =
+                FaultStats { detected_total: detected, escapes, ..Default::default() };
+            FaultRow { scheme: scheme.to_string(), consistency, p_avg: 0.0, faults }
+        };
+        let pom = Scheme::pom_tlb().label();
+        let good = vec![row(pom, true, 5, 0), row(pom, false, 0, 3)];
+        assert!(fault_rows_hold_invariants(&good));
+        let escaped_while_on = vec![row(pom, true, 5, 1), row(pom, false, 0, 3)];
+        assert!(!fault_rows_hold_invariants(&escaped_while_on));
+        let detected_nothing = vec![row(pom, true, 0, 0), row(pom, false, 0, 3)];
+        assert!(!fault_rows_hold_invariants(&detected_nothing));
+        let no_escapes_off = vec![row(pom, true, 5, 0), row(pom, false, 0, 0)];
+        assert!(!fault_rows_hold_invariants(&no_escapes_off));
     }
 }

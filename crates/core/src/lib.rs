@@ -58,6 +58,7 @@
 
 pub mod config;
 pub mod entry;
+pub mod fault;
 pub mod mmu;
 pub mod perf_model;
 pub mod pom_tlb;
@@ -71,15 +72,18 @@ pub mod system;
 
 pub use config::{PomTlbConfig, SimConfig, SystemConfig};
 pub use entry::PomEntry;
+pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultStats};
 pub use mmu::{CoreMmu, MmuHit};
 pub use pom_tlb::{PomLookup, PomTlb, PomTlbStats};
 pub use predictor::{PredictorStats, SizeBypassPredictor};
 pub use report::SimReport;
 pub use runner::{
-    default_jobs, run_jobs, share_traces, share_traces_with_store, JobResult, ShareOutcome,
-    SimJob,
+    default_jobs, run_jobs, run_jobs_with, share_traces, share_traces_with_store, JobOutcome,
+    JobResult, RunPolicy, ShareOutcome, SimJob,
 };
 pub use scheme::Scheme;
-pub use shootdown::{ShootdownCost, ShootdownEngine, ShootdownParts, ShootdownStats, StaleChecker};
+pub use shootdown::{
+    ShootdownCost, ShootdownEngine, ShootdownParts, ShootdownStats, StaleChecker, StaleVerdict,
+};
 pub use skew::SkewPomTlb;
 pub use system::{Simulation, System};

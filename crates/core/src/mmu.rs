@@ -114,6 +114,18 @@ impl CoreMmu {
             + self.l2.flush_space(space)
     }
 
+    /// Non-timing peek: whether any level still holds the translation.
+    /// Fault injection uses this to tell whether a dropped shootdown IPI
+    /// actually left a stale entry behind on this core.
+    pub fn holds(&self, space: AddressSpace, va: Gva, size: PageSize) -> bool {
+        let l1 = match size {
+            PageSize::Small4K => &self.l1_small,
+            PageSize::Large2M => &self.l1_large,
+            PageSize::Huge1G => return false,
+        };
+        l1.contains(space, va, size) || self.l2.contains(space, va, size)
+    }
+
     fn l1_for(&mut self, size: PageSize) -> &mut SramTlb {
         match size {
             PageSize::Small4K => &mut self.l1_small,

@@ -315,6 +315,35 @@ impl PomTlb {
             .any(|s| s.is_some_and(|e| e.matches(space, vpn)))
     }
 
+    /// Fault injection: flips one bit in the PPN field of the `selector`-th
+    /// live entry (counting across both partitions), modeling a device
+    /// fault in the die-stacked DRAM array. Returns the identity of the
+    /// corrupted translation — the address space, page base, and size —
+    /// so the injector can watch for the wrong frame being served, or
+    /// `None` when the structure holds no entries to corrupt.
+    ///
+    /// `bit` is taken modulo 36 (the PPN field width, Figure 5); the
+    /// caller supplies both draws from its own deterministic plan so the
+    /// corruption schedule stays a pure function of the fault seed.
+    pub fn corrupt_entry(&mut self, selector: u64, bit: u32) -> Option<(AddressSpace, Gva, PageSize)> {
+        let live = self.occupancy(PageSize::Small4K) + self.occupancy(PageSize::Large2M);
+        if live == 0 {
+            return None;
+        }
+        let mut nth = selector % live;
+        for p in [&mut self.small, &mut self.large] {
+            let size = p.size;
+            for e in p.slots.iter_mut().flatten() {
+                if nth == 0 {
+                    e.ppn ^= 1u64 << (bit % 36);
+                    return Some((e.space, Vpn(e.vpn).base(size), size));
+                }
+                nth -= 1;
+            }
+        }
+        None
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &PomTlbStats {
         &self.stats
@@ -498,6 +527,32 @@ mod tests {
         );
         assert_eq!(pom.occupancy(PageSize::Small4K), 1);
         assert!(pom.contains(space(2), Gva::new(0x3000), PageSize::Small4K));
+    }
+
+    #[test]
+    fn corrupt_entry_flips_ppn_and_reports_identity() {
+        let mut pom = tiny();
+        let s = space(0);
+        let va = Gva::new(0x7000);
+        pom.insert(s, va, PageSize::Small4K, Hpa::new(0x12_3000));
+        let (hit_space, hit_va, hit_size) =
+            pom.corrupt_entry(0, 3).expect("one live entry to corrupt");
+        assert_eq!(hit_space, s);
+        assert_eq!(hit_va, va.page_base(PageSize::Small4K));
+        assert_eq!(hit_size, PageSize::Small4K);
+        let served = pom.lookup(s, va, PageSize::Small4K).unwrap().page_base;
+        assert_ne!(served, Hpa::new(0x12_3000), "flip must change the frame");
+        assert_eq!(
+            served.raw() ^ Hpa::new(0x12_3000).raw(),
+            1 << (12 + 3),
+            "exactly the chosen PPN bit differs (bit 3 above the 4 KB shift)"
+        );
+    }
+
+    #[test]
+    fn corrupt_empty_structure_is_none() {
+        let mut pom = tiny();
+        assert!(pom.corrupt_entry(7, 5).is_none());
     }
 
     #[test]

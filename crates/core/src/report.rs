@@ -6,6 +6,7 @@ use pomtlb_tlb::WalkerStats;
 use pomtlb_types::Cycles;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultStats;
 use crate::predictor::PredictorStats;
 use crate::scheme::Scheme;
 use crate::shootdown::ShootdownStats;
@@ -73,6 +74,12 @@ pub struct SimReport {
     /// on deserialization so reports from older runs still load.
     #[serde(default)]
     pub shootdowns: ShootdownStats,
+    /// Fault-injection outcome: injected / detected / escaped / dormant
+    /// counts and detection latency, all zero unless the run armed a
+    /// [`crate::FaultConfig`]. Defaulted on deserialization so reports
+    /// from older runs still load.
+    #[serde(default)]
+    pub faults: FaultStats,
 }
 
 impl SimReport {
@@ -106,6 +113,7 @@ impl SimReport {
             l3d_tlb_lines: KindStats::default(),
             l3d_data_lines: KindStats::default(),
             shootdowns: ShootdownStats::default(),
+            faults: FaultStats::default(),
         }
     }
 

@@ -8,19 +8,26 @@
 //! single-threaded and bit-for-bit deterministic (the determinism contract
 //! of DESIGN.md §3).
 //!
-//! [`run_jobs`] executes a batch of [`SimJob`]s on a scoped worker pool
-//! (`std::thread::scope`, no extra dependencies) and returns results in the
+//! [`run_jobs_with`] executes a batch of [`SimJob`]s on a scoped worker
+//! pool (`std::thread::scope`, no extra dependencies) with *panic
+//! isolation*: each job runs under `catch_unwind`, so one diverging
+//! simulation cannot take down a multi-hour sweep. A [`RunPolicy`] bounds
+//! retries for transiently-failing jobs and flags jobs that blow a soft
+//! wall-clock budget; every slot comes back as a [`JobOutcome`] in the
 //! *submission* order regardless of completion order, so any output derived
 //! from a batch — tables, JSON artifacts — is byte-identical to a serial
-//! run of the same jobs.
+//! run of the same jobs. [`run_jobs`] is the historical strict wrapper:
+//! it still completes every sibling before surfacing the first failure as
+//! a panic.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use pomtlb_trace::{SharedTrace, TraceKey, TraceStore, WorkloadSpec};
 
 use crate::config::{SimConfig, SystemConfig};
+use crate::fault::FaultConfig;
 use crate::report::SimReport;
 use crate::scheme::Scheme;
 use crate::system::Simulation;
@@ -49,6 +56,41 @@ pub struct SimJob {
     /// [`share_traces`]). Jobs sharing one recording hold clones of one
     /// `Arc`.
     pub trace: Option<Arc<SharedTrace>>,
+    /// Simulated fault injection for this run (see [`crate::fault`]).
+    pub faults: Option<FaultConfig>,
+    /// Harness fault injection: deliberately panic the first N attempts
+    /// (see [`SimJob::sabotage_panics`]). Test hook for the runner's own
+    /// isolation and retry machinery.
+    pub sabotage: Option<Sabotage>,
+}
+
+/// A deliberate, bounded panic planted in a job — the harness-level fault
+/// the runner's isolation/retry machinery is tested against. The counter
+/// is shared across clones of the job, so "panic twice then succeed"
+/// means twice total, not twice per attempt site.
+#[derive(Debug, Clone)]
+pub struct Sabotage {
+    message: String,
+    remaining: Arc<AtomicU32>,
+}
+
+impl Sabotage {
+    /// Panics with the configured message if any sabotaged attempts
+    /// remain, consuming one; otherwise returns normally.
+    fn trip(&self) {
+        let mut cur = self.remaining.load(Ordering::Relaxed);
+        while cur > 0 {
+            match self.remaining.compare_exchange(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => panic!("{}", self.message),
+                Err(now) => cur = now,
+            }
+        }
+    }
 }
 
 impl SimJob {
@@ -64,6 +106,8 @@ impl SimJob {
             prepopulate: true,
             check_consistency: None,
             trace: None,
+            faults: None,
+            sabotage: None,
         }
     }
 
@@ -79,6 +123,24 @@ impl SimJob {
         self
     }
 
+    /// Arms simulated fault injection for this job (see [`crate::fault`]).
+    pub fn with_faults(mut self, faults: FaultConfig) -> SimJob {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Harness fault injection: the job's first `times` executions panic
+    /// with `message` instead of simulating; later executions run
+    /// normally. This is how the runner's panic isolation and retry
+    /// machinery is exercised without a genuinely broken simulation.
+    pub fn sabotage_panics(mut self, message: impl Into<String>, times: u32) -> SimJob {
+        self.sabotage = Some(Sabotage {
+            message: message.into(),
+            remaining: Arc::new(AtomicU32::new(times)),
+        });
+        self
+    }
+
     /// The total reference budget (warmup + measured, summed over cores) a
     /// replayed trace must cover for this job.
     fn total_refs(&self) -> u64 {
@@ -86,7 +148,16 @@ impl SimJob {
     }
 
     /// Executes the simulation synchronously on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job was sabotaged ([`SimJob::sabotage_panics`]) and
+    /// sabotaged attempts remain, or if the simulation itself panics
+    /// (e.g. the stale watchdog fires without fault injection armed).
     pub fn run(&self) -> SimReport {
+        if let Some(sabotage) = &self.sabotage {
+            sabotage.trip();
+        }
         let mut sim = Simulation::new(&self.spec, self.scheme, self.sim)
             .shared_memory(self.shared_memory)
             .with_system_config(self.sys.clone())
@@ -96,6 +167,9 @@ impl SimJob {
         }
         if let Some(trace) = &self.trace {
             sim = sim.with_trace(Arc::clone(trace));
+        }
+        if let Some(faults) = self.faults {
+            sim = sim.with_faults(faults);
         }
         sim.run()
     }
@@ -136,9 +210,10 @@ pub fn share_traces(jobs: &mut [SimJob]) -> usize {
 /// a new process — runs zero generator passes.
 ///
 /// With `store: None` this is exactly [`share_traces`]. Store defects
-/// (corruption, version mismatch, truncation) degrade to live generation,
-/// and persistence failures only warn — the batch output is byte-identical
-/// to a storeless run in every case.
+/// (corruption, version mismatch, truncation) degrade to live generation —
+/// transient I/O errors are first retried with capped exponential backoff
+/// inside [`TraceStore::load`] — and persistence failures only warn; the
+/// batch output is byte-identical to a storeless run in every case.
 pub fn share_traces_with_store(jobs: &mut [SimJob], store: Option<&TraceStore>) -> ShareOutcome {
     let mut outcome = ShareOutcome::default();
     let mut recordings: Vec<Arc<SharedTrace>> = Vec::new();
@@ -226,56 +301,269 @@ impl JobResult {
     }
 }
 
+/// How [`run_jobs_with`] treats a job that panics or overruns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPolicy {
+    /// Re-run a panicking job up to this many additional times before
+    /// reporting it [`JobOutcome::Panicked`]. Simulations are
+    /// deterministic, so retries only help against *harness* faults
+    /// (trace-store I/O, sabotage, resource exhaustion) — keep this small.
+    pub max_retries: u32,
+    /// Soft per-attempt wall-clock budget: an attempt that completes but
+    /// took longer comes back as [`JobOutcome::TimedOut`] (the report is
+    /// kept — the flag marks the job for operator attention, it does not
+    /// discard work or abort the attempt mid-flight).
+    pub soft_timeout: Option<Duration>,
+}
+
+impl Default for RunPolicy {
+    fn default() -> RunPolicy {
+        RunPolicy { max_retries: 1, soft_timeout: None }
+    }
+}
+
+impl RunPolicy {
+    /// No retries, no timeout flagging — the historical strict behaviour.
+    pub fn strict() -> RunPolicy {
+        RunPolicy { max_retries: 0, soft_timeout: None }
+    }
+}
+
+/// How one job in a batch ended.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// Completed on the first attempt, inside the soft time budget.
+    Ok(JobResult),
+    /// Completed after one or more panicking attempts.
+    Retried {
+        /// The completed result.
+        result: JobResult,
+        /// Panicking attempts before the success.
+        retries: u32,
+    },
+    /// Completed, but the successful attempt exceeded the soft timeout.
+    TimedOut {
+        /// The completed (kept) result.
+        result: JobResult,
+        /// The budget the attempt blew.
+        limit: Duration,
+    },
+    /// Every permitted attempt panicked; the job produced no report.
+    Panicked {
+        /// The job's label, for attribution in sweep output.
+        label: String,
+        /// The (last) panic message.
+        message: String,
+        /// Attempts made, all panicking.
+        attempts: u32,
+    },
+}
+
+impl JobOutcome {
+    /// The job's label, whatever happened.
+    pub fn label(&self) -> &str {
+        match self {
+            JobOutcome::Ok(r) | JobOutcome::Retried { result: r, .. } => &r.label,
+            JobOutcome::TimedOut { result: r, .. } => &r.label,
+            JobOutcome::Panicked { label, .. } => label,
+        }
+    }
+
+    /// The completed result, unless the job panicked out.
+    pub fn result(&self) -> Option<&JobResult> {
+        match self {
+            JobOutcome::Ok(r) | JobOutcome::Retried { result: r, .. } => Some(r),
+            JobOutcome::TimedOut { result: r, .. } => Some(r),
+            JobOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// Consumes the outcome into its completed result, if any.
+    pub fn into_result(self) -> Option<JobResult> {
+        match self {
+            JobOutcome::Ok(r) | JobOutcome::Retried { result: r, .. } => Some(r),
+            JobOutcome::TimedOut { result: r, .. } => Some(r),
+            JobOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// Whether the job produced a report (retried and timed-out jobs did).
+    pub fn completed(&self) -> bool {
+        !matches!(self, JobOutcome::Panicked { .. })
+    }
+
+    /// One-word tag for tables and logs.
+    pub fn status(&self) -> &'static str {
+        match self {
+            JobOutcome::Ok(_) => "ok",
+            JobOutcome::Retried { .. } => "retried",
+            JobOutcome::TimedOut { .. } => "timed-out",
+            JobOutcome::Panicked { .. } => "panicked",
+        }
+    }
+}
+
 /// The worker-pool width to use when the user asks for "all cores".
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// Runs `jobs` on up to `n_workers` OS threads and returns the results in
-/// submission order.
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One job, isolated: attempts under `catch_unwind` until it completes or
+/// the retry budget is spent.
 ///
-/// `n_workers <= 1` runs everything serially on the calling thread (no pool
-/// is spawned); larger values use a scoped pool pulling from a shared work
-/// queue. Because every job is self-contained and seeds its own RNG, the
-/// reports — and anything rendered from them in submission order — are
-/// identical whatever `n_workers` is; only wall time changes.
-pub fn run_jobs(jobs: Vec<SimJob>, n_workers: usize) -> Vec<JobResult> {
+/// `AssertUnwindSafe` is sound here because a failed attempt's state is
+/// discarded wholesale: `SimJob::run` builds a fresh `Simulation` (tables,
+/// system, generators) per call, and the only state shared across attempts
+/// is the sabotage counter, which is atomic.
+fn run_one(job: &SimJob, policy: &RunPolicy) -> JobOutcome {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let start = Instant::now();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run()));
+        let wall = start.elapsed();
+        match caught {
+            Ok(report) => {
+                let result = JobResult { label: job.label.clone(), report, wall };
+                if let Some(limit) = policy.soft_timeout {
+                    if wall > limit {
+                        return JobOutcome::TimedOut { result, limit };
+                    }
+                }
+                return if attempts > 1 {
+                    JobOutcome::Retried { result, retries: attempts - 1 }
+                } else {
+                    JobOutcome::Ok(result)
+                };
+            }
+            Err(payload) => {
+                if attempts > policy.max_retries {
+                    return JobOutcome::Panicked {
+                        label: job.label.clone(),
+                        message: panic_text(payload.as_ref()),
+                        attempts,
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Locks a mutex, tolerating poison: a panicking sibling must never cost
+/// the batch its completed results (the poisoned state is just "a panic
+/// happened while held", and slot writes are single plain stores).
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Runs `jobs` on up to `n_workers` OS threads with panic isolation and
+/// returns one [`JobOutcome`] per job in submission order.
+///
+/// `n_workers <= 1` runs everything serially on the calling thread (no
+/// pool is spawned); larger values use a scoped pool pulling from a shared
+/// work queue. A job that panics is retried per `policy` and, if it keeps
+/// panicking, reported as [`JobOutcome::Panicked`] — its siblings run to
+/// completion regardless. Because every job is self-contained and seeds
+/// its own RNG, completed reports — and anything rendered from them in
+/// submission order — are identical whatever `n_workers` is; only wall
+/// time changes.
+///
+/// `observer` is invoked once per job, on the executing thread, right
+/// after that job's outcome is decided — the hook sweep checkpointing
+/// uses to journal completed cells as they land. Observer calls for
+/// different jobs may race; serialize internally if needed.
+pub fn run_jobs_with(
+    jobs: Vec<SimJob>,
+    n_workers: usize,
+    policy: RunPolicy,
+    observer: &(dyn Fn(usize, &JobOutcome) + Sync),
+) -> Vec<JobOutcome> {
     let n_workers = n_workers.max(1).min(jobs.len().max(1));
     if n_workers <= 1 {
         return jobs
-            .into_iter()
-            .map(|job| {
-                let start = Instant::now();
-                let report = job.run();
-                JobResult { label: job.label, report, wall: start.elapsed() }
+            .iter()
+            .enumerate()
+            .map(|(idx, job)| {
+                let outcome = run_one(job, &policy);
+                observer(idx, &outcome);
+                outcome
             })
             .collect();
     }
 
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Mutex<Option<JobResult>>> = Vec::with_capacity(jobs.len());
+    let mut slots: Vec<Mutex<Option<JobOutcome>>> = Vec::with_capacity(jobs.len());
     slots.resize_with(jobs.len(), || Mutex::new(None));
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
             scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(idx) else { break };
-                let start = Instant::now();
-                let report = job.run();
-                let result =
-                    JobResult { label: job.label.clone(), report, wall: start.elapsed() };
-                *slots[idx].lock().expect("result slot poisoned") = Some(result);
+                let outcome = run_one(job, &policy);
+                observer(idx, &outcome);
+                *lock_clean(&slots[idx]) = Some(outcome);
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job index was claimed by a worker")
+        .enumerate()
+        .map(|(idx, slot)| {
+            // Defensive: with panics caught inside run_one, every claimed
+            // index stores an outcome; an empty slot would mean a worker
+            // died outside the isolation boundary. Report it as a failed
+            // job rather than killing the batch.
+            let inner = slot.into_inner().unwrap_or_else(|poison| poison.into_inner());
+            inner.unwrap_or_else(|| JobOutcome::Panicked {
+                label: format!("job #{idx}"),
+                message: "worker terminated before storing an outcome".to_string(),
+                attempts: 0,
+            })
         })
         .collect()
+}
+
+/// Runs `jobs` and returns the results in submission order, panicking if
+/// any job failed — but only after every sibling has run to completion
+/// (strict policy: no retries).
+///
+/// # Panics
+///
+/// Panics with the first failed job's label and message once the whole
+/// batch has been attempted.
+pub fn run_jobs(jobs: Vec<SimJob>, n_workers: usize) -> Vec<JobResult> {
+    let outcomes = run_jobs_with(jobs, n_workers, RunPolicy::strict(), &|_, _| {});
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut failure: Option<String> = None;
+    for outcome in outcomes {
+        match outcome {
+            JobOutcome::Panicked { label, message, .. } => {
+                if failure.is_none() {
+                    failure = Some(format!("job `{label}` panicked: {message}"));
+                }
+            }
+            other => {
+                if let Some(result) = other.into_result() {
+                    results.push(result);
+                }
+            }
+        }
+    }
+    if let Some(message) = failure {
+        panic!("{message}");
+    }
+    results
 }
 
 #[cfg(test)]
@@ -305,6 +593,13 @@ mod tests {
             .collect()
     }
 
+    /// `batch()` with the second job rigged to panic forever.
+    fn batch_with_poison() -> Vec<SimJob> {
+        let mut jobs = batch();
+        jobs[1] = jobs[1].clone().sabotage_panics("deliberate test sabotage", u32::MAX);
+        jobs
+    }
+
     #[test]
     fn results_keep_submission_order() {
         let labels: Vec<String> = run_jobs(batch(), 4).into_iter().map(|r| r.label).collect();
@@ -312,15 +607,124 @@ mod tests {
         assert_eq!(labels, expected);
     }
 
+    /// Full-fidelity report fingerprint: JSON when serde_json is
+    /// functional, the Debug rendering (which also covers every field)
+    /// otherwise.
+    fn fingerprint(report: &crate::SimReport) -> String {
+        serde_json::to_string(report).unwrap_or_else(|_| format!("{report:?}"))
+    }
+
     #[test]
     fn parallel_matches_serial_bit_for_bit() {
         let serial = run_jobs(batch(), 1);
         let parallel = run_jobs(batch(), 4);
         for (a, b) in serial.iter().zip(&parallel) {
-            let ja = serde_json::to_string(&a.report).unwrap();
-            let jb = serde_json::to_string(&b.report).unwrap();
-            assert_eq!(ja, jb, "job {} diverged across worker counts", a.label);
+            assert_eq!(
+                fingerprint(&a.report),
+                fingerprint(&b.report),
+                "job {} diverged across worker counts",
+                a.label
+            );
         }
+    }
+
+    #[test]
+    fn panicking_job_does_not_abort_siblings() {
+        let outcomes = run_jobs_with(batch_with_poison(), 4, RunPolicy::strict(), &|_, _| {});
+        assert_eq!(outcomes.len(), 4);
+        let expected_label = batch()[1].label.clone();
+        for (idx, outcome) in outcomes.iter().enumerate() {
+            if idx == 1 {
+                let JobOutcome::Panicked { label, message, attempts } = outcome else {
+                    panic!("slot 1 must be Panicked, got {}", outcome.status());
+                };
+                assert_eq!(label, &expected_label);
+                assert!(message.contains("deliberate test sabotage"), "{message}");
+                assert_eq!(*attempts, 1, "strict policy makes one attempt");
+            } else {
+                let result = outcome
+                    .result()
+                    .unwrap_or_else(|| panic!("sibling {idx} must complete"));
+                assert!(result.report.refs > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn failed_slots_keep_submission_order_and_serial_matches_pooled() {
+        let serial = run_jobs_with(batch_with_poison(), 1, RunPolicy::strict(), &|_, _| {});
+        let pooled = run_jobs_with(batch_with_poison(), 4, RunPolicy::strict(), &|_, _| {});
+        let expected: Vec<String> = batch().into_iter().map(|j| j.label).collect();
+        for outcomes in [&serial, &pooled] {
+            let labels: Vec<&str> = outcomes.iter().map(|o| o.label()).collect();
+            assert_eq!(labels, expected.iter().map(String::as_str).collect::<Vec<_>>());
+        }
+        for (idx, (a, b)) in serial.iter().zip(&pooled).enumerate() {
+            assert_eq!(a.status(), b.status(), "slot {idx} status diverged");
+            if let (Some(ra), Some(rb)) = (a.result(), b.result()) {
+                assert_eq!(
+                    fingerprint(&ra.report),
+                    fingerprint(&rb.report),
+                    "slot {idx} report diverged across worker counts"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transient_panic_is_retried_and_reported() {
+        let mut jobs = batch();
+        jobs[2] = jobs[2].clone().sabotage_panics("transient glitch", 1);
+        let policy = RunPolicy { max_retries: 2, soft_timeout: None };
+        let outcomes = run_jobs_with(jobs, 2, policy, &|_, _| {});
+        let JobOutcome::Retried { result, retries } = &outcomes[2] else {
+            panic!("slot 2 must be Retried, got {}", outcomes[2].status());
+        };
+        assert_eq!(*retries, 1);
+        assert!(result.report.refs > 0, "the retried attempt really ran");
+        assert!(outcomes.iter().all(|o| o.completed()));
+    }
+
+    #[test]
+    fn exhausted_retries_report_panicked_with_attempts() {
+        let jobs = vec![batch()[0].clone().sabotage_panics("always down", u32::MAX)];
+        let policy = RunPolicy { max_retries: 2, soft_timeout: None };
+        let outcomes = run_jobs_with(jobs, 1, policy, &|_, _| {});
+        let JobOutcome::Panicked { attempts, message, .. } = &outcomes[0] else {
+            panic!("must exhaust retries");
+        };
+        assert_eq!(*attempts, 3, "initial attempt + 2 retries");
+        assert!(message.contains("always down"));
+    }
+
+    #[test]
+    fn soft_timeout_flags_but_keeps_results() {
+        let policy = RunPolicy { max_retries: 0, soft_timeout: Some(Duration::ZERO) };
+        let outcomes = run_jobs_with(batch(), 2, policy, &|_, _| {});
+        for outcome in &outcomes {
+            let JobOutcome::TimedOut { result, limit } = outcome else {
+                panic!("zero budget flags every job, got {}", outcome.status());
+            };
+            assert_eq!(*limit, Duration::ZERO);
+            assert!(result.report.refs > 0, "the report is kept");
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_job_exactly_once() {
+        let seen = Mutex::new(vec![0u32; 4]);
+        let outcomes = run_jobs_with(batch_with_poison(), 4, RunPolicy::strict(), &|idx, o| {
+            lock_clean(&seen)[idx] += 1;
+            let _ = o.label();
+        });
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(*lock_clean(&seen), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate test sabotage")]
+    fn strict_run_jobs_still_panics_on_failure() {
+        let _ = run_jobs(batch_with_poison(), 2);
     }
 
     #[test]

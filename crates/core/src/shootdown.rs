@@ -135,12 +135,21 @@ pub struct ShootdownParts<'a> {
 pub struct ShootdownEngine {
     cost: ShootdownCost,
     stats: ShootdownStats,
+    /// Fault injection: shootdown rounds that must "lose" one core's IPI.
+    pending_ipi_drops: u32,
+    /// IPI drops that actually left a stale SRAM entry behind.
+    dropped_ipis: u64,
 }
 
 impl ShootdownEngine {
     /// Creates an engine with the given cost model.
     pub fn new(cost: ShootdownCost) -> ShootdownEngine {
-        ShootdownEngine { cost, stats: ShootdownStats::default() }
+        ShootdownEngine {
+            cost,
+            stats: ShootdownStats::default(),
+            pending_ipi_drops: 0,
+            dropped_ipis: 0,
+        }
     }
 
     /// Accumulated statistics.
@@ -151,6 +160,20 @@ impl ShootdownEngine {
     /// Resets statistics (post-warmup).
     pub fn reset_stats(&mut self) {
         self.stats = ShootdownStats::default();
+    }
+
+    /// Fault injection: arms one IPI drop — the next per-page shootdown
+    /// round skips the last core's SRAM invalidation, leaving whatever
+    /// that core's TLBs held for the page.
+    pub fn inject_dropped_ipi(&mut self) {
+        self.pending_ipi_drops = self.pending_ipi_drops.saturating_add(1);
+    }
+
+    /// IPI drops that actually left a stale entry behind (an armed drop
+    /// whose victim core held nothing for the page is a harmless no-op and
+    /// is not counted).
+    pub fn dropped_ipis(&self) -> u64 {
+        self.dropped_ipis
     }
 
     /// Kills one page's translation in every structure that may hold it.
@@ -169,10 +192,32 @@ impl ShootdownEngine {
         space: AddressSpace,
         va: Gva,
     ) -> Cycles {
+        // Fault injection: an armed IPI drop silences the last core for
+        // this round. The drop is consumed either way, but only counts as
+        // an applied fault when that core actually held the translation —
+        // a lost IPI to a core with nothing stale is a harmless no-op.
+        let skip = if self.pending_ipi_drops > 0 && !parts.mmus.is_empty() {
+            self.pending_ipi_drops -= 1;
+            let victim = parts.mmus.len() - 1;
+            let held = PageSize::POM_SIZES
+                .iter()
+                .any(|&s| parts.mmus[victim].holds(space, va, s));
+            if held {
+                self.dropped_ipis += 1;
+                Some(victim)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
         let mut cached_lines = 0u64;
         let mut pom_writes = 0u64;
         for size in PageSize::POM_SIZES {
-            for mmu in parts.mmus.iter_mut() {
+            for (i, mmu) in parts.mmus.iter_mut().enumerate() {
+                if Some(i) == skip {
+                    continue;
+                }
                 self.stats.sram_invalidations += u64::from(mmu.invalidate_page(space, va, size));
             }
             if parts.shared_l2.invalidate_page(space, va, size) {
@@ -295,6 +340,25 @@ impl ShootdownEngine {
             self.cost.pom_write * evicted.len() as u64 + self.cost.cached_line_inval * scrubbed;
         self.broadcast_round(parts.mmus.len(), extra)
     }
+
+    /// Detection-triggered repair: purges one page's translation from
+    /// every structure with a full broadcast round, exactly like an unmap
+    /// shootdown but not counted as an OS event. A repair never consumes a
+    /// pending injected IPI drop — a repair round that sabotaged itself
+    /// would make the detector look worse than the fault model intends.
+    /// Returns the cycles charged.
+    pub fn repair_page(
+        &mut self,
+        parts: &mut ShootdownParts<'_>,
+        space: AddressSpace,
+        va: Gva,
+    ) -> Cycles {
+        let stashed = std::mem::take(&mut self.pending_ipi_drops);
+        let extra = self.invalidate_page_everywhere(parts, space, va);
+        let total = self.broadcast_round(parts.mmus.len(), extra);
+        self.pending_ipi_drops = stashed;
+        total
+    }
 }
 
 /// The recorded fate of one page mapping.
@@ -353,6 +417,40 @@ impl StaleChecker {
         }
     }
 
+    /// The frame the shadowed page tables hold for `va`, if the page is
+    /// noted live. Detection-triggered repair uses this to serve the
+    /// correct translation after purging a corrupted one.
+    pub fn lookup_page(&self, space: AddressSpace, va: Gva, size: PageSize) -> Option<Hpa> {
+        let key = (space, va.page_base(size).raw(), size);
+        match self.mappings.get(&key) {
+            Some(MappingState::Live(expected)) => Some(*expected),
+            _ => None,
+        }
+    }
+
+    /// Judges a translation some level just served, without panicking —
+    /// the detector interface fault injection runs against. A disabled
+    /// checker judges everything [`StaleVerdict::Clean`].
+    pub fn check(
+        &self,
+        space: AddressSpace,
+        va: Gva,
+        size: PageSize,
+        served: Hpa,
+    ) -> StaleVerdict {
+        if !self.enabled {
+            return StaleVerdict::Clean;
+        }
+        let key = (space, va.page_base(size).raw(), size);
+        match self.mappings.get(&key) {
+            Some(MappingState::Unmapped) => StaleVerdict::Stale,
+            Some(MappingState::Live(expected)) if *expected != served => {
+                StaleVerdict::Wrong { expected: *expected }
+            }
+            _ => StaleVerdict::Clean,
+        }
+    }
+
     /// Verifies a translation some level just served.
     ///
     /// # Panics
@@ -367,22 +465,34 @@ impl StaleChecker {
         served: Hpa,
         source: &str,
     ) {
-        if !self.enabled {
-            return;
-        }
-        let key = (space, va.page_base(size).raw(), size);
-        match self.mappings.get(&key) {
-            Some(MappingState::Unmapped) => panic!(
+        match self.check(space, va, size, served) {
+            StaleVerdict::Clean => {}
+            StaleVerdict::Stale => panic!(
                 "stale translation: {source} served {served} for {space} {va} ({size}) \
                  after its unmap"
             ),
-            Some(MappingState::Live(expected)) if *expected != served => panic!(
+            StaleVerdict::Wrong { expected } => panic!(
                 "wrong translation: {source} served {served} for {space} {va} ({size}), \
                  page tables say {expected}"
             ),
-            _ => {}
         }
     }
+}
+
+/// The checker's judgement of one served translation — the non-panicking
+/// detector interface fault injection runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaleVerdict {
+    /// The serve agrees with the shadowed page tables (or the page was
+    /// never noted — partial instrumentation is safe).
+    Clean,
+    /// The page was unmapped and the serve used the dead translation.
+    Stale,
+    /// The serve disagrees with the live mapping.
+    Wrong {
+        /// The frame the shadowed page tables actually hold.
+        expected: Hpa,
+    },
 }
 
 #[cfg(test)]
@@ -442,6 +552,45 @@ mod tests {
         let s = space(0, 0);
         c.note_mapped(s, Gva::new(0x1000), PageSize::Small4K, Hpa::new(0x9000));
         c.verify(s, Gva::new(0x1000), PageSize::Small4K, Hpa::new(0xb000), "POM-TLB");
+    }
+
+    #[test]
+    fn check_returns_verdicts_without_panicking() {
+        let mut c = StaleChecker::new(true);
+        let s = space(0, 0);
+        let va = Gva::new(0x1000);
+        assert_eq!(c.check(s, va, PageSize::Small4K, Hpa::new(0x1)), StaleVerdict::Clean);
+        c.note_mapped(s, va, PageSize::Small4K, Hpa::new(0x9000));
+        assert_eq!(c.check(s, va, PageSize::Small4K, Hpa::new(0x9000)), StaleVerdict::Clean);
+        assert_eq!(
+            c.check(s, va, PageSize::Small4K, Hpa::new(0xb000)),
+            StaleVerdict::Wrong { expected: Hpa::new(0x9000) }
+        );
+        assert_eq!(c.lookup_page(s, va, PageSize::Small4K), Some(Hpa::new(0x9000)));
+        c.note_unmapped(s, va, PageSize::Small4K);
+        assert_eq!(c.check(s, va, PageSize::Small4K, Hpa::new(0x9000)), StaleVerdict::Stale);
+        assert_eq!(c.lookup_page(s, va, PageSize::Small4K), None);
+    }
+
+    #[test]
+    fn disabled_checker_checks_clean() {
+        let mut c = StaleChecker::new(false);
+        let s = space(0, 0);
+        c.note_unmapped(s, Gva::new(0x1000), PageSize::Small4K);
+        assert_eq!(
+            c.check(s, Gva::new(0x1000), PageSize::Small4K, Hpa::new(0x9000)),
+            StaleVerdict::Clean
+        );
+    }
+
+    #[test]
+    fn armed_ipi_drop_is_remembered() {
+        let mut e = ShootdownEngine::new(ShootdownCost::default());
+        assert_eq!(e.dropped_ipis(), 0);
+        e.inject_dropped_ipi();
+        e.inject_dropped_ipi();
+        assert_eq!(e.pending_ipi_drops, 2);
+        assert_eq!(e.dropped_ipis(), 0, "drops count only when applied to a held entry");
     }
 
     #[test]

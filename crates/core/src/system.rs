@@ -31,12 +31,15 @@ use pomtlb_types::{
 };
 
 use crate::config::{SimConfig, SystemConfig};
+use crate::fault::{fault_key, FaultConfig, FaultKind, FaultState, FaultStats};
 use crate::mmu::{CoreMmu, MmuHit};
 use crate::pom_tlb::PomTlb;
 use crate::predictor::SizeBypassPredictor;
 use crate::report::SimReport;
 use crate::scheme::Scheme;
-use crate::shootdown::{ShootdownEngine, ShootdownParts, ShootdownStats, StaleChecker};
+use crate::shootdown::{
+    ShootdownEngine, ShootdownParts, ShootdownStats, StaleChecker, StaleVerdict,
+};
 
 /// Resolution-path counters reset at warmup boundaries.
 #[derive(Debug, Clone, Copy, Default)]
@@ -74,6 +77,7 @@ pub struct System {
     counters: Counters,
     shootdowns: ShootdownEngine,
     stale: StaleChecker,
+    fault: Option<FaultState>,
 }
 
 impl System {
@@ -105,8 +109,51 @@ impl System {
             counters: Counters::default(),
             shootdowns: ShootdownEngine::new(config.shootdown),
             stale: StaleChecker::new(cfg!(debug_assertions)),
+            fault: None,
             config,
             scheme,
+        }
+    }
+
+    /// Arms deterministic fault injection for this run (see [`crate::fault`]).
+    ///
+    /// The stale-translation shadow map is forced on — it is the oracle the
+    /// detector compares every served translation against — while the
+    /// *consistency checking* setting (detect-and-repair vs count-escapes)
+    /// keeps whatever [`System::set_check_consistency`] last chose.
+    pub fn set_fault_plan(&mut self, config: FaultConfig) {
+        let detect = self.stale.enabled();
+        self.stale.set_enabled(true);
+        self.fault = Some(FaultState::new(config, detect));
+    }
+
+    /// Fault-injection statistics, when a plan is armed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(|f| f.snapshot())
+    }
+
+    /// Draws and applies this reference's scheduled faults: corrupts a
+    /// live POM-TLB array entry now, and arms one-shot faults (cached-copy
+    /// flip, dropped IPI, stale re-insert) that the next matching
+    /// operation consumes.
+    fn inject_faults(&mut self) {
+        let Some(fault) = self.fault.as_mut() else { return };
+        let draw = fault.begin_access();
+        if draw.cached_flip {
+            fault.arm_cached_flip();
+        }
+        if draw.stale_reinsert {
+            fault.arm_stale_reinsert();
+        }
+        if draw.dropped_ipi {
+            self.shootdowns.inject_dropped_ipi();
+        }
+        if draw.pom_bit_flip {
+            let selector = fault.pick(u64::MAX);
+            let bit = fault.pick(36) as u32;
+            if let Some((space, va, size)) = self.pom.corrupt_entry(selector, bit) {
+                fault.track(fault_key(space, va, size), FaultKind::PomBitFlip);
+            }
         }
     }
 
@@ -145,8 +192,9 @@ impl System {
         now: Cycles,
     ) -> (Cycles, Cycles) {
         self.counters.refs += 1;
+        self.inject_faults();
         let (hit, cached_pa) = self.mmus[core.index()].lookup(space, va);
-        let (page_base, size, penalty) = match hit {
+        let (mut page_base, size, mut penalty) = match hit {
             MmuHit::L1(size) => (cached_pa.expect("hit carries PA"), size, Cycles::ZERO),
             MmuHit::L2(size) => {
                 self.counters.l1_tlb_misses += 1;
@@ -161,15 +209,58 @@ impl System {
             }
         };
 
-        // Watchdog (§2.2): whichever level answered must agree with the
-        // live page tables — a failure here means a shootdown missed it.
-        if self.stale.enabled() {
-            let source = match hit {
-                MmuHit::L1(_) => "L1 TLB",
-                MmuHit::L2(_) => "L2 TLB",
-                MmuHit::Miss => "miss path",
-            };
-            self.stale.verify(space, va, size, page_base, source);
+        // Detector (§2.2): whichever level answered must agree with the
+        // live page tables. Without fault injection this is the legacy
+        // watchdog — a disagreement means a shootdown missed a level, and
+        // the run panics. With a fault plan armed it is the first-class
+        // detection path: a wrong serve is repaired and accounted when
+        // consistency checking is on, or counted as an escape (and served
+        // onward, wrong) when it is off.
+        if self.fault.is_none() {
+            if self.stale.enabled() {
+                let source = match hit {
+                    MmuHit::L1(_) => "L1 TLB",
+                    MmuHit::L2(_) => "L2 TLB",
+                    MmuHit::Miss => "miss path",
+                };
+                self.stale.verify(space, va, size, page_base, source);
+            }
+        } else {
+            let verdict = self.stale.check(space, va, size, page_base);
+            if verdict != StaleVerdict::Clean {
+                let key = fault_key(space, va, size);
+                let detect = self.fault.as_ref().is_some_and(|f| f.detect);
+                if detect {
+                    // Purge the corrupted translation from every structure
+                    // (a full shootdown round) and serve the frame the
+                    // page tables actually hold.
+                    let mut parts = ShootdownParts {
+                        mmus: &mut self.mmus,
+                        walkers: &mut self.walkers,
+                        pom: &mut self.pom,
+                        hier: &mut self.hier,
+                        shared_l2: &mut self.shared_l2,
+                        tsb: &mut self.tsb,
+                    };
+                    let repair = self.shootdowns.repair_page(&mut parts, space, va);
+                    penalty += repair;
+                    self.counters.total_penalty += repair;
+                    match verdict {
+                        StaleVerdict::Wrong { expected } => page_base = expected,
+                        _ => {
+                            if let Some(correct) = self.stale.lookup_page(space, va, size) {
+                                page_base = correct;
+                            }
+                        }
+                    }
+                    if let Some(fault) = self.fault.as_mut() {
+                        fault.record_detection(key);
+                        fault.stats.repair_penalty += repair;
+                    }
+                } else if let Some(fault) = self.fault.as_mut() {
+                    fault.record_escape(key);
+                }
+            }
         }
 
         // The data access proper (pollutes caches, exercises DRAM state).
@@ -337,11 +428,24 @@ impl System {
         }
 
         let (page_base, size, walked) = match found {
-            Some((base, size, at)) => {
+            Some((mut base, size, at)) => {
                 match at {
                     ResolvedAt::L2d => self.counters.resolved_l2d += 1,
                     ResolvedAt::L3d => self.counters.resolved_l3d += 1,
                     ResolvedAt::PomDram => self.counters.resolved_pom_dram += 1,
+                }
+                // Fault injection: an armed soft error corrupts the next
+                // translation resolved from a *cached* copy of a POM-TLB
+                // line (the DRAM array itself stays intact). The flipped
+                // frame fills the MMU and is served — the access-path
+                // detector judges it immediately after this returns.
+                if at != ResolvedAt::PomDram {
+                    if let Some(fault) = self.fault.as_mut() {
+                        if fault.take_cached_flip() {
+                            base = Hpa::new(base.raw() ^ fault.flip_mask(size));
+                            fault.track(fault_key(space, va, size), FaultKind::CachedBitFlip);
+                        }
+                    }
                 }
                 self.mmus[core.index()].fill(space, va, size, base);
                 (base, size, false)
@@ -413,18 +517,48 @@ impl System {
                     return Cycles::ZERO;
                 }
                 self.stale.note_unmapped(space, va, size);
-                self.shootdowns.unmap_page(&mut parts, space, va)
+                let drops_before = self.shootdowns.dropped_ipis();
+                let cost = self.shootdowns.unmap_page(&mut parts, space, va);
+                // An armed IPI drop that actually left a stale SRAM entry
+                // becomes a tracked fault: the skipped core may now serve
+                // the dead translation.
+                if self.shootdowns.dropped_ipis() > drops_before {
+                    if let Some(fault) = self.fault.as_mut() {
+                        fault.track(fault_key(space, va, size), FaultKind::DroppedIpi);
+                    }
+                }
+                cost
             }
             OsEventKind::RemapPage { va, size } => {
                 if !tables.unmap(va, size) {
                     return Cycles::ZERO;
                 }
+                let old_base = self.stale.lookup_page(space, va, size);
                 self.stale.note_unmapped(space, va, size);
+                let drops_before = self.shootdowns.dropped_ipis();
                 let cost = self.shootdowns.remap_page(&mut parts, space, va);
+                if self.shootdowns.dropped_ipis() > drops_before {
+                    if let Some(fault) = self.fault.as_mut() {
+                        fault.track(fault_key(space, va, size), FaultKind::DroppedIpi);
+                    }
+                }
                 // The kernel moved the frame: the page is immediately live
                 // again at a fresh host-physical address.
                 let hpa = tables.ensure_mapped(va, size);
                 self.stale.note_mapped(space, va, size, hpa);
+                // Fault injection: a buggy write-back racing the round
+                // re-installs the dead translation into the POM-TLB array
+                // after the shootdown completed. Only latched when the
+                // frame actually moved — re-inserting an unchanged base
+                // would be indistinguishable from a correct entry.
+                if let Some(fault) = self.fault.as_mut() {
+                    if let Some(base) = old_base {
+                        if base != hpa && fault.take_stale_reinsert() {
+                            parts.pom.insert(space, va, size, base);
+                            fault.track(fault_key(space, va, size), FaultKind::StaleReinsert);
+                        }
+                    }
+                }
                 cost
             }
             OsEventKind::PromotePage { window_base } => {
@@ -460,14 +594,25 @@ impl System {
     }
 
     /// Turns the stale-translation watchdog on or off (on by default in
-    /// debug builds). Disabling clears the shadow state.
+    /// debug builds). Disabling clears the shadow state. With a fault plan
+    /// armed, the shadow map stays on regardless (it is the detection
+    /// oracle) and the flag instead selects detect-and-repair (`true`) vs
+    /// count-escapes (`false`).
     pub fn set_check_consistency(&mut self, on: bool) {
-        self.stale.set_enabled(on);
+        if let Some(fault) = self.fault.as_mut() {
+            fault.detect = on;
+        } else {
+            self.stale.set_enabled(on);
+        }
     }
 
-    /// Whether the stale-translation watchdog is active.
+    /// Whether the stale-translation watchdog (or, with faults armed, the
+    /// detect-and-repair path) is active.
     pub fn check_consistency(&self) -> bool {
-        self.stale.enabled()
+        match &self.fault {
+            Some(fault) => fault.detect,
+            None => self.stale.enabled(),
+        }
     }
 
     /// Records a live mapping with the watchdog. Call after mapping a page
@@ -589,6 +734,7 @@ impl System {
             l3d_tlb_lines: *self.hier.l3_stats().kind(pomtlb_cache::LineKind::TlbEntry),
             l3d_data_lines: *self.hier.l3_stats().kind(pomtlb_cache::LineKind::Data),
             shootdowns: *self.shootdowns.stats(),
+            faults: self.fault.as_ref().map(|f| f.snapshot()).unwrap_or_default(),
         }
     }
 }
@@ -614,6 +760,7 @@ pub struct Simulation {
     prepopulate: bool,
     check_consistency: Option<bool>,
     trace: Option<Arc<SharedTrace>>,
+    faults: Option<FaultConfig>,
 }
 
 impl Simulation {
@@ -628,6 +775,7 @@ impl Simulation {
             prepopulate: true,
             check_consistency: None,
             trace: None,
+            faults: None,
         }
     }
 
@@ -664,6 +812,16 @@ impl Simulation {
         self
     }
 
+    /// Arms deterministic fault injection for this run (see
+    /// [`crate::fault`]). Combined with [`Simulation::check_consistency`]:
+    /// with checking on, wrong serves are detected and repaired; off, they
+    /// are counted as escapes and served onward. The report's `faults`
+    /// field carries the outcome.
+    pub fn with_faults(mut self, config: FaultConfig) -> Simulation {
+        self.faults = Some(config);
+        self
+    }
+
     /// Replays a pre-recorded input stream instead of running the
     /// generators. The recording must have been generated with exactly this
     /// simulation's spec, seed, core count, sharing mode and reference
@@ -684,6 +842,9 @@ impl Simulation {
         let mut system = System::new(self.sys_cfg, self.scheme);
         if let Some(on) = self.check_consistency {
             system.set_check_consistency(on);
+        }
+        if let Some(cfg) = self.faults {
+            system.set_fault_plan(cfg);
         }
 
         let spaces: Vec<AddressSpace> = (0..n)
@@ -1166,6 +1327,89 @@ mod tests {
         // still holds the dead translation and must be caught serving it.
         system.note_unmapped(space, va, PageSize::Small4K);
         let _ = system.access(CoreId(0), space, va, AccessKind::Read, &tables, Cycles::new(100));
+    }
+
+    /// Rates high enough that a 120k-ref run injects hundreds of faults,
+    /// making serve-and-detect events statistically certain while staying
+    /// fully deterministic (fixed seed).
+    fn heavy_faults() -> FaultConfig {
+        FaultConfig {
+            pom_bit_flips_per_10k: 20.0,
+            cached_flips_per_10k: 10.0,
+            dropped_ipis_per_10k: 20.0,
+            stale_reinserts_per_10k: 20.0,
+            seed: 0x5eed,
+        }
+    }
+
+    #[test]
+    fn faults_detected_and_repaired_with_consistency_on() {
+        let r = Simulation::new(&eventful_spec(), Scheme::pom_tlb(), quick())
+            .with_system_config(tiny_sys(2))
+            .check_consistency(true)
+            .with_faults(heavy_faults())
+            .run();
+        let f = r.faults;
+        assert!(f.injected_total() > 0, "heavy rates must inject: {f:?}");
+        assert!(f.detected_total > 0, "some corrupted serves must be caught: {f:?}");
+        assert_eq!(f.escapes, 0, "consistency on lets nothing escape: {f:?}");
+        assert_eq!(f.escaped_faults, 0);
+        assert!(f.repair_penalty > Cycles::ZERO, "repairs cost cycles");
+        assert!(f.mean_detection_latency_refs() >= 0.0);
+    }
+
+    #[test]
+    fn faults_escape_with_consistency_off() {
+        let r = Simulation::new(&eventful_spec(), Scheme::pom_tlb(), quick())
+            .with_system_config(tiny_sys(2))
+            .check_consistency(false)
+            .with_faults(heavy_faults())
+            .run();
+        let f = r.faults;
+        assert!(f.injected_total() > 0, "{f:?}");
+        assert_eq!(f.detected_total, 0, "detection is off: {f:?}");
+        assert!(f.escapes > 0, "wrong serves must be counted: {f:?}");
+        assert!(f.escaped_faults > 0);
+        assert_eq!(f.repair_penalty, Cycles::ZERO, "no repairs without detection");
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let run = || {
+            Simulation::new(&eventful_spec(), Scheme::pom_tlb(), quick())
+                .with_system_config(tiny_sys(2))
+                .check_consistency(true)
+                .with_faults(heavy_faults())
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.total_penalty, b.total_penalty);
+        assert_eq!(a.l2_tlb_misses, b.l2_tlb_misses);
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_perturbs_nothing() {
+        let zero = FaultConfig {
+            pom_bit_flips_per_10k: 0.0,
+            cached_flips_per_10k: 0.0,
+            dropped_ipis_per_10k: 0.0,
+            stale_reinserts_per_10k: 0.0,
+            seed: 1,
+        };
+        let base = Simulation::new(&eventful_spec(), Scheme::pom_tlb(), quick())
+            .with_system_config(tiny_sys(2))
+            .check_consistency(true)
+            .run();
+        let armed = Simulation::new(&eventful_spec(), Scheme::pom_tlb(), quick())
+            .with_system_config(tiny_sys(2))
+            .check_consistency(true)
+            .with_faults(zero)
+            .run();
+        assert_eq!(armed.faults, FaultStats::default());
+        assert_eq!(base.total_penalty, armed.total_penalty);
+        assert_eq!(base.page_walks, armed.page_walks);
+        assert_eq!(base.shootdowns, armed.shootdowns);
     }
 
     #[test]
