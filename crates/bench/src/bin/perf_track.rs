@@ -38,6 +38,14 @@
 //! store numbers land in a NEW top-level `"trace_store"` object — every
 //! pre-existing field of `BENCH_perf.json` keeps its name and meaning.
 //!
+//! A memoization pass exercises the serve subsystem's report store: one
+//! compare-shaped request is answered cold through a `Service` (computing
+//! and memoizing), then again through a *fresh* service over the same
+//! directory. The warm answer must come back tagged `memoized` and
+//! byte-identical or the harness fails; cold vs memoized latency and the
+//! store's hit ratio land in a NEW top-level `"report_store"` object —
+//! again, every pre-existing field keeps its name and meaning.
+//!
 //! The pooled pass runs through the fault-tolerant runner entry point and
 //! the artifact records a `"job_outcomes"` tally (ok / retried / timed-out
 //! / panicked, summed over every pooled lap). On a healthy build every
@@ -56,6 +64,7 @@ use pom_tlb::{
     default_jobs, run_jobs, run_jobs_with, share_traces, share_traces_with_store, JobResult,
     RunPolicy, Scheme, ShareOutcome, SimConfig, SimJob,
 };
+use pomtlb_serve::{ServeConfig, Service};
 use pomtlb_trace::TraceStore;
 use pomtlb_workloads::by_name;
 
@@ -305,6 +314,60 @@ fn main() -> ExitCode {
     }
     let replay_all_hits = replay.store_misses == 0 && replay.store_hits == replay.attached;
 
+    // Report-store memoization pass: one compare-shaped request, cold
+    // through a fresh service (computes + memoizes) and warm through a
+    // second fresh service over the same directory, so the memoized body
+    // crosses the invocation boundary via the POMREP1 file.
+    let report_dir =
+        std::env::temp_dir().join(format!("pomtlb-perf-reports-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&report_dir);
+    let serve_request = format!(
+        "{{\"id\":\"perf\",\"kind\":\"compare\",\"workload\":\"gups\",\
+         \"cores\":2,\"refs\":{refs},\"warmup\":{warmup}}}"
+    );
+    let serve = |tag: &str| -> Result<Service, String> {
+        Service::new(ServeConfig { report_dir: Some(report_dir.clone()), ..Default::default() })
+            .map_err(|e| format!("cannot open {tag} serve service: {e}"))
+    };
+    let serve_pass = |tag: &str| -> Result<(String, Duration, pomtlb_serve::ReportCounters), String> {
+        let mut svc = serve(tag)?;
+        let t = Instant::now();
+        let line = svc
+            .handle_line(&serve_request)
+            .ok_or_else(|| format!("{tag} serve pass produced no response"))?;
+        let wall = t.elapsed();
+        let counters = svc.report_store().map(|s| s.counters()).unwrap_or_default();
+        Ok((line, wall, counters))
+    };
+    let (cold_line, cold_wall, cold_counters) = match serve_pass("cold") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (warm_line, memoized_wall, warm_counters) = match serve_pass("warm") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = std::fs::remove_dir_all(&report_dir);
+    // `body` is the final field of a response line, so this is a raw slice.
+    let body_of =
+        |line: &str| line.find("\"body\":").map(|i| &line[i..]).unwrap_or_default().to_string();
+    let memoized_ok = warm_line.contains("\"provenance\":\"memoized\"")
+        && !body_of(&cold_line).is_empty()
+        && body_of(&cold_line) == body_of(&warm_line);
+    let report_hits = cold_counters.hits + warm_counters.hits;
+    let report_misses = cold_counters.misses + warm_counters.misses;
+    let report_hit_ratio = if report_hits + report_misses > 0 {
+        report_hits as f64 / (report_hits + report_misses) as f64
+    } else {
+        0.0
+    };
+
     let deterministic = same_reports(&serial, &parallel)
         && same_reports(&serial, &cached)
         && same_reports(&serial, &recorded_results)
@@ -412,6 +475,22 @@ fn main() -> ExitCode {
     );
     let _ = writeln!(j, "    \"replay_all_hits\": {replay_all_hits}");
     j.push_str("  },\n");
+    let cold_ms = cold_wall.as_secs_f64() * 1e3;
+    let memoized_ms = memoized_wall.as_secs_f64() * 1e3;
+    j.push_str("  \"report_store\": {\n");
+    let _ = writeln!(j, "    \"cold_wall_ms\": {},", jnum(cold_ms));
+    let _ = writeln!(j, "    \"memoized_wall_ms\": {},", jnum(memoized_ms));
+    let _ = writeln!(
+        j,
+        "    \"memoized_speedup\": {},",
+        jnum(if memoized_ms > 0.0 { cold_ms / memoized_ms } else { 0.0 })
+    );
+    let _ = writeln!(j, "    \"hits\": {report_hits},");
+    let _ = writeln!(j, "    \"misses\": {report_misses},");
+    let _ = writeln!(j, "    \"stores\": {},", cold_counters.stores + warm_counters.stores);
+    let _ = writeln!(j, "    \"hit_ratio\": {},", jnum(report_hit_ratio));
+    let _ = writeln!(j, "    \"memoized_ok\": {memoized_ok}");
+    j.push_str("  },\n");
     if let Some(base_ms) = baseline_serial_ms {
         j.push_str("  \"baseline\": {\n");
         let _ = writeln!(j, "    \"serial_wall_ms\": {},", jnum(base_ms));
@@ -443,7 +522,7 @@ fn main() -> ExitCode {
     eprintln!(
         "perf_track: serial {:.0} ms, trace-cache {:.0} ms, pooled {:.0} ms on {} workers \
          -> {:.2}x pool / {:.2}x cache; store replay {:.0} ms ({} hit(s), {} byte(s) mapped); \
-         wrote {}",
+         serve cold {cold_ms:.0} ms vs memoized {memoized_ms:.0} ms; wrote {}",
         serial_secs * 1e3,
         cache_secs * 1e3,
         parallel_secs * 1e3,
@@ -475,6 +554,13 @@ fn main() -> ExitCode {
             "perf_track: FAIL — store replay pass missed ({} hit(s), {} miss(es) of {} \
              stream(s)); a just-recorded store must serve every stream from disk",
             replay.store_hits, replay.store_misses, replay.attached
+        );
+        return ExitCode::FAILURE;
+    }
+    if !memoized_ok {
+        eprintln!(
+            "perf_track: FAIL — warm serve pass was not a byte-identical memoized answer \
+             ({report_hits} hit(s), {report_misses} miss(es))"
         );
         return ExitCode::FAILURE;
     }

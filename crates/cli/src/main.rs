@@ -11,6 +11,9 @@
 //! pomtlb fault-sweep --workload gups [--fault-seed N] [--assert-detection]
 //!                    [--json]
 //! pomtlb trace-store stats|verify|gc --dir DIR [--max-mb N]
+//! pomtlb report-store stats|verify|gc --dir DIR [--max-mb N]
+//! pomtlb serve [--socket PATH] [--trace-cache-dir DIR] [--report-dir DIR]
+//!              [--report-max-mb N] [--jobs N]
 //! ```
 //!
 //! Batched commands (`compare`, `shootdown-sweep`, `fault-sweep`) accept
@@ -27,6 +30,14 @@
 //! quantifies detection coverage, detection latency and wrong-translation
 //! escapes per scheme; `--assert-detection` turns the expected invariants
 //! into the exit code for CI.
+//!
+//! `serve` runs the long-lived sweep service (see `pomtlb_serve`): requests
+//! arrive as JSON lines on stdin (default) or a Unix socket, the trace
+//! store stays warm across requests, and finished response bodies are
+//! memoized in a content-addressed report store at `--report-dir` —
+//! repeated identical requests come back byte-identical from disk, tagged
+//! `"memoized"`. `report-store` inspects such a store with the same three
+//! actions as `trace-store`.
 
 use std::process::ExitCode;
 
@@ -34,6 +45,7 @@ use pom_tlb::{
     run_jobs, share_traces_with_store, FaultConfig, FaultStats, PomTlbConfig, Scheme,
     ShootdownStats, SimConfig, SimJob, SimReport, SystemConfig,
 };
+use pomtlb_serve::{ReportStore, ServeConfig, Service};
 use pomtlb_tlb::WalkMode;
 use pomtlb_trace::{OsEventRates, TraceStore};
 use pomtlb_workloads::{by_name, names, PaperWorkload};
@@ -50,6 +62,8 @@ fn main() -> ExitCode {
         Some("shootdown-sweep") => run_sweep(&args[1..]),
         Some("fault-sweep") => run_fault_sweep(&args[1..]),
         Some("trace-store") => run_trace_store(&args[1..]),
+        Some("report-store") => run_report_store(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             help();
             ExitCode::SUCCESS
@@ -650,6 +664,206 @@ fn run_trace_store(args: &[String]) -> ExitCode {
     }
 }
 
+/// `pomtlb report-store stats|verify|gc --dir DIR [--max-mb N]` — inspect,
+/// integrity-check, or trim a store of memoized serve response bodies
+/// (POMREP1 files), mirroring `trace-store`'s actions.
+fn run_report_store(args: &[String]) -> ExitCode {
+    let mut action: Option<String> = None;
+    let mut dir: Option<String> = None;
+    let mut max_mb: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "stats" | "verify" | "gc" if action.is_none() => action = Some(a.clone()),
+            "--dir" => match it.next() {
+                Some(v) => dir = Some(v.clone()),
+                None => {
+                    eprintln!("--dir needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-mb" => match it.next().map(|v| num(v)) {
+                Some(Ok(n)) => max_mb = Some(n),
+                _ => {
+                    eprintln!("--max-mb needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown report-store argument `{other}`");
+                eprintln!("usage: pomtlb report-store stats|verify|gc --dir DIR [--max-mb N]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(action) = action else {
+        eprintln!("report-store needs an action: stats | verify | gc");
+        return ExitCode::FAILURE;
+    };
+    let Some(dir) = dir else {
+        eprintln!("report-store needs --dir DIR");
+        return ExitCode::FAILURE;
+    };
+    let store = match ReportStore::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open report store {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let store = match max_mb {
+        Some(mb) => store.with_max_bytes(mb.saturating_mul(1 << 20)),
+        None => store,
+    };
+
+    match action.as_str() {
+        "stats" => {
+            let entries = store.entries();
+            println!(
+                "report store {}: {} memoized body(ies), {} bytes (cap {} bytes)",
+                store.root().display(),
+                entries.len(),
+                store.total_bytes(),
+                store.max_bytes(),
+            );
+            if !entries.is_empty() {
+                println!(
+                    "{:<16} {:<12} {:<14} {:>10} {:>11}",
+                    "digest", "kind", "workload", "bytes", "last_used"
+                );
+                for e in &entries {
+                    println!(
+                        "{:<16} {:<12} {:<14} {:>10} {:>11}",
+                        &e.digest[..e.digest.len().min(16)],
+                        e.kind,
+                        e.workload,
+                        e.bytes,
+                        e.last_used,
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "verify" => {
+            let entries = store.verify();
+            let mut bad = 0usize;
+            for e in &entries {
+                match &e.error {
+                    None => println!("OK    {} ({} bytes)", e.digest, e.bytes),
+                    Some(err) => {
+                        bad += 1;
+                        println!("FAIL  {} ({} bytes): {err}", e.digest, e.bytes);
+                    }
+                }
+            }
+            println!("{} body(ies), {} defective", entries.len(), bad);
+            if bad > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        "gc" => {
+            let report = store.gc();
+            for (digest, bytes) in &report.evicted {
+                println!("evicted {digest} ({bytes} bytes)");
+            }
+            println!(
+                "{} body(ies) evicted, {} bytes live (cap {} bytes)",
+                report.evicted.len(),
+                report.live_bytes,
+                store.max_bytes(),
+            );
+            ExitCode::SUCCESS
+        }
+        _ => unreachable!("actions are validated above"),
+    }
+}
+
+/// Parsed `serve` command line: the service configuration plus the chosen
+/// transport (`None` = stdin).
+struct ServeArgs {
+    socket: Option<String>,
+    cfg: ServeConfig,
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
+    let mut out = ServeArgs { socket: None, cfg: ServeConfig::default() };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--stdin" => out.socket = None,
+            "--socket" => out.socket = Some(value("--socket")?),
+            "--trace-cache-dir" => {
+                out.cfg.trace_dir = Some(value("--trace-cache-dir")?.into());
+            }
+            "--report-dir" => out.cfg.report_dir = Some(value("--report-dir")?.into()),
+            "--report-max-mb" => {
+                out.cfg.report_max_bytes =
+                    num(&value("--report-max-mb")?)?.saturating_mul(1 << 20);
+            }
+            "--jobs" | "-j" => {
+                let v = value("--jobs")?;
+                out.cfg.jobs = if v == "auto" { 0 } else { num(&v)? as usize };
+            }
+            other => return Err(format!("unknown serve flag `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+/// `pomtlb serve` — the long-lived sweep service: JSON-lines requests on
+/// stdin (default) or a Unix socket, one warm trace store and memoized
+/// report cache across all of them. Runs until EOF or a `shutdown`
+/// request.
+fn run_serve(args: &[String]) -> ExitCode {
+    let parsed = match parse_serve(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n");
+            help();
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut service = match Service::new(parsed.cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start service: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let served = match parsed.socket {
+        Some(path) => serve_on_socket(&mut service, &path),
+        None => pomtlb_serve::serve_stdin(&mut service),
+    };
+    if let Err(e) = served {
+        eprintln!("serve failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let c = service.counters();
+    eprintln!(
+        "pomtlb-serve: done ({} computed, {} memoized, {} error(s))",
+        c.computed, c.memoized, c.errors
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(unix)]
+fn serve_on_socket(service: &mut Service, path: &str) -> std::io::Result<()> {
+    pomtlb_serve::serve_unix(service, std::path::Path::new(path))
+}
+
+#[cfg(not(unix))]
+fn serve_on_socket(_service: &mut Service, _path: &str) -> std::io::Result<()> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "--socket needs Unix domain sockets; use --stdin on this platform",
+    ))
+}
+
 fn emit(w: &PaperWorkload, reports: &[SimReport], o: &Options) {
     if o.json {
         let value = serde_json::json!({
@@ -730,6 +944,20 @@ USAGE:
   pomtlb trace-store stats|verify|gc --dir DIR [--max-mb N]
                                                    inspect / integrity-check /
                                                    trim a recording store
+  pomtlb report-store stats|verify|gc --dir DIR [--max-mb N]
+                                                   same, for a store of
+                                                   memoized serve responses
+  pomtlb serve [--socket PATH] [--trace-cache-dir DIR] [--report-dir DIR]
+               [--report-max-mb N] [--jobs N]
+                                                   long-lived sweep service:
+                                                   JSON-lines requests on
+                                                   stdin (default) or a Unix
+                                                   socket; identical repeat
+                                                   requests are answered
+                                                   byte-identically from the
+                                                   memoized report store at
+                                                   --report-dir, tagged
+                                                   \"memoized\"
 
 FLAGS:
   --scheme S        baseline | pom-tlb | pom-uncached | shared-l2 | tsb
@@ -858,6 +1086,32 @@ mod tests {
         let r = simulate(&w, Scheme::pom_tlb(), &o);
         assert!(r.refs > 0);
         assert!(r.walks_eliminated() > 0.9);
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_flags() {
+        let p = parse_serve(&[]).unwrap();
+        assert!(p.socket.is_none(), "stdin is the default transport");
+        assert!(p.cfg.trace_dir.is_none() && p.cfg.report_dir.is_none());
+        assert_eq!(p.cfg.jobs, 0, "auto worker count");
+
+        let args: Vec<String> = [
+            "--socket", "/tmp/pomtlb.sock", "--trace-cache-dir", "/tmp/traces",
+            "--report-dir", "/tmp/reports", "--report-max-mb", "4", "--jobs", "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let p = parse_serve(&args).unwrap();
+        assert_eq!(p.socket.as_deref(), Some("/tmp/pomtlb.sock"));
+        assert_eq!(p.cfg.trace_dir.as_deref(), Some(std::path::Path::new("/tmp/traces")));
+        assert_eq!(p.cfg.report_dir.as_deref(), Some(std::path::Path::new("/tmp/reports")));
+        assert_eq!(p.cfg.report_max_bytes, 4 << 20);
+        assert_eq!(p.cfg.jobs, 2);
+
+        assert!(parse_serve(&["--bogus".into()]).is_err());
+        assert!(parse_serve(&["--socket".into()]).is_err());
+        assert_eq!(parse_serve(&["--jobs".into(), "auto".into()]).unwrap().cfg.jobs, 0);
     }
 
     #[test]

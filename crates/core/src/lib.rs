@@ -86,4 +86,4 @@ pub use shootdown::{
     ShootdownCost, ShootdownEngine, ShootdownParts, ShootdownStats, StaleChecker, StaleVerdict,
 };
 pub use skew::SkewPomTlb;
-pub use system::{Simulation, System};
+pub use system::{simulations_run, Simulation, System};

@@ -748,6 +748,22 @@ enum ResolvedAt {
 
 // ---------------------------------------------------------------------------
 
+/// Process-wide count of [`Simulation::run`] invocations.
+static SIMULATIONS_RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many simulations this process has run to date (every
+/// [`Simulation::run`] entry counts, warm or cold, completed or panicked).
+///
+/// The memoized serving path never constructs a `Simulation`, so a delta
+/// of zero across a request *proves* it was answered entirely from the
+/// report store — the `pomtlb-serve` integration tests assert exactly
+/// that, mirroring [`pomtlb_trace::interleaver_constructions`]'s role for
+/// generator passes. Monotonic and process-global; meaningful as a
+/// before/after delta, not an absolute.
+pub fn simulations_run() -> u64 {
+    SIMULATIONS_RUN.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// A complete trace-driven run: builds the per-core generators, the
 /// interleaver, the tables and the [`System`]; maps pages on demand; warms
 /// up; measures.
@@ -836,6 +852,7 @@ impl Simulation {
 
     /// Runs the simulation to completion.
     pub fn run(self) -> SimReport {
+        SIMULATIONS_RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let n = self.sys_cfg.n_cores;
         let walk_mode = self.sys_cfg.walk_mode;
         let workload_name = self.spec.name.clone();

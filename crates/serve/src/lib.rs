@@ -1,0 +1,50 @@
+//! # pomtlb-serve: the long-lived sweep service
+//!
+//! Every CLI invocation before this crate paid the same warm-up taxes:
+//! generate (or load) the input streams, build the simulators, run the
+//! batch — then throw all of it away. The serve crate keeps that state
+//! alive. A [`Service`] is a daemon-shaped object that accepts sweep,
+//! compare and fault-sweep requests as JSON lines (over stdin or a Unix
+//! socket), keeps one warm [`pomtlb_trace::TraceStore`] handle and one
+//! worker-pool policy across requests, and answers *repeated* requests
+//! from a second content-addressed store: the [`ReportStore`], which
+//! memoizes finished response bodies keyed by [`request_digest`] — the
+//! shared 4-lane splitmix digest over the trace key plus every
+//! configuration dimension that can change the result.
+//!
+//! The memoization contract, end to end:
+//!
+//! * **Key** — [`request_digest`] of the resolved request
+//!   ([`ServeRequest::resolve`]); request ids are not part of it.
+//! * **Value** — the canonical JSON response body, stored byte-exact in
+//!   the checksummed POMREP1 format and spliced back verbatim, so a
+//!   memoized response is *byte-identical* to the computed one.
+//! * **Provenance** — every response line says `"computed"` or
+//!   `"memoized"`, and `stats` exposes the hit/miss counters.
+//! * **Invalidation** — fault-injected runs are never memoized; any
+//!   defective on-disk entry warns, misses, and is recomputed
+//!   (strict warn-and-recompute, never a wrong answer).
+//!
+//! See `DESIGN.md` §10 for the architecture discussion and the CLI's
+//! `pomtlb serve` / `pomtlb report-store` commands for the operator
+//! surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report_store;
+mod request;
+mod service;
+
+pub use report_store::{
+    ReportCounters, ReportEntry, ReportGcReport, ReportStore, ReportVerifyEntry,
+    DEFAULT_REPORT_MAX_BYTES, REPORT_FORMAT_VERSION,
+};
+pub use request::{
+    request_bytes, request_digest, RequestKind, ResolvedRequest, RowMeta, ServeRequest,
+    REQUEST_DIGEST_VERSION,
+};
+pub use service::{serve_io, serve_stdin, ServeConfig, Service, ServiceCounters};
+
+#[cfg(unix)]
+pub use service::serve_unix;

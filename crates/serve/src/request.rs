@@ -1,0 +1,556 @@
+//! The serve protocol: JSON-lines requests and their canonical digest.
+//!
+//! One request is one JSON object on one line. The wire shape is a flat
+//! struct with CLI-flag names, every knob optional (`0` / `false` / `""`
+//! means "default", matching the CLI's defaults), so
+//!
+//! ```json
+//! {"id":"c1","kind":"compare","workload":"gups","cores":2,"refs":5000}
+//! ```
+//!
+//! is a complete request. `kind` selects the batch shape:
+//!
+//! * `sim` — one scheme (`scheme` knob, default `pom-tlb`),
+//! * `compare` — the four-scheme comparison batch,
+//! * `fault-sweep` — every scheme × consistency {on, off} with seeded
+//!   fault injection (never memoized — see [`ResolvedRequest::memoize`]),
+//! * `stats` — service and store counters,
+//! * `shutdown` — stop the daemon after responding.
+//!
+//! # The memoization key
+//!
+//! [`request_digest`] is the content address a memoized response body is
+//! stored under: the shared 4-lane splitmix [`digest256`] over a
+//! versioned, canonical byte encoding of everything that influences the
+//! body. The encoding embeds the [`TraceKey`] digest (which already
+//! covers the workload spec, OS-event rates, seed, core count, sharing
+//! mode and total reference budget) and appends the *configuration*
+//! dimensions the trace key cannot see: the warmup/measure split, the
+//! scheme set, POM-TLB capacity, walk mode, prepopulation, the
+//! consistency override, and the fault plan. Request `id`s are expressly
+//! *not* part of the digest — identity is semantic, not nominal.
+
+use pom_tlb::{FaultConfig, PomTlbConfig, Scheme, SimConfig, SimJob, SystemConfig};
+use pomtlb_tlb::WalkMode;
+use pomtlb_trace::digest::digest256;
+use pomtlb_trace::{OsEventRates, TraceKey};
+use pomtlb_workloads::{by_name, names, PaperWorkload};
+use serde::{Deserialize, Serialize};
+
+/// Version of the canonical [`request_digest`] encoding, baked into the
+/// digest input so stale digests can never alias new ones.
+pub const REQUEST_DIGEST_VERSION: u32 = 1;
+
+/// One wire-format request line. Missing fields deserialize to their
+/// zero value, which [`ServeRequest::resolve`] maps to the CLI defaults
+/// (8 cores, 40 000 refs, 15 000 warmup, seed `0x90af`, 16 MB POM-TLB,
+/// fault seed `0x5eed`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// Caller-chosen correlation id, echoed on the response line.
+    #[serde(default)]
+    pub id: String,
+    /// `sim` | `compare` | `fault-sweep` | `stats` | `shutdown`.
+    pub kind: String,
+    /// Workload name (see `pomtlb list`); required for run kinds.
+    #[serde(default)]
+    pub workload: String,
+    /// Scheme for `sim` (`baseline` | `pom-tlb` | `pom-uncached` |
+    /// `shared-l2` | `tsb`); ignored by the batch kinds.
+    #[serde(default)]
+    pub scheme: String,
+    /// Simulated cores (0 = default 8).
+    #[serde(default)]
+    pub cores: u64,
+    /// Post-warmup references per core (0 = default 40 000).
+    #[serde(default)]
+    pub refs: u64,
+    /// Warmup references per core (0 = default 15 000).
+    #[serde(default)]
+    pub warmup: u64,
+    /// Base RNG seed (0 = default 0x90af).
+    #[serde(default)]
+    pub seed: u64,
+    /// POM-TLB capacity in MB (0 = default 16).
+    #[serde(default)]
+    pub capacity_mb: u64,
+    /// Bare-metal 1-D walks instead of virtualized 2-D.
+    #[serde(default)]
+    pub native: bool,
+    /// Cold-start the in-DRAM structures.
+    #[serde(default)]
+    pub no_prepopulate: bool,
+    /// Force the stale-translation watchdog on.
+    #[serde(default)]
+    pub check_consistency: bool,
+    /// Page-unmap events per 10k refs per core.
+    #[serde(default)]
+    pub unmaps_per_10k: f64,
+    /// Page-remap events per 10k refs per core.
+    #[serde(default)]
+    pub remaps_per_10k: f64,
+    /// THP-promotion events per 10k refs per core.
+    #[serde(default)]
+    pub promotes_per_10k: f64,
+    /// Process-migration events per 10k refs per core.
+    #[serde(default)]
+    pub migrations_per_10k: f64,
+    /// VM-teardown events per 10k refs per core.
+    #[serde(default)]
+    pub vm_destroys_per_10k: f64,
+    /// Fault-plan seed for `fault-sweep` (0 = default 0x5eed).
+    #[serde(default)]
+    pub fault_seed: u64,
+    /// Opt this request out of memoization (always compute, never store).
+    #[serde(default)]
+    pub no_memoize: bool,
+}
+
+/// What batch a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// One scheme, one report.
+    Sim,
+    /// The four-scheme comparison batch.
+    Compare,
+    /// Every scheme × consistency {on, off}, fault-armed.
+    FaultSweep,
+    /// Service/store counters; no simulation.
+    Stats,
+    /// Stop the daemon after responding.
+    Shutdown,
+}
+
+impl RequestKind {
+    fn parse(s: &str) -> Result<RequestKind, String> {
+        match s {
+            "sim" => Ok(RequestKind::Sim),
+            "compare" => Ok(RequestKind::Compare),
+            "fault-sweep" => Ok(RequestKind::FaultSweep),
+            "stats" => Ok(RequestKind::Stats),
+            "shutdown" => Ok(RequestKind::Shutdown),
+            other => Err(format!(
+                "unknown kind `{other}` (sim | compare | fault-sweep | stats | shutdown)"
+            )),
+        }
+    }
+
+    /// Wire name, also the digest tag and manifest label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RequestKind::Sim => "sim",
+            RequestKind::Compare => "compare",
+            RequestKind::FaultSweep => "fault-sweep",
+            RequestKind::Stats => "stats",
+            RequestKind::Shutdown => "shutdown",
+        }
+    }
+}
+
+fn parse_scheme(s: &str) -> Result<Scheme, String> {
+    match s {
+        "" | "pom-tlb" | "pom" => Ok(Scheme::pom_tlb()),
+        "baseline" => Ok(Scheme::Baseline),
+        "pom-uncached" => Ok(Scheme::pom_tlb_uncached()),
+        "shared-l2" => Ok(Scheme::SharedL2),
+        "tsb" => Ok(Scheme::Tsb),
+        other => Err(format!(
+            "unknown scheme `{other}` (baseline | pom-tlb | pom-uncached | shared-l2 | tsb)"
+        )),
+    }
+}
+
+/// The OS event mix `fault-sweep` uses when no event knobs were given:
+/// remap-heavy enough that the shootdown-borne fault kinds have real OS
+/// events to ride on (same mix as the CLI's `fault-sweep`).
+fn fault_sweep_default_events() -> OsEventRates {
+    OsEventRates { unmaps: 12.0, remaps: 6.0, promotes: 0.5, migrations: 1.0, vm_destroys: 0.0 }
+}
+
+/// One row's identity within a batch body: the scheme plus, for
+/// fault-sweep rows, whether the consistency machinery was on.
+#[derive(Debug, Clone, Copy)]
+pub struct RowMeta {
+    /// The row's scheme.
+    pub scheme: Scheme,
+    /// `Some(on)` for fault-sweep rows; `None` elsewhere.
+    pub consistency: Option<bool>,
+}
+
+/// A fully-resolved run request: defaults applied, workload looked up,
+/// scheme set expanded. Everything [`request_digest`] hashes and
+/// [`ResolvedRequest::jobs`] executes.
+#[derive(Debug, Clone)]
+pub struct ResolvedRequest {
+    /// The batch shape (always a run kind here, never stats/shutdown).
+    pub kind: RequestKind,
+    /// The workload to synthesize.
+    pub workload: PaperWorkload,
+    /// The scheme set, in batch order.
+    pub schemes: Vec<Scheme>,
+    /// Run lengths and RNG seed.
+    pub sim: SimConfig,
+    /// Simulated cores.
+    pub cores: usize,
+    /// POM-TLB capacity in MB.
+    pub capacity_mb: u64,
+    /// Bare-metal vs virtualized walks.
+    pub native: bool,
+    /// Steady-state pre-population.
+    pub prepopulate: bool,
+    /// Stale-watchdog override (`None` keeps the build default).
+    pub check_consistency: Option<bool>,
+    /// OS-event rates (fault-sweep substitutes its eventful default mix
+    /// when none were given, exactly like the CLI).
+    pub events: OsEventRates,
+    /// Fault-plan seed (fault-sweep only).
+    pub fault_seed: u64,
+    /// Whether this request may be answered from / stored into the
+    /// report store. Fault-injected runs are **never** memoized: their
+    /// value is exercising the machinery live, and the fault plan's
+    /// interaction with retries makes "the" report a property of the run,
+    /// not of the request. `no_memoize` opts any request out.
+    pub memoize: bool,
+}
+
+impl ServeRequest {
+    /// Applies defaults and validates; `Err` is the operator-facing
+    /// message for the error response.
+    pub fn resolve(&self) -> Result<ResolvedRequest, String> {
+        let kind = RequestKind::parse(&self.kind)?;
+        if matches!(kind, RequestKind::Stats | RequestKind::Shutdown) {
+            return Err(format!("kind `{}` carries no run parameters", self.kind));
+        }
+        if self.workload.is_empty() {
+            return Err("`workload` is required for run requests".to_string());
+        }
+        let Some(workload) = by_name(&self.workload) else {
+            return Err(format!(
+                "unknown workload `{}`; known: {}",
+                self.workload,
+                names().join(" ")
+            ));
+        };
+        let schemes = match kind {
+            RequestKind::Sim => vec![parse_scheme(&self.scheme)?],
+            _ => vec![Scheme::Baseline, Scheme::pom_tlb(), Scheme::SharedL2, Scheme::Tsb],
+        };
+        let mut events = OsEventRates {
+            unmaps: self.unmaps_per_10k,
+            remaps: self.remaps_per_10k,
+            promotes: self.promotes_per_10k,
+            migrations: self.migrations_per_10k,
+            vm_destroys: self.vm_destroys_per_10k,
+        };
+        events.validate()?;
+        if kind == RequestKind::FaultSweep && events == OsEventRates::default() {
+            events = fault_sweep_default_events();
+        }
+        let nz = |v: u64, d: u64| if v == 0 { d } else { v };
+        Ok(ResolvedRequest {
+            kind,
+            workload,
+            schemes,
+            sim: SimConfig {
+                refs_per_core: nz(self.refs, 40_000),
+                warmup_per_core: nz(self.warmup, 15_000),
+                seed: nz(self.seed, 0x90af),
+            },
+            cores: nz(self.cores, 8) as usize,
+            capacity_mb: nz(self.capacity_mb, 16),
+            native: self.native,
+            prepopulate: !self.no_prepopulate,
+            check_consistency: if self.check_consistency { Some(true) } else { None },
+            events,
+            fault_seed: nz(self.fault_seed, 0x5eed),
+            memoize: kind != RequestKind::FaultSweep && !self.no_memoize,
+        })
+    }
+}
+
+impl ResolvedRequest {
+    fn sys_config(&self) -> SystemConfig {
+        SystemConfig {
+            n_cores: self.cores,
+            walk_mode: if self.native { WalkMode::Native } else { WalkMode::Virtualized },
+            pom: PomTlbConfig { capacity_bytes: self.capacity_mb << 20, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    /// The workload spec with this request's event rates applied — the
+    /// spec every job (and the trace key) is built from.
+    pub fn spec(&self) -> pomtlb_trace::WorkloadSpec {
+        let mut spec = self.workload.spec.clone();
+        spec.os_events = self.events;
+        spec
+    }
+
+    /// The key of the one input stream every job in this batch replays
+    /// (the scheme never changes the stream, and fault plans perturb
+    /// served translations, never the input).
+    pub fn trace_key(&self) -> TraceKey {
+        TraceKey {
+            spec: self.spec(),
+            seed: self.sim.seed,
+            n_cores: self.cores,
+            shared_memory: self.workload.suite.shares_memory(),
+            total_refs: (self.sim.warmup_per_core + self.sim.refs_per_core) * self.cores as u64,
+        }
+    }
+
+    /// The batch, in canonical row order, with per-row identity metadata.
+    pub fn jobs(&self) -> (Vec<SimJob>, Vec<RowMeta>) {
+        let spec = self.spec();
+        let sys = self.sys_config();
+        let shared = self.workload.suite.shares_memory();
+        let mut jobs = Vec::new();
+        let mut rows = Vec::new();
+        let mut push = |scheme: Scheme, consistency: Option<bool>, faults: Option<FaultConfig>| {
+            let tag = match consistency {
+                Some(true) => "/detect-on",
+                Some(false) => "/detect-off",
+                None => "",
+            };
+            let mut job = SimJob::new(
+                format!("{}/{}{tag}", self.workload.name, scheme.label()),
+                &spec,
+                scheme,
+                self.sim,
+            )
+            .with_system_config(sys.clone())
+            .shared_memory(shared);
+            job.prepopulate = self.prepopulate;
+            job.check_consistency = consistency.or(self.check_consistency);
+            if let Some(f) = faults {
+                job = job.with_faults(f);
+            }
+            jobs.push(job);
+            rows.push(RowMeta { scheme, consistency });
+        };
+        match self.kind {
+            RequestKind::FaultSweep => {
+                let faults = FaultConfig { seed: self.fault_seed, ..FaultConfig::default() };
+                for consistency in [true, false] {
+                    for &scheme in &self.schemes {
+                        push(scheme, Some(consistency), Some(faults));
+                    }
+                }
+            }
+            _ => {
+                for &scheme in &self.schemes {
+                    push(scheme, None, None);
+                }
+            }
+        }
+        (jobs, rows)
+    }
+}
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_scheme(out: &mut Vec<u8>, s: &Scheme) {
+    match s {
+        Scheme::Baseline => put_u8(out, 0),
+        Scheme::SharedL2 => put_u8(out, 1),
+        Scheme::Tsb => put_u8(out, 2),
+        Scheme::PomTlb { cache_entries, bypass_predictor } => {
+            put_u8(out, 3);
+            put_u8(out, u8::from(*cache_entries) | (u8::from(*bypass_predictor) << 1));
+        }
+    }
+}
+
+/// The canonical byte encoding of a resolved request, version
+/// [`REQUEST_DIGEST_VERSION`]. The [`TraceKey`] digest covers the input
+/// stream in full; the remaining fields are the configuration dimensions
+/// two requests with the same stream can still differ in.
+pub fn request_bytes(r: &ResolvedRequest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(96);
+    put_u32(&mut out, REQUEST_DIGEST_VERSION);
+    put_u8(
+        &mut out,
+        match r.kind {
+            RequestKind::Sim => 0,
+            RequestKind::Compare => 1,
+            RequestKind::FaultSweep => 2,
+            RequestKind::Stats | RequestKind::Shutdown => 255,
+        },
+    );
+    out.extend_from_slice(&r.trace_key().digest());
+    put_u8(&mut out, r.schemes.len() as u8);
+    for s in &r.schemes {
+        put_scheme(&mut out, s);
+    }
+    // The trace key only sees warmup + refs as one budget; the split
+    // changes what is measured, so both halves go in explicitly.
+    put_u64(&mut out, r.sim.refs_per_core);
+    put_u64(&mut out, r.sim.warmup_per_core);
+    put_u64(&mut out, r.capacity_mb);
+    put_u8(&mut out, u8::from(r.native));
+    put_u8(&mut out, u8::from(r.prepopulate));
+    put_u8(
+        &mut out,
+        match r.check_consistency {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        },
+    );
+    put_u8(&mut out, u8::from(r.kind == RequestKind::FaultSweep));
+    put_u64(&mut out, if r.kind == RequestKind::FaultSweep { r.fault_seed } else { 0 });
+    out
+}
+
+/// [`digest256`] of [`request_bytes`] — the report store's content
+/// address for this request's memoized body.
+pub fn request_digest(r: &ResolvedRequest) -> [u8; 32] {
+    digest256(&request_bytes(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(kind: &str) -> ServeRequest {
+        ServeRequest {
+            id: "t".into(),
+            kind: kind.into(),
+            workload: "gups".into(),
+            scheme: String::new(),
+            cores: 2,
+            refs: 4000,
+            warmup: 1000,
+            seed: 7,
+            capacity_mb: 0,
+            native: false,
+            no_prepopulate: false,
+            check_consistency: false,
+            unmaps_per_10k: 0.0,
+            remaps_per_10k: 0.0,
+            promotes_per_10k: 0.0,
+            migrations_per_10k: 0.0,
+            vm_destroys_per_10k: 0.0,
+            fault_seed: 0,
+            no_memoize: false,
+        }
+    }
+
+    #[test]
+    fn resolve_applies_cli_defaults() {
+        let r = ServeRequest { cores: 0, refs: 0, warmup: 0, seed: 0, ..req("compare") }
+            .resolve()
+            .expect("resolve");
+        assert_eq!(r.cores, 8);
+        assert_eq!(r.sim.refs_per_core, 40_000);
+        assert_eq!(r.sim.warmup_per_core, 15_000);
+        assert_eq!(r.sim.seed, 0x90af);
+        assert_eq!(r.capacity_mb, 16);
+        assert_eq!(r.schemes.len(), 4);
+        assert!(r.prepopulate && r.memoize);
+    }
+
+    #[test]
+    fn resolve_rejects_bad_input() {
+        assert!(ServeRequest { workload: String::new(), ..req("sim") }.resolve().is_err());
+        assert!(ServeRequest { workload: "nope".into(), ..req("sim") }.resolve().is_err());
+        assert!(ServeRequest { scheme: "nope".into(), ..req("sim") }.resolve().is_err());
+        assert!(req("bogus").resolve().is_err());
+        assert!(req("stats").resolve().is_err(), "stats carries no run parameters");
+        assert!(
+            ServeRequest { unmaps_per_10k: -1.0, ..req("sim") }.resolve().is_err(),
+            "negative event rates are rejected"
+        );
+    }
+
+    #[test]
+    fn fault_sweep_is_never_memoized_and_eventful() {
+        let r = req("fault-sweep").resolve().expect("resolve");
+        assert!(!r.memoize);
+        assert!(r.events.remaps > 0.0, "eventful default mix applied");
+        assert_eq!(r.fault_seed, 0x5eed);
+        let (jobs, rows) = r.jobs();
+        assert_eq!(jobs.len(), 8, "four schemes x consistency on/off");
+        assert!(jobs.iter().all(|j| j.faults.is_some()));
+        assert_eq!(rows.iter().filter(|m| m.consistency == Some(true)).count(), 4);
+    }
+
+    #[test]
+    fn no_memoize_opts_out() {
+        let r = ServeRequest { no_memoize: true, ..req("compare") }.resolve().expect("resolve");
+        assert!(!r.memoize);
+    }
+
+    #[test]
+    fn digest_is_stable_across_computations() {
+        let r = req("compare").resolve().expect("resolve");
+        let (a, b) = (request_digest(&r), request_digest(&r));
+        assert_eq!(a, b);
+        assert_eq!(pomtlb_trace::digest::digest_hex(&a).len(), 64);
+        // And stable across independent resolutions of the same wire line.
+        let r2 = req("compare").resolve().expect("resolve");
+        assert_eq!(request_digest(&r2), a);
+    }
+
+    #[test]
+    fn digest_distinguishes_every_request_field() {
+        let base = req("compare");
+        let d0 = request_digest(&base.resolve().expect("resolve"));
+        let variants: Vec<ServeRequest> = vec![
+            ServeRequest { workload: "mcf".into(), ..base.clone() },
+            ServeRequest { cores: 4, ..base.clone() },
+            ServeRequest { refs: 4001, ..base.clone() },
+            ServeRequest { warmup: 1001, ..base.clone() },
+            // Same total budget, different warmup/measure split.
+            ServeRequest { refs: 4500, warmup: 500, ..base.clone() },
+            ServeRequest { seed: 8, ..base.clone() },
+            ServeRequest { capacity_mb: 8, ..base.clone() },
+            ServeRequest { native: true, ..base.clone() },
+            ServeRequest { no_prepopulate: true, ..base.clone() },
+            ServeRequest { check_consistency: true, ..base.clone() },
+            ServeRequest { unmaps_per_10k: 5.0, ..base.clone() },
+            ServeRequest { kind: "sim".into(), ..base.clone() },
+            ServeRequest { kind: "sim".into(), scheme: "baseline".into(), ..base.clone() },
+            ServeRequest { kind: "sim".into(), scheme: "pom-uncached".into(), ..base.clone() },
+            ServeRequest { kind: "fault-sweep".into(), ..base.clone() },
+            ServeRequest { kind: "fault-sweep".into(), fault_seed: 9, ..base.clone() },
+        ];
+        let mut digests = vec![d0];
+        for v in &variants {
+            let d = request_digest(&v.resolve().expect("variant resolves"));
+            assert!(!digests.contains(&d), "collision for variant {v:?}");
+            digests.push(d);
+        }
+    }
+
+    #[test]
+    fn request_id_is_not_part_of_the_digest() {
+        let a = ServeRequest { id: "a".into(), ..req("compare") }.resolve().expect("resolve");
+        let b = ServeRequest { id: "b".into(), ..req("compare") }.resolve().expect("resolve");
+        assert_eq!(request_digest(&a), request_digest(&b));
+        // no_memoize changes caching policy, not identity.
+        let c = ServeRequest { no_memoize: true, ..req("compare") }.resolve().expect("resolve");
+        assert_eq!(request_digest(&c), request_digest(&a));
+    }
+
+    #[test]
+    fn wire_line_round_trips() {
+        let line = r#"{"id":"c1","kind":"compare","workload":"gups","cores":2,"refs":5000}"#;
+        let r: ServeRequest = serde_json::from_str(line).expect("parse");
+        assert_eq!(r.id, "c1");
+        assert_eq!(r.cores, 2);
+        assert_eq!(r.warmup, 0, "missing fields default to zero");
+        let resolved = r.resolve().expect("resolve");
+        assert_eq!(resolved.sim.warmup_per_core, 15_000, "zero means default");
+    }
+}

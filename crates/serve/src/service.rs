@@ -1,0 +1,544 @@
+//! The long-lived sweep service: warm state, request dispatch, transports.
+//!
+//! A [`Service`] owns the state that used to die with every CLI
+//! invocation: one warm [`TraceStore`] handle (input streams), one
+//! [`ReportStore`] handle (memoized response bodies), and one run policy
+//! for the worker pool. [`Service::handle_line`] maps one request line to
+//! one response line; [`serve_stdin`] and [`serve_unix`] are thin
+//! transports around that mapping, so every behaviour is testable without
+//! sockets or processes.
+//!
+//! # Response lines
+//!
+//! One JSON object per request, in request order:
+//!
+//! ```text
+//! {"id":"c1","ok":true,"provenance":"computed","wall_ms":412,"body":{...}}
+//! {"id":"c2","ok":true,"provenance":"memoized","wall_ms":1,"body":{...}}
+//! {"id":"c3","ok":false,"error":"unknown workload `nope`; known: ..."}
+//! ```
+//!
+//! `provenance` says where the body came from: `"computed"` (simulated
+//! this request, possibly stored) or `"memoized"` (served from the report
+//! store). A memoized `body` is spliced into the response line *verbatim*
+//! from the stored payload — not re-serialized — so it is byte-identical
+//! to the computed body it memoizes, by construction.
+//!
+//! # What is never memoized
+//!
+//! Error responses (they describe the request, not a result) and
+//! `fault-sweep` bodies (the fault plan's interaction with retries makes
+//! the run itself the product — see [`crate::ServeRequest`]'s `no_memoize`
+//! and [`ResolvedRequest::memoize`](crate::ResolvedRequest)).
+
+use std::io::{self, BufRead, Write};
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pom_tlb::{
+    default_jobs, run_jobs_with, share_traces_with_store, JobOutcome, RunPolicy, SimReport,
+};
+use pomtlb_trace::digest::digest_hex;
+use pomtlb_trace::TraceStore;
+use serde::Serialize;
+
+use crate::report_store::{ReportStore, DEFAULT_REPORT_MAX_BYTES};
+use crate::request::{request_digest, ServeRequest};
+
+/// How to stand up a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Trace-store directory for warm input streams (`None` = generate
+    /// live, share within each batch only).
+    pub trace_dir: Option<PathBuf>,
+    /// Report-store directory for memoized bodies (`None` = memoization
+    /// off; every request computes).
+    pub report_dir: Option<PathBuf>,
+    /// Report-store garbage-collection cap in bytes.
+    pub report_max_bytes: u64,
+    /// Worker threads per batch (0 = one per available core).
+    pub jobs: usize,
+    /// Retry/timeout policy for simulation jobs.
+    pub policy: RunPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            trace_dir: None,
+            report_dir: None,
+            report_max_bytes: DEFAULT_REPORT_MAX_BYTES,
+            jobs: 0,
+            policy: RunPolicy::default(),
+        }
+    }
+}
+
+/// Per-service request counters, by response provenance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ServiceCounters {
+    /// Requests answered by running simulations.
+    pub computed: u64,
+    /// Requests answered from the report store.
+    pub memoized: u64,
+    /// Requests answered with an error line.
+    pub errors: u64,
+}
+
+#[derive(Serialize)]
+struct RowBody {
+    scheme: String,
+    consistency: Option<bool>,
+    report: SimReport,
+}
+
+#[derive(Serialize)]
+struct RunBody {
+    kind: String,
+    workload: String,
+    digest: String,
+    rows: Vec<RowBody>,
+}
+
+#[derive(Serialize)]
+struct ReportStoreStats {
+    enabled: bool,
+    root: String,
+    entries: u64,
+    total_bytes: u64,
+    hits: u64,
+    misses: u64,
+    stores: u64,
+    bytes_read: u64,
+    load_failures: u64,
+}
+
+#[derive(Serialize)]
+struct TraceStoreStats {
+    enabled: bool,
+    root: String,
+    hits: u64,
+    misses: u64,
+    bytes_mapped: u64,
+    load_failures: u64,
+}
+
+#[derive(Serialize)]
+struct StatsBody {
+    kind: String,
+    requests: ServiceCounters,
+    report_store: ReportStoreStats,
+    trace_store: TraceStoreStats,
+}
+
+fn json_str(s: &str) -> String {
+    serde_json::to_string(&s).unwrap_or_else(|_| "\"\"".to_string())
+}
+
+/// One response line with a body (`body_json` is spliced in verbatim —
+/// this is what makes memoized bodies byte-identical to computed ones).
+fn ok_line(id: &str, provenance: &str, wall_ms: u128, body_json: &str) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":true,\"provenance\":\"{provenance}\",\"wall_ms\":{wall_ms},\"body\":{body_json}}}",
+        json_str(id)
+    )
+}
+
+fn err_line(id: &str, message: &str) -> String {
+    format!("{{\"id\":{},\"ok\":false,\"error\":{}}}", json_str(id), json_str(message))
+}
+
+/// The daemon's warm state: stores, policy, counters. One instance serves
+/// many requests; construction is the only expensive step.
+#[derive(Debug)]
+pub struct Service {
+    trace_store: Option<TraceStore>,
+    report_store: Option<ReportStore>,
+    jobs: usize,
+    policy: RunPolicy,
+    counters: ServiceCounters,
+    shutdown: bool,
+}
+
+impl Service {
+    /// Opens the configured stores and builds a ready service.
+    pub fn new(cfg: ServeConfig) -> io::Result<Service> {
+        let trace_store = cfg.trace_dir.map(TraceStore::open).transpose()?;
+        let report_store = cfg
+            .report_dir
+            .map(ReportStore::open)
+            .transpose()?
+            .map(|s| s.with_max_bytes(cfg.report_max_bytes));
+        Ok(Service {
+            trace_store,
+            report_store,
+            jobs: cfg.jobs,
+            policy: cfg.policy,
+            counters: ServiceCounters::default(),
+            shutdown: false,
+        })
+    }
+
+    /// Whether a `shutdown` request has been served.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Requests served so far, by provenance.
+    pub fn counters(&self) -> ServiceCounters {
+        self.counters
+    }
+
+    /// The warm report store, when memoization is enabled.
+    pub fn report_store(&self) -> Option<&ReportStore> {
+        self.report_store.as_ref()
+    }
+
+    /// The warm trace store, when persistent traces are enabled.
+    pub fn trace_store(&self) -> Option<&TraceStore> {
+        self.trace_store.as_ref()
+    }
+
+    /// Serves one request line. Blank lines yield `None`; everything else
+    /// yields exactly one response line (without trailing newline).
+    pub fn handle_line(&mut self, line: &str) -> Option<String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        let req: ServeRequest = match serde_json::from_str(line) {
+            Ok(req) => req,
+            Err(e) => {
+                self.counters.errors += 1;
+                return Some(err_line("", &format!("unparseable request: {e}")));
+            }
+        };
+        Some(self.handle_request(&req))
+    }
+
+    fn handle_request(&mut self, req: &ServeRequest) -> String {
+        match req.kind.as_str() {
+            "stats" => {
+                let body = serde_json::to_string(&self.stats_body())
+                    .unwrap_or_else(|_| "{}".to_string());
+                return ok_line(&req.id, "computed", 0, &body);
+            }
+            "shutdown" => {
+                self.shutdown = true;
+                return ok_line(&req.id, "computed", 0, "{\"kind\":\"shutdown\"}");
+            }
+            _ => {}
+        }
+        let started = Instant::now();
+        let resolved = match req.resolve() {
+            Ok(r) => r,
+            Err(e) => {
+                self.counters.errors += 1;
+                return err_line(&req.id, &e);
+            }
+        };
+        let digest = request_digest(&resolved);
+        if resolved.memoize {
+            if let Some(store) = &self.report_store {
+                if let Some(payload) = store.load(&digest) {
+                    // Stored payloads are the canonical UTF-8 body; a
+                    // defective one already missed inside `load`.
+                    if let Ok(body) = String::from_utf8(payload) {
+                        self.counters.memoized += 1;
+                        return ok_line(
+                            &req.id,
+                            "memoized",
+                            started.elapsed().as_millis(),
+                            &body,
+                        );
+                    }
+                }
+            }
+        }
+
+        let (mut jobs, rows) = resolved.jobs();
+        share_traces_with_store(&mut jobs, self.trace_store.as_ref());
+        let workers = if self.jobs == 0 { default_jobs() } else { self.jobs };
+        let outcomes = run_jobs_with(jobs, workers, self.policy, &|_, _| {});
+        let mut row_bodies = Vec::with_capacity(outcomes.len());
+        for (outcome, meta) in outcomes.into_iter().zip(rows) {
+            if let JobOutcome::Panicked { label, message, .. } = &outcome {
+                self.counters.errors += 1;
+                return err_line(
+                    &req.id,
+                    &format!("job `{label}` failed after retries: {message}"),
+                );
+            }
+            let Some(result) = outcome.into_result() else { continue };
+            row_bodies.push(RowBody {
+                scheme: meta.scheme.label().to_string(),
+                consistency: meta.consistency,
+                report: result.report,
+            });
+        }
+        let body = RunBody {
+            kind: resolved.kind.name().to_string(),
+            workload: resolved.workload.name.to_string(),
+            digest: digest_hex(&digest),
+            rows: row_bodies,
+        };
+        let Ok(body_json) = serde_json::to_string(&body) else {
+            self.counters.errors += 1;
+            return err_line(&req.id, "internal error: body serialization failed");
+        };
+        if resolved.memoize {
+            if let Some(store) = &self.report_store {
+                if let Err(e) = store.save(
+                    &digest,
+                    body_json.as_bytes(),
+                    resolved.kind.name(),
+                    resolved.workload.name,
+                ) {
+                    // Memoization is an accelerator: a failed save costs
+                    // the next identical request a recompute, nothing else.
+                    eprintln!("report-store: save failed ({e}); continuing unmemoized");
+                }
+            }
+        }
+        self.counters.computed += 1;
+        ok_line(&req.id, "computed", started.elapsed().as_millis(), &body_json)
+    }
+
+    fn stats_body(&self) -> StatsBody {
+        let report_store = match &self.report_store {
+            Some(s) => {
+                let c = s.counters();
+                ReportStoreStats {
+                    enabled: true,
+                    root: s.root().display().to_string(),
+                    entries: s.entries().len() as u64,
+                    total_bytes: s.total_bytes(),
+                    hits: c.hits,
+                    misses: c.misses,
+                    stores: c.stores,
+                    bytes_read: c.bytes_read,
+                    load_failures: c.load_failures,
+                }
+            }
+            None => ReportStoreStats {
+                enabled: false,
+                root: String::new(),
+                entries: 0,
+                total_bytes: 0,
+                hits: 0,
+                misses: 0,
+                stores: 0,
+                bytes_read: 0,
+                load_failures: 0,
+            },
+        };
+        let trace_store = match &self.trace_store {
+            Some(s) => {
+                let c = s.counters();
+                TraceStoreStats {
+                    enabled: true,
+                    root: s.root().display().to_string(),
+                    hits: c.hits,
+                    misses: c.misses,
+                    bytes_mapped: c.bytes_mapped,
+                    load_failures: c.load_failures,
+                }
+            }
+            None => TraceStoreStats {
+                enabled: false,
+                root: String::new(),
+                hits: 0,
+                misses: 0,
+                bytes_mapped: 0,
+                load_failures: 0,
+            },
+        };
+        StatsBody {
+            kind: "stats".to_string(),
+            requests: self.counters,
+            report_store,
+            trace_store,
+        }
+    }
+}
+
+/// Serves JSON-lines requests from `input` to `output` until EOF or a
+/// `shutdown` request; the core of both the stdin transport and the
+/// per-connection Unix-socket loop.
+pub fn serve_io(
+    service: &mut Service,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if let Some(response) = service.handle_line(&line) {
+            output.write_all(response.as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+        }
+        if service.shutdown_requested() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// The stdin transport: requests on stdin, responses on stdout, one line
+/// each, until EOF or `shutdown`. This is what CI's serve-smoke drives.
+pub fn serve_stdin(service: &mut Service) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_io(service, stdin.lock(), stdout.lock())
+}
+
+/// The Unix-socket transport: binds `path` (replacing any stale socket
+/// file), then serves connections one at a time — each connection is a
+/// JSON-lines conversation — until a `shutdown` request arrives. The
+/// socket file is removed on clean shutdown.
+#[cfg(unix)]
+pub fn serve_unix(service: &mut Service, path: &std::path::Path) -> io::Result<()> {
+    use std::os::unix::net::UnixListener;
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    eprintln!("pomtlb-serve: listening on {}", path.display());
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = io::BufReader::new(stream.try_clone()?);
+        // A dropped connection only ends that conversation, never the
+        // daemon: the next accept keeps serving with the same warm state.
+        if let Err(e) = serve_io(service, reader, &stream) {
+            eprintln!("pomtlb-serve: connection error: {e}");
+        }
+        if service.shutdown_requested() {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let path =
+                std::env::temp_dir().join(format!("pomtlb-serve-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&path);
+            fs::create_dir_all(&path).expect("create temp dir");
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn quick(id: &str, kind: &str) -> String {
+        format!(
+            "{{\"id\":\"{id}\",\"kind\":\"{kind}\",\"workload\":\"gups\",\
+             \"cores\":2,\"refs\":1500,\"warmup\":500}}"
+        )
+    }
+
+    fn body_of(response: &str) -> String {
+        let v: serde::Value = serde_json::from_str(response).expect("response parses");
+        serde_json::to_string(&v["body"]).expect("body serializes")
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let mut svc = Service::new(ServeConfig::default()).expect("service");
+        assert!(svc.handle_line("").is_none());
+        assert!(svc.handle_line("   ").is_none());
+    }
+
+    #[test]
+    fn parse_and_resolve_errors_are_error_lines() {
+        let mut svc = Service::new(ServeConfig::default()).expect("service");
+        let r = svc.handle_line("this is not json").expect("response");
+        assert!(r.contains("\"ok\":false"));
+        let r = svc
+            .handle_line("{\"id\":\"x\",\"kind\":\"sim\",\"workload\":\"nope\"}")
+            .expect("response");
+        assert!(r.contains("\"ok\":false") && r.contains("unknown workload"));
+        assert_eq!(svc.counters().errors, 2);
+    }
+
+    #[test]
+    fn sim_without_stores_computes_every_time() {
+        let mut svc = Service::new(ServeConfig::default()).expect("service");
+        let a = svc.handle_line(&quick("a", "sim")).expect("response");
+        let b = svc.handle_line(&quick("b", "sim")).expect("response");
+        assert!(a.contains("\"provenance\":\"computed\""));
+        assert!(b.contains("\"provenance\":\"computed\""));
+        assert_eq!(body_of(&a), body_of(&b), "same request, same body");
+        assert_eq!(svc.counters().computed, 2);
+    }
+
+    #[test]
+    fn memoized_second_pass_is_byte_identical() {
+        let dir = TempDir::new("memo");
+        let cfg = ServeConfig { report_dir: Some(dir.0.join("reports")), ..Default::default() };
+        let mut svc = Service::new(cfg).expect("service");
+        let cold = svc.handle_line(&quick("c1", "compare")).expect("response");
+        let warm = svc.handle_line(&quick("c2", "compare")).expect("response");
+        assert!(cold.contains("\"provenance\":\"computed\""));
+        assert!(warm.contains("\"provenance\":\"memoized\""));
+        assert_eq!(body_of(&cold), body_of(&warm));
+        let counters = svc.counters();
+        assert_eq!((counters.computed, counters.memoized), (1, 1));
+    }
+
+    #[test]
+    fn fault_sweep_never_memoizes() {
+        let dir = TempDir::new("faultmemo");
+        let cfg = ServeConfig { report_dir: Some(dir.0.join("reports")), ..Default::default() };
+        let mut svc = Service::new(cfg).expect("service");
+        let a = svc.handle_line(&quick("f1", "fault-sweep")).expect("response");
+        let b = svc.handle_line(&quick("f2", "fault-sweep")).expect("response");
+        assert!(a.contains("\"provenance\":\"computed\""));
+        assert!(b.contains("\"provenance\":\"computed\""));
+        assert_eq!(svc.counters().memoized, 0);
+        assert_eq!(svc.report_store().expect("store").counters().stores, 0);
+    }
+
+    #[test]
+    fn stats_and_shutdown_round_trip() {
+        let mut svc = Service::new(ServeConfig::default()).expect("service");
+        let r = svc.handle_line("{\"id\":\"s\",\"kind\":\"stats\"}").expect("response");
+        assert!(r.contains("\"ok\":true") && r.contains("\"requests\""));
+        assert!(!svc.shutdown_requested());
+        let r = svc.handle_line("{\"id\":\"q\",\"kind\":\"shutdown\"}").expect("response");
+        assert!(r.contains("\"ok\":true"));
+        assert!(svc.shutdown_requested());
+    }
+
+    #[test]
+    fn serve_io_answers_in_order_and_stops_on_shutdown() {
+        let mut svc = Service::new(ServeConfig::default()).expect("service");
+        let script = format!(
+            "{}\n{{\"id\":\"s\",\"kind\":\"stats\"}}\n{{\"id\":\"q\",\"kind\":\"shutdown\"}}\n{}\n",
+            quick("r1", "sim"),
+            quick("never", "sim"),
+        );
+        let mut out = Vec::new();
+        serve_io(&mut svc, script.as_bytes(), &mut out).expect("serve");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "the post-shutdown request is never served");
+        assert!(lines[0].contains("\"id\":\"r1\""));
+        assert!(lines[1].contains("\"id\":\"s\""));
+        assert!(lines[2].contains("\"id\":\"q\""));
+    }
+}

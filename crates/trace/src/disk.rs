@@ -41,13 +41,14 @@
 //! any mismatch is an `InvalidData` error the [`crate::TraceStore`] turns
 //! into a warn-and-regenerate fallback, never a wrong answer.
 
-use std::fmt::{self, Write as _};
+use std::fmt;
 use std::io::{self, Write};
 use std::ops::Range;
 use std::path::Path;
 
 use pomtlb_types::{AddressSpace, Gva, PageSize, ProcessId, VmId};
 
+pub(crate) use crate::digest::{digest256, digest_hex, fnv1a64};
 use crate::event::{OsEvent, OsEventKind};
 use crate::file::RECORD_BYTES;
 use crate::shared::TraceKey;
@@ -69,69 +70,9 @@ pub(crate) const EVENT_BYTES: usize = 32;
 pub(crate) const CORE_BYTES: usize = 2;
 
 // ---------------------------------------------------------------------------
-// Hashing: FNV-1a 64 for section integrity, a 4-lane splitmix-based 256-bit
-// digest for content addressing. Both are dependency-free and byte-stable
-// across platforms and compilations, unlike `#[derive(Hash)]` + SipHash with
-// its per-process random keys.
-
-/// FNV-1a 64-bit over `bytes`.
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// The splitmix64 finalizer: a strong, invertible 64-bit mixer.
-fn mix64(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// A 256-bit digest: four independently-seeded 64-bit lanes, each absorbing
-/// every 8-byte word at a different rotation, finalized with the input
-/// length and a cross-lane mix. Not cryptographic — the store is a local
-/// cache, not a trust boundary — but collision-resistant far beyond the
-/// handful of distinct keys a sweep produces, and byte-stable everywhere.
-pub(crate) fn digest256(bytes: &[u8]) -> [u8; 32] {
-    let mut lanes: [u64; 4] = [
-        0x243f_6a88_85a3_08d3,
-        0x1319_8a2e_0370_7344,
-        0xa409_3822_299f_31d0,
-        0x082e_fa98_ec4e_6c89,
-    ];
-    for chunk in bytes.chunks(8) {
-        let mut w = [0u8; 8];
-        w[..chunk.len()].copy_from_slice(chunk);
-        let word = u64::from_le_bytes(w);
-        for (l, lane) in lanes.iter_mut().enumerate() {
-            *lane = mix64(*lane ^ word.rotate_left(l as u32 * 17 + 1));
-        }
-    }
-    let len = bytes.len() as u64;
-    for (l, lane) in lanes.iter_mut().enumerate() {
-        *lane = mix64(*lane ^ len ^ ((l as u64) << 32));
-    }
-    let cross = mix64(lanes[0] ^ lanes[1] ^ lanes[2] ^ lanes[3]);
-    let mut out = [0u8; 32];
-    for (l, lane) in lanes.iter().enumerate() {
-        let v = mix64(*lane ^ cross.rotate_left(l as u32 * 13));
-        out[l * 8..l * 8 + 8].copy_from_slice(&v.to_le_bytes());
-    }
-    out
-}
-
-/// Lowercase-hex rendering of a digest (the store's file stem).
-pub(crate) fn digest_hex(digest: &[u8; 32]) -> String {
-    let mut s = String::with_capacity(64);
-    for b in digest {
-        let _ = write!(s, "{b:02x}");
-    }
-    s
-}
+// Hashing: FNV-1a 64 for section integrity, the shared [`crate::digest`]
+// 4-lane splitmix 256-bit construction for content addressing (re-exported
+// above so this module's callers keep their `disk::` paths).
 
 // ---------------------------------------------------------------------------
 // Canonical TraceKey serialization. Field-by-field, explicitly versioned,
@@ -644,14 +585,6 @@ mod tests {
             .locality(LocalityModel::Zipf { alpha: 0.9 })
             .build();
         TraceKey { spec, seed, n_cores: 4, shared_memory: false, total_refs: 10_000 }
-    }
-
-    #[test]
-    fn fnv_matches_reference_vectors() {
-        // Standard FNV-1a 64 test vectors.
-        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

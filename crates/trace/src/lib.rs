@@ -48,6 +48,7 @@
 #![cfg_attr(feature = "mmap", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+pub mod digest;
 mod disk;
 mod event;
 pub mod file;

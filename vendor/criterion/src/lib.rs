@@ -1,0 +1,174 @@
+//! Offline drop-in subset of the `criterion` API (see `vendor/README.md`).
+//!
+//! Keeps the workspace's benches compiling and runnable without crates.io
+//! access. Statistics are intentionally simple — each benchmark runs a
+//! short calibrated loop and reports the best mean iteration time over a
+//! few batches — because the tracked artifact (`BENCH_perf.json`) is
+//! produced by `perf_track`, not by criterion; these numbers are for
+//! interactive eyeballing only.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Timing loop driver handed to benchmark closures.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate the iteration count to ~2 ms per batch, then keep the
+        // fastest of a few batches (minimum is the stable statistic).
+        let mut n = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(2) || n >= 1 << 24 {
+                let mut best = elapsed.as_secs_f64() / n as f64;
+                for _ in 0..4 {
+                    let t = Instant::now();
+                    for _ in 0..n {
+                        hint::black_box(routine());
+                    }
+                    best = best.min(t.elapsed().as_secs_f64() / n as f64);
+                }
+                self.mean_ns = best * 1e9;
+                return;
+            }
+            n = n.saturating_mul(4);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        let mut line = format!("{}/{}: {:.1} ns/iter", self.name, id, b.mean_ns);
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            if b.mean_ns > 0.0 {
+                line.push_str(&format!(
+                    " ({:.1} Melem/s)",
+                    n as f64 / b.mean_ns * 1e3
+                ));
+            }
+        }
+        println!("{line}");
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.name.clone(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let mut g = self.benchmark_group(name.clone());
+        g.bench_function("bench", f);
+        g.finish();
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,217 @@
+//! Offline drop-in subset of the `proptest` API (see `vendor/README.md`).
+//!
+//! Properties here are universally quantified — any input stream is a
+//! valid one — so this subset keeps proptest's *surface* (the `proptest!`
+//! macro, `any`, ranges, `collection::vec`, `ProptestConfig::with_cases`)
+//! but swaps the engine for a simple deterministic sampler: each test
+//! function derives a seed from its own name, draws `cases` independent
+//! inputs, and runs the body with plain `assert!`-style checks. There is
+//! no shrinking; a failing case panics with the generated inputs visible
+//! in the assertion message.
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Run configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream's default case count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of values of one type.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+/// Strategy for a type's full value range; built by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T` (full value range; floats in `[0, 1)`).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! any_impl {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Any<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SmallRng) -> $ty {
+                rng.gen()
+            }
+        }
+    )*};
+}
+any_impl! { u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64 }
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SmallRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy! { u8, u16, u32, u64, usize, i8, i16, i32, i64, isize }
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        self.start + rng.gen::<f64>() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut SmallRng) -> f32 {
+        self.start + rng.gen::<f32>() * (self.end - self.start)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (subset: `vec`).
+
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Length bounds for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        assert!(min < max, "empty proptest vec size range");
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len =
+                if self.max - self.min <= 1 { self.min } else { rng.gen_range(self.min..self.max) };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    pub use super::ProptestConfig as Config;
+    pub use super::ProptestConfig;
+}
+
+pub mod prelude {
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Per-case RNG: seeded from the property name and case index so runs are
+/// reproducible without any state files.
+pub fn __case_rng(test_name: &str, case: u32) -> SmallRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    // The proptest! body expands inside the per-case `for` loop, so an
+    // unmet assumption just skips to the next generated case. (Use only at
+    // the top level of a property body, not inside an inner loop.)
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { ::std::assert!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { ::std::assert_eq!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { ::std::assert_ne!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::__case_rng(::core::stringify!($name), __case);
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,187 @@
+//! Distributions: the `Standard` distribution and uniform-range sampling,
+//! reproducing rand 0.8's sampling methods exactly (see crate docs).
+
+use crate::Rng;
+
+/// A distribution that can sample values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution over a type's full value range (floats:
+/// `[0, 1)`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_from_u32 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u32() as $ty
+            }
+        }
+    )*};
+}
+standard_from_u32! { u8, u16, u32, i8, i16, i32 }
+
+macro_rules! standard_from_u64 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+standard_from_u64! { u64, i64, usize, isize }
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        // Upstream order: high word first.
+        let hi = rng.next_u64() as u128;
+        let lo = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // Upstream: one u32 draw, compare against half the range.
+        rng.next_u32() < 0x8000_0000
+    }
+}
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Multiply-based method, 53 random bits, [0, 1).
+        let value = rng.next_u64() >> (64 - 53);
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // Multiply-based method, 24 random bits, [0, 1).
+        let value = rng.next_u32() >> (32 - 24);
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges: Lemire's widening-multiply rejection
+    //! with rand 0.8's zone computation, so `gen_range` draws the same
+    //! number of words and lands on the same values as upstream.
+
+    use core::ops::{Range, RangeInclusive};
+
+    use crate::distributions::{Distribution, Standard};
+    use crate::Rng;
+
+    /// Types `gen_range` can sample.
+    pub trait SampleUniform: Sized {
+        fn sample_single_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    /// Range argument forms accepted by `gen_range`.
+    pub trait SampleRange<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd + Dec> SampleRange<T> for Range<T> {
+        #[inline]
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_single_inclusive(self.start, self.end.dec(), rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+        #[inline]
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start() <= self.end(), "cannot sample empty range");
+            T::sample_single_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+
+    /// Decrement by one, for turning a half-open bound into an inclusive
+    /// one the way upstream's `sample_single` does.
+    pub trait Dec {
+        fn dec(self) -> Self;
+    }
+
+    macro_rules! int_dec {
+        ($($ty:ty),*) => {$(
+            impl Dec for $ty {
+                #[inline]
+                fn dec(self) -> Self {
+                    self - 1
+                }
+            }
+        )*};
+    }
+    int_dec! { u8, u16, u32, u64, usize, i8, i16, i32, i64, isize }
+
+    /// Widening multiply: (high word, low word) of `a * b`.
+    macro_rules! wmul {
+        ($a:expr, $b:expr, $wide:ty, $half:ty) => {{
+            let w = ($a as $wide) * ($b as $wide);
+            ((w >> <$half>::BITS) as $half, w as $half)
+        }};
+    }
+
+    // `$u_large` mirrors upstream's lane choice: u8/u16/u32 sample one u32
+    // word, u64/usize one u64 word. The `$signed` unsigned-offset trick is
+    // upstream's as well.
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_single_inclusive<R: Rng + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let range =
+                        (high as $unsigned).wrapping_sub(low as $unsigned).wrapping_add(1)
+                            as $u_large;
+                    if range == 0 {
+                        // Span covers the whole type: every word is valid.
+                        let v: $u_large = Standard.sample(rng);
+                        return v as $ty;
+                    }
+                    let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                        // Small types reject by modulus (upstream fast path).
+                        let ints_to_reject =
+                            (<$u_large>::MAX - range).wrapping_add(1) % range;
+                        <$u_large>::MAX - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $u_large = Standard.sample(rng);
+                        let (hi, lo) = wmul!(v, range, $wide, $u_large);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int_impl! { u8, u8, u32, u64 }
+    uniform_int_impl! { u16, u16, u32, u64 }
+    uniform_int_impl! { u32, u32, u32, u64 }
+    uniform_int_impl! { u64, u64, u64, u128 }
+    uniform_int_impl! { usize, usize, usize, u128 }
+    uniform_int_impl! { i8, u8, u32, u64 }
+    uniform_int_impl! { i16, u16, u32, u64 }
+    uniform_int_impl! { i32, u32, u32, u64 }
+    uniform_int_impl! { i64, u64, u64, u128 }
+    uniform_int_impl! { isize, usize, usize, u128 }
+}

@@ -1,0 +1,95 @@
+//! RNG implementations. `SmallRng` mirrors upstream rand 0.8 on 64-bit
+//! platforms: the xoshiro256++ generator of Blackman & Vigna.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ — the algorithm behind rand 0.8's `SmallRng` on 64-bit
+/// targets. State update and output are the reference implementation's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        // Upstream uses the upper bits: the lowest bits of xoshiro++ have
+        // weak linear dependencies.
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        // The all-zero state is a fixed point; upstream re-seeds it
+        // through SplitMix64(0).
+        if seed.iter().all(|&b| b == 0) {
+            return Self::seed_from_u64(0);
+        }
+        let mut s = [0u64; 4];
+        for (lane, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *lane = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+/// A small, fast, non-cryptographic RNG — rand 0.8's `SmallRng`, which on
+/// 64-bit platforms is exactly [`Xoshiro256PlusPlus`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng(Xoshiro256PlusPlus);
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        SmallRng(Xoshiro256PlusPlus::from_seed(seed))
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        SmallRng(Xoshiro256PlusPlus::seed_from_u64(state))
+    }
+}

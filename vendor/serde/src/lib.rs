@@ -1,0 +1,499 @@
+//! Offline drop-in subset of the `serde` API.
+//!
+//! This workspace builds with no crates.io access (see `vendor/README.md`),
+//! so serde is vendored as a small self-hosted implementation rather than a
+//! facade over serializer visitors. The design trades serde's generality
+//! for a concrete data model:
+//!
+//! - [`Serialize`] renders a value into a [`Value`] tree; [`Deserialize`]
+//!   reads one back. `serde_json` is then just a text codec for `Value`.
+//! - Objects are insertion-ordered `Vec<(String, Value)>`, so a derived
+//!   struct serializes its fields in declaration order — the property the
+//!   workspace's byte-identity contracts (checkpoint journal, report
+//!   store) rely on.
+//! - Unsigned and signed integers keep separate variants so `u64` values
+//!   above `i64::MAX` round-trip exactly.
+//!
+//! The derive macros (re-exported from `serde_derive`) cover the shapes
+//! this workspace uses: named-field structs (with `#[serde(default)]`),
+//! newtype structs, and enums with unit / tuple / struct variants under
+//! serde's external tagging. Anything else fails to compile rather than
+//! silently serializing differently.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integers. JSON numbers without sign, fraction or
+    /// exponent parse into this variant.
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs (declaration order for derived
+    /// structs).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` if this is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object lookup, as in serde_json: missing keys (and non-objects)
+    /// index to `Null`.
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+macro_rules! value_number_eq {
+    ($($ty:ty => $variant:ident),*) => {$(
+        impl PartialEq<$ty> for Value {
+            fn eq(&self, other: &$ty) -> bool {
+                matches!(self, Value::$variant(n) if n == other)
+            }
+        }
+        impl PartialEq<Value> for $ty {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+value_number_eq! { u64 => U64, i64 => I64, f64 => F64, bool => Bool }
+
+/// Serialization / deserialization error: a message, as in serde_json.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value renderable into the [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// A value reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// --- primitive impls ------------------------------------------------------
+
+macro_rules! unsigned_impls {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_u64().ok_or_else(|| {
+                    Error::custom(format!(
+                        "expected unsigned integer, found {}", value.kind()
+                    ))
+                })?;
+                <$ty>::try_from(n).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {n} out of range for {}", stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+unsigned_impls! { u8, u16, u32, u64, usize }
+
+macro_rules! signed_impls {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = match *value {
+                    Value::U64(n) => i64::try_from(n).map_err(|_| {
+                        Error::custom(format!("integer {n} out of range for i64"))
+                    })?,
+                    Value::I64(n) => n,
+                    _ => {
+                        return Err(Error::custom(format!(
+                            "expected integer, found {}", value.kind()
+                        )))
+                    }
+                };
+                <$ty>::try_from(n).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {n} out of range for {}", stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+signed_impls! { i8, i16, i32, i64, isize }
+
+macro_rules! float_impls {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                value.as_f64().map(|f| f as $ty).ok_or_else(|| {
+                    Error::custom(format!("expected number, found {}", value.kind()))
+                })
+            }
+        }
+    )*};
+}
+float_impls! { f32, f64 }
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, found {}", value.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, found {}", value.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Upstream serde borrows `&str` from the input; this data model owns
+    /// its strings, so a `&'static str` field (e.g. a workload name table)
+    /// deserializes by leaking the owned copy. Structs holding static
+    /// names are deserialized rarely-to-never; the leak is bounded and
+    /// intentional.
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom(format!("expected string, found {}", value.kind())))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom(format!("expected string, found {}", value.kind())))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            Error::custom(format!("expected array of length {N}, found {len}"))
+        })
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = match value {
+                    Value::Array(items) => items,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected array, found {}", other.kind()
+                        )))
+                    }
+                };
+                let want = [$($idx),+].len();
+                if items.len() != want {
+                    return Err(Error::custom(format!(
+                        "expected {}-tuple, found array of {}", want, items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+tuple_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// Support code for the derive macros. Not part of the public API.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    pub fn as_object<'v>(
+        value: &'v Value,
+        what: &str,
+    ) -> Result<&'v [(String, Value)], Error> {
+        match value {
+            Value::Object(entries) => Ok(entries),
+            other => Err(Error::custom(format!(
+                "expected object for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn field<T: Deserialize>(
+        obj: &[(String, Value)],
+        name: &str,
+        what: &str,
+    ) -> Result<T, Error> {
+        match obj.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v)
+                .map_err(|e| Error::custom(format!("{what}.{name}: {e}"))),
+            None => Err(Error::custom(format!("missing field `{name}` in {what}"))),
+        }
+    }
+
+    pub fn field_default<T: Deserialize + Default>(
+        obj: &[(String, Value)],
+        name: &str,
+        what: &str,
+    ) -> Result<T, Error> {
+        match obj.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v)
+                .map_err(|e| Error::custom(format!("{what}.{name}: {e}"))),
+            None => Ok(T::default()),
+        }
+    }
+
+    pub fn tuple_elem<T: Deserialize>(
+        items: &[Value],
+        idx: usize,
+        what: &str,
+    ) -> Result<T, Error> {
+        let v = items.get(idx).ok_or_else(|| {
+            Error::custom(format!("missing element {idx} in {what}"))
+        })?;
+        T::from_value(v).map_err(|e| Error::custom(format!("{what}[{idx}]: {e}")))
+    }
+}

@@ -1,0 +1,441 @@
+//! Derive macros for the vendored serde subset (see `vendor/serde`).
+//!
+//! Implemented directly over `proc_macro::TokenStream` — no `syn`/`quote`,
+//! since those can't be fetched offline either. The parser recognizes
+//! exactly the shapes this workspace derives on:
+//!
+//! - structs with named fields (honoring `#[serde(default)]` per field),
+//! - tuple structs (arity 1 serializes transparently, like serde's
+//!   newtype treatment; higher arities as arrays),
+//! - enums with unit, tuple and struct variants under external tagging
+//!   (`"Variant"`, `{"Variant": value}`, `{"Variant": {..fields..}}`).
+//!
+//! Generics are unsupported and rejected with a compile error. Field
+//! *types* are never inspected: the generated `Deserialize` body leans on
+//! type inference through `serde::__private::field`, so the parser only
+//! needs names and arities.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    item: Item,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input).parse().expect("generated Deserialize impl parses")
+}
+
+// --- parsing --------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes and visibility down to the `struct`/`enum` keyword.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `crate`, ... — skip.
+            }
+            Some(TokenTree::Group(_)) => {} // the (crate) of pub(crate)
+            Some(_) => {}
+            None => panic!("serde derive: unsupported item (no struct/enum found)"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored subset): generic type `{name}` is unsupported");
+    }
+    let item = if kind == "enum" {
+        let body = match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde derive: expected enum body, found {other:?}"),
+        };
+        Item::Enum(parse_variants(body))
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::Struct(Shape::Tuple(tuple_arity(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct(Shape::Unit),
+            other => panic!("serde derive: expected struct body, found {other:?}"),
+        }
+    };
+    Input { name, item }
+}
+
+/// Whether a `#[...]` attribute body is `serde(default)`.
+fn is_serde_default(body: TokenStream) -> bool {
+    let mut iter = body.into_iter();
+    match (iter.next(), iter.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" =>
+        {
+            g.stream().into_iter().any(
+                |t| matches!(t, TokenTree::Ident(id) if id.to_string() == "default"),
+            )
+        }
+        _ => false,
+    }
+}
+
+/// Parses `name: Type` fields (with optional attributes and visibility),
+/// skipping the types with angle-bracket depth tracking so commas inside
+/// `Vec<Option<T>>`-style paths don't split fields.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let mut default = false;
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    if is_serde_default(g.stream()) {
+                        default = true;
+                    }
+                }
+                other => panic!("serde derive: malformed attribute, found {other:?}"),
+            }
+        }
+        // Visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after `{name}`, found {other:?}"),
+        }
+        // Skip the type up to a depth-0 comma.
+        let mut angle = 0i32;
+        for t in iter.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle = 0i32;
+    let mut pending = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                arity += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                iter.next();
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            for t in iter.by_ref() {
+                if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+            }
+        } else if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// --- code generation ------------------------------------------------------
+
+fn obj_literal(pairs: &[(String, String)]) -> String {
+    let entries: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.item {
+        Item::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Item::Struct(Shape::Tuple(1)) => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Item::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Item::Struct(Shape::Named(fields)) => {
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| {
+                    (f.name.clone(), format!("::serde::Serialize::to_value(&self.{})", f.name))
+                })
+                .collect();
+            obj_literal(&pairs)
+        }
+        Item::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vn}\")),\n"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> =
+                            (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "::serde::Value::Array(::std::vec![{}])",
+                                elems.join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {},\n",
+                            binds.join(", "),
+                            obj_literal(&[(vn.clone(), inner)])
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pairs: Vec<(String, String)> = fields
+                            .iter()
+                            .map(|f| {
+                                (
+                                    f.name.clone(),
+                                    format!("::serde::Serialize::to_value({})", f.name),
+                                )
+                            })
+                            .collect();
+                        let inner = obj_literal(&pairs);
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {},\n",
+                            binds.join(", "),
+                            obj_literal(&[(vn.clone(), inner)])
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_ctor(path: &str, what: &str, fields: &[Field], obj: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let helper = if f.default { "field_default" } else { "field" };
+            format!(
+                "{}: ::serde::__private::{helper}({obj}, \"{}\", \"{what}\")?",
+                f.name, f.name
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.item {
+        Item::Struct(Shape::Unit) => format!(
+            "match __value {{\n\
+             ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+             _ => ::std::result::Result::Err(::serde::Error::custom(\
+             ::std::format!(\"expected null for {name}\")))\n}}"
+        ),
+        Item::Struct(Shape::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+        ),
+        Item::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!("::serde::__private::tuple_elem(__items, {i}, \"{name}\")?")
+                })
+                .collect();
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Array(__items) => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected array for {name}\")))\n}}",
+                elems.join(", ")
+            )
+        }
+        Item::Struct(Shape::Named(fields)) => format!(
+            "let __obj = ::serde::__private::as_object(__value, \"{name}\")?;\n\
+             ::std::result::Result::Ok({})",
+            gen_named_ctor(name, name, fields, "__obj")
+        ),
+        Item::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let what = format!("{name}::{vn}");
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::__private::tuple_elem(__items, {i}, \"{what}\")?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{\n\
+                             ::serde::Value::Array(__items) => \
+                             ::std::result::Result::Ok({name}::{vn}({})),\n\
+                             _ => ::std::result::Result::Err(\
+                             ::serde::Error::custom(::std::format!(\
+                             \"expected array for {what}\")))\n}},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                         let __obj = ::serde::__private::as_object(__inner, \"{what}\")?;\n\
+                         ::std::result::Result::Ok({})\n}},\n",
+                        gen_named_ctor(&format!("{name}::{vn}"), &what, fields, "__obj")
+                    )),
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\")))\n}},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\")))\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected variant of {name}\")))\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) \
+         -> ::std::result::Result<{name}, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
