@@ -5,6 +5,7 @@
 //! ```text
 //! perf_track [--out PATH] [--jobs N|auto] [--refs N] [--warmup N]
 //!            [--laps N] [--baseline-serial-ms X] [--trace-store DIR]
+//!            [--chunk-refs N]
 //! ```
 //!
 //! `--baseline-serial-ms X` records a prior commit's serial wall time for
@@ -51,6 +52,15 @@
 //! / panicked, summed over every pooled lap). On a healthy build every
 //! outcome is `ok`; a panicked job fails the run outright.
 //!
+//! Two chunked passes exercise the chunk-granular work-stealing scheduler:
+//! the same matrix split into `--chunk-refs`-sized chunks (default 2048)
+//! scheduled across Chase–Lev deques, once generating streams live and
+//! once replaying them from the persistent store through a fresh handle.
+//! Both join the determinism cross-check — chunk boundaries and steal
+//! order must not move a byte of any report — and their walls land in a
+//! NEW top-level `"chunked"` object; every pre-existing field keeps its
+//! name and meaning.
+//!
 //! The record is written with a local JSON emitter rather than a serde
 //! round trip: the artifact is diffed across commits by CI, so its byte
 //! layout should depend only on this file.
@@ -61,8 +71,8 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use pom_tlb::{
-    default_jobs, run_jobs, run_jobs_with, share_traces, share_traces_with_store, JobResult,
-    RunPolicy, Scheme, ShareOutcome, SimConfig, SimJob,
+    default_jobs, run_jobs, run_jobs_chunked, run_jobs_with, share_traces,
+    share_traces_with_store, JobResult, RunPolicy, Scheme, ShareOutcome, SimConfig, SimJob,
 };
 use pomtlb_serve::{ServeConfig, Service};
 use pomtlb_trace::TraceStore;
@@ -180,6 +190,7 @@ fn main() -> ExitCode {
     let mut laps = 3u32;
     let mut baseline_serial_ms: Option<f64> = None;
     let mut trace_store_dir: Option<String> = None;
+    let mut chunk_refs_n = 2_048u64;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -211,13 +222,16 @@ fn main() -> ExitCode {
             "--trace-store" => {
                 value("--trace-store").map(|v| trace_store_dir = Some(v.clone()))
             }
+            "--chunk-refs" => value("--chunk-refs").and_then(|v| {
+                v.parse().map(|n| chunk_refs_n = n).map_err(|_| format!("bad --chunk-refs `{v}`"))
+            }),
             other => Err(format!("unknown flag `{other}`")),
         };
         if let Err(e) = r {
             eprintln!("{e}");
             eprintln!(
                 "usage: perf_track [--out PATH] [--jobs N|auto] [--refs N] [--warmup N] \
-                 [--laps N] [--baseline-serial-ms X] [--trace-store DIR]"
+                 [--laps N] [--baseline-serial-ms X] [--trace-store DIR] [--chunk-refs N]"
             );
             return ExitCode::FAILURE;
         }
@@ -269,6 +283,13 @@ fn main() -> ExitCode {
     let outcome = |s: &str| job_outcomes.get(s).copied().unwrap_or(0);
     let panicked_jobs = outcome("panicked");
 
+    // Chunk-granular pass: the same matrix split into fixed-size chunks and
+    // scheduled across the pool's Chase–Lev deques. Smaller units mean
+    // stealing balances the load wherever job walls are uneven, and the
+    // cumulative-carry chunk chain must reproduce serial bytes exactly.
+    let (chunked_wall, chunked) =
+        best_of(laps, || run_jobs_chunked(batch(refs, warmup), jobs_n, chunk_refs_n));
+
     // Persistent-store passes. The record pass runs once (its wall time
     // includes recording overhead, which only happens once per store
     // lifetime); the replay pass is best-of-laps like the others, through a
@@ -308,11 +329,23 @@ fn main() -> ExitCode {
         replay = share_traces_with_store(&mut jobs, Some(&store));
         run_jobs(jobs, 1)
     });
+    // Chunked replay through the same on-disk store: replayable streams are
+    // exactly the ones that can snapshot mid-stream, so this pass is the
+    // scheduler's production configuration (chunks + pre-chunk checkpoints
+    // available) crossing the invocation boundary via the files.
+    let mut chunked_replay = ShareOutcome::default();
+    let (chunked_replay_wall, chunked_replayed) = best_of(laps, || {
+        let mut jobs = batch(refs, warmup);
+        chunked_replay = share_traces_with_store(&mut jobs, Some(&store));
+        run_jobs_chunked(jobs, jobs_n, chunk_refs_n)
+    });
     drop(store);
     if ephemeral {
         let _ = std::fs::remove_dir_all(&store_dir);
     }
     let replay_all_hits = replay.store_misses == 0 && replay.store_hits == replay.attached;
+    let chunked_replay_all_hits =
+        chunked_replay.store_misses == 0 && chunked_replay.store_hits == chunked_replay.attached;
 
     // Report-store memoization pass: one compare-shaped request, cold
     // through a fresh service (computes + memoizes) and warm through a
@@ -371,7 +404,9 @@ fn main() -> ExitCode {
     let deterministic = same_reports(&serial, &parallel)
         && same_reports(&serial, &cached)
         && same_reports(&serial, &recorded_results)
-        && same_reports(&serial, &replayed_results);
+        && same_reports(&serial, &replayed_results)
+        && same_reports(&serial, &chunked)
+        && same_reports(&serial, &chunked_replayed);
 
     let total_refs: u64 = serial.iter().map(|r| r.report.refs).sum();
     let serial_secs = serial_wall.as_secs_f64();
@@ -475,6 +510,29 @@ fn main() -> ExitCode {
     );
     let _ = writeln!(j, "    \"replay_all_hits\": {replay_all_hits}");
     j.push_str("  },\n");
+    let chunked_secs = chunked_wall.as_secs_f64();
+    let chunked_replay_secs = chunked_replay_wall.as_secs_f64();
+    j.push_str("  \"chunked\": {\n");
+    let _ = writeln!(j, "    \"chunk_refs\": {chunk_refs_n},");
+    let _ = writeln!(j, "    \"pooled_wall_ms\": {},", jnum(chunked_secs * 1e3));
+    let _ = writeln!(
+        j,
+        "    \"speedup_vs_serial\": {},",
+        jnum(if chunked_secs > 0.0 { serial_secs / chunked_secs } else { 0.0 })
+    );
+    let _ = writeln!(
+        j,
+        "    \"speedup_vs_whole_job_pool\": {},",
+        jnum(if chunked_secs > 0.0 { parallel_secs / chunked_secs } else { 0.0 })
+    );
+    let _ = writeln!(j, "    \"replay_wall_ms\": {},", jnum(chunked_replay_secs * 1e3));
+    let _ = writeln!(
+        j,
+        "    \"replay_speedup_vs_serial\": {},",
+        jnum(if chunked_replay_secs > 0.0 { serial_secs / chunked_replay_secs } else { 0.0 })
+    );
+    let _ = writeln!(j, "    \"replay_all_hits\": {chunked_replay_all_hits}");
+    j.push_str("  },\n");
     let cold_ms = cold_wall.as_secs_f64() * 1e3;
     let memoized_ms = memoized_wall.as_secs_f64() * 1e3;
     j.push_str("  \"report_store\": {\n");
@@ -521,14 +579,18 @@ fn main() -> ExitCode {
     }
     eprintln!(
         "perf_track: serial {:.0} ms, trace-cache {:.0} ms, pooled {:.0} ms on {} workers \
-         -> {:.2}x pool / {:.2}x cache; store replay {:.0} ms ({} hit(s), {} byte(s) mapped); \
-         serve cold {cold_ms:.0} ms vs memoized {memoized_ms:.0} ms; wrote {}",
+         -> {:.2}x pool / {:.2}x cache; chunked ({} refs/chunk) {:.0} ms -> {:.2}x; store \
+         replay {:.0} ms ({} hit(s), {} byte(s) mapped); serve cold {cold_ms:.0} ms vs \
+         memoized {memoized_ms:.0} ms; wrote {}",
         serial_secs * 1e3,
         cache_secs * 1e3,
         parallel_secs * 1e3,
         jobs_n,
         if parallel_secs > 0.0 { serial_secs / parallel_secs } else { 0.0 },
         if cache_secs > 0.0 { serial_secs / cache_secs } else { 0.0 },
+        chunk_refs_n,
+        chunked_secs * 1e3,
+        if chunked_secs > 0.0 { serial_secs / chunked_secs } else { 0.0 },
         replay_secs * 1e3,
         replay.store_hits,
         replay.bytes_mapped,
@@ -544,16 +606,16 @@ fn main() -> ExitCode {
     }
     if !deterministic {
         eprintln!(
-            "perf_track: FAIL — pooled, trace-cached or store-replayed reports differ from \
-             serial reports"
+            "perf_track: FAIL — pooled, trace-cached, store-replayed or chunked reports \
+             differ from serial reports"
         );
         return ExitCode::FAILURE;
     }
-    if !replay_all_hits {
+    if !replay_all_hits || !chunked_replay_all_hits {
         eprintln!(
-            "perf_track: FAIL — store replay pass missed ({} hit(s), {} miss(es) of {} \
-             stream(s)); a just-recorded store must serve every stream from disk",
-            replay.store_hits, replay.store_misses, replay.attached
+            "perf_track: FAIL — a store replay pass missed (whole-job {}/{} hit(s), chunked \
+             {}/{} hit(s)); a just-recorded store must serve every stream from disk",
+            replay.store_hits, replay.attached, chunked_replay.store_hits, chunked_replay.attached
         );
         return ExitCode::FAILURE;
     }

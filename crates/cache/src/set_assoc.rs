@@ -1,6 +1,6 @@
 //! The generic set-associative cache.
 
-use pomtlb_types::Hpa;
+use pomtlb_types::{match_mask, Hpa};
 use serde::{Deserialize, Serialize};
 
 use crate::config::CacheConfig;
@@ -202,18 +202,17 @@ impl SetAssocCache {
     }
 
     /// The resident way holding `tag` in `set`, if any.
+    ///
+    /// Probes the whole set at once: a branch-free multi-lane compare of
+    /// the way-contiguous tag slice (see [`pomtlb_types::match_mask`])
+    /// ANDed with the set's valid bitmask, instead of iterating live ways
+    /// and testing tags one at a time. Invalid ways may hold stale tags;
+    /// the valid-mask AND discards their lanes.
     #[inline]
     fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
         let base = set * self.ways;
-        let mut live = self.valid[set];
-        while live != 0 {
-            let w = live.trailing_zeros() as usize;
-            if self.tags[base + w] == tag {
-                return Some(w);
-            }
-            live &= live - 1;
-        }
-        None
+        let hits = match_mask(&self.tags[base..base + self.ways], tag) & self.valid[set];
+        (hits != 0).then(|| hits.trailing_zeros() as usize)
     }
 
     /// Accesses (and on miss, fills) the line containing `addr`.

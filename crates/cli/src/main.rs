@@ -42,7 +42,7 @@
 use std::process::ExitCode;
 
 use pom_tlb::{
-    run_jobs, share_traces_with_store, FaultConfig, FaultStats, PomTlbConfig, Scheme,
+    run_jobs_chunked, share_traces_with_store, FaultConfig, FaultStats, PomTlbConfig, Scheme,
     ShootdownStats, SimConfig, SimJob, SimReport, SystemConfig,
 };
 use pomtlb_serve::{ReportStore, ServeConfig, Service};
@@ -96,6 +96,7 @@ struct Options {
     check_consistency: bool,
     json: bool,
     jobs: usize,
+    chunk_refs: u64,
     trace_cache: bool,
     trace_cache_dir: Option<String>,
     fault_seed: u64,
@@ -118,6 +119,7 @@ impl Default for Options {
             check_consistency: false,
             json: false,
             jobs: 1,
+            chunk_refs: 0,
             trace_cache: false,
             trace_cache_dir: None,
             fault_seed: 0x5eed,
@@ -171,6 +173,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     num(&v)? as usize
                 };
             }
+            "--chunk-refs" => o.chunk_refs = num(&value("--chunk-refs")?)?,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -238,8 +241,10 @@ fn run_command(args: &[String], kind: CommandKind) -> ExitCode {
                 };
                 share_traces_with_store(&mut jobs, store.as_ref());
             }
-            let reports: Vec<SimReport> =
-                run_jobs(jobs, opts.jobs).into_iter().map(|r| r.report).collect();
+            let reports: Vec<SimReport> = run_jobs_chunked(jobs, opts.jobs, opts.chunk_refs)
+                .into_iter()
+                .map(|r| r.report)
+                .collect();
             emit(&w, &reports, &opts);
         }
     }
@@ -336,7 +341,7 @@ fn run_sweep(args: &[String]) -> ExitCode {
         };
         share_traces_with_store(&mut jobs, store.as_ref());
     }
-    let rows: Vec<SweepRow> = run_jobs(jobs, opts.jobs)
+    let rows: Vec<SweepRow> = run_jobs_chunked(jobs, opts.jobs, opts.chunk_refs)
         .into_iter()
         .zip(rates)
         .map(|(res, rate)| {
@@ -484,7 +489,7 @@ fn run_fault_sweep(args: &[String]) -> ExitCode {
         };
         share_traces_with_store(&mut jobs, store.as_ref());
     }
-    let rows: Vec<FaultRow> = run_jobs(jobs, opts.jobs)
+    let rows: Vec<FaultRow> = run_jobs_chunked(jobs, opts.jobs, opts.chunk_refs)
         .into_iter()
         .zip(detect)
         .map(|(res, consistency)| {
@@ -983,6 +988,11 @@ FLAGS:
   --jobs N          worker threads for batched commands (compare,
                     shootdown-sweep); `auto` = all cores. Output is
                     byte-identical to --jobs 1 (default)
+  --chunk-refs N    split each batched job into N-reference chunks
+                    scheduled by work stealing across --jobs workers
+                    (0 = whole-job scheduling, default). Any chunk size
+                    produces byte-identical output; smaller chunks
+                    balance load better at more scheduling overhead
   --trace-cache     batched commands record each input stream once and
                     replay it to every scheme instead of regenerating it
                     per run. Output is byte-identical either way
@@ -1048,6 +1058,15 @@ mod tests {
         assert_eq!(parse(&["-j".into(), "2".into()]).unwrap().jobs, 2);
         assert!(parse(&["--jobs".into(), "auto".into()]).unwrap().jobs >= 1);
         assert!(parse(&["--jobs".into(), "x".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_chunk_refs() {
+        assert_eq!(parse(&[]).unwrap().chunk_refs, 0);
+        let o = parse(&["--chunk-refs".into(), "5000".into()]).unwrap();
+        assert_eq!(o.chunk_refs, 5000);
+        assert!(parse(&["--chunk-refs".into()]).is_err());
+        assert!(parse(&["--chunk-refs".into(), "many".into()]).is_err());
     }
 
     #[test]
@@ -1147,7 +1166,9 @@ mod tests {
         // applies some fault with near-certainty under the pinned seed.
         let o = Options { cores: 2, refs: 20_000, warmup: 5_000, ..Default::default() };
         let (jobs, detect) = fault_sweep_jobs(&w, &o);
-        let rows: Vec<FaultRow> = run_jobs(jobs, 2)
+        // Run through the chunked scheduler: fault injection must behave
+        // identically whether a job runs whole or as stolen chunks.
+        let rows: Vec<FaultRow> = run_jobs_chunked(jobs, 2, 1_500)
             .into_iter()
             .zip(detect)
             .map(|(res, consistency)| {

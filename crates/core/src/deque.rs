@@ -1,0 +1,248 @@
+//! A safe Chase–Lev work-stealing deque over small integer task ids.
+//!
+//! The chunked scheduler ([`crate::chunk`]) needs the classic
+//! work-stealing shape: each worker owns a deque, pushes and pops chunk
+//! continuations at the *bottom* (LIFO, cache-warm), and idle workers
+//! steal from the *top* (FIFO, oldest chunk first) of a victim's deque.
+//! This is the Chase–Lev algorithm ("Dynamic Circular Work-Stealing
+//! Deque", SPAA '05) restricted to the one use this crate has, which
+//! removes every need for `unsafe`:
+//!
+//! * Elements are plain `usize` task indices, stored in `AtomicUsize`
+//!   slots (value + 1, so 0 means "never written"). No uninitialized
+//!   memory, no manual drops — ownership of the actual task lives in the
+//!   scheduler's slab, the deque only routes indices.
+//! * Capacity is fixed at construction to a power of two that exceeds
+//!   the total task count, so the circular buffer can never wrap onto an
+//!   unconsumed entry and the growth path of the original algorithm is
+//!   unnecessary. (The scheduler guarantees each task index is in at most
+//!   one deque at a time, so `bottom - top <= n_tasks < capacity`.)
+//!
+//! The memory-ordering discipline is the standard one: the owner
+//! publishes a pushed slot with `Release` on `bottom`; `pop` decrements
+//! `bottom` then reads `top` across a `SeqCst` pair so it cannot miss a
+//! racing steal; `steal` claims an index by CAS on `top`, which is the
+//! single linearization point — a slot read is only *used* after the CAS
+//! proves the reader uniquely owns that position.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-capacity Chase–Lev deque of task indices.
+///
+/// One instance per worker: that worker (the *owner*) calls [`push`] and
+/// [`pop`]; any other thread calls [`steal`]. All three are safe to call
+/// concurrently — the type is `Sync` — but push/pop from two threads at
+/// once violates the owner protocol and may lose or duplicate entries, so
+/// the scheduler keeps owner calls on the owning worker thread.
+///
+/// [`push`]: StealDeque::push
+/// [`pop`]: StealDeque::pop
+/// [`steal`]: StealDeque::steal
+#[derive(Debug)]
+pub struct StealDeque {
+    /// Next index to steal; monotonically increasing.
+    top: AtomicUsize,
+    /// Next index to push; owner-written only.
+    bottom: AtomicUsize,
+    /// Circular buffer of `task_index + 1` (0 = never written).
+    slots: Vec<AtomicUsize>,
+    /// `slots.len() - 1`; slots.len() is a power of two.
+    mask: usize,
+}
+
+impl StealDeque {
+    /// A deque that can hold up to `max_tasks` simultaneous entries.
+    ///
+    /// The buffer is sized to the next power of two *strictly greater*
+    /// than `max_tasks`, which is what makes wrap-around onto a live
+    /// entry impossible (see the module docs).
+    pub fn new(max_tasks: usize) -> StealDeque {
+        let cap = (max_tasks + 1).next_power_of_two();
+        let mut slots = Vec::with_capacity(cap);
+        slots.resize_with(cap, || AtomicUsize::new(0));
+        StealDeque { top: AtomicUsize::new(0), bottom: AtomicUsize::new(0), slots, mask: cap - 1 }
+    }
+
+    /// Owner-only: pushes a task index at the bottom.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the deque already holds `capacity - 1` entries —
+    /// the scheduler's invariant (each task in at most one deque) makes
+    /// that unreachable.
+    pub fn push(&self, task: usize) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        debug_assert!(b.wrapping_sub(t) <= self.mask, "deque over-filled: task routing bug");
+        self.slots[b & self.mask].store(task + 1, Ordering::Relaxed);
+        // Publish the slot before the new bottom becomes visible to
+        // stealers: a stealer that observes `bottom > t` is guaranteed to
+        // read the slot value this push stored.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-only: pops the most recently pushed index (LIFO end).
+    pub fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        // `top` can only trail `bottom`, so a relaxed equality read is a
+        // safe emptiness check for the owner (stealers never push).
+        if b == self.top.load(Ordering::Relaxed) {
+            return None;
+        }
+        let b = b - 1;
+        // The SeqCst store/load pair is the heart of Chase–Lev: after the
+        // owner claims slot `b` by lowering `bottom`, it re-reads `top`;
+        // any steal that could race for the same slot must have CASed
+        // `top` before reading `bottom`, so one of the two sides is
+        // guaranteed to see the other's claim.
+        self.bottom.store(b, Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        if t <= b {
+            let v = self.slots[b & self.mask].load(Ordering::Relaxed);
+            if t == b {
+                // Last element: race the stealers for it via `top`.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                return won.then(|| v - 1);
+            }
+            Some(v - 1)
+        } else {
+            // A steal emptied the deque under us; restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief: claims the oldest index (FIFO end) from this deque.
+    ///
+    /// Returns `None` when the deque looks empty *or* when the claim race
+    /// was lost — callers treat both as "try the next victim", so a lost
+    /// race never spins here.
+    pub fn steal(&self) -> Option<usize> {
+        let t = self.top.load(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::SeqCst);
+        if t >= b {
+            return None;
+        }
+        // Read the candidate before the CAS; the successful CAS on `top`
+        // is what makes this thread the unique consumer of position `t`.
+        // The slot cannot have been overwritten with a *different* task:
+        // the buffer never wraps onto [top, bottom) (capacity invariant).
+        let v = self.slots[t & self.mask].load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            debug_assert!(v > 0, "claimed a never-written slot");
+            return Some(v - 1);
+        }
+        None
+    }
+
+    /// Entries currently enqueued (approximate under concurrency; exact
+    /// when only the owner is active).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b.saturating_sub(t)
+    }
+
+    /// Whether the deque currently looks empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let d = StealDeque::new(8);
+        for i in 0..4 {
+            d.push(i);
+        }
+        assert_eq!(d.len(), 4);
+        // Owner pops newest first.
+        assert_eq!(d.pop(), Some(3));
+        // Thief steals oldest first.
+        assert_eq!(d.steal(), Some(0));
+        assert_eq!(d.steal(), Some(1));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn push_pop_cycles_reuse_the_ring() {
+        // Far more operations than capacity: exercises index wrap-around.
+        let d = StealDeque::new(3);
+        for round in 0..100usize {
+            d.push(round % 3);
+            d.push((round + 1) % 3);
+            assert_eq!(d.pop(), Some((round + 1) % 3));
+            assert_eq!(d.steal(), Some(round % 3));
+            assert!(d.is_empty());
+        }
+    }
+
+    #[test]
+    fn concurrent_stealers_claim_each_task_exactly_once() {
+        // One owner pushes N tasks and pops; 3 thieves hammer steal. Every
+        // task must be consumed exactly once across all four threads.
+        const N: usize = 2_000;
+        let d = StealDeque::new(N);
+        let consumed = Mutex::new(Vec::<usize>::new());
+        static DONE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+        DONE.store(false, Ordering::Release);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        if let Some(v) = d.steal() {
+                            mine.push(v);
+                            continue;
+                        }
+                        if DONE.load(Ordering::Acquire) && d.is_empty() {
+                            // One last drain attempt after the producer
+                            // quiesced, then stop.
+                            if let Some(v) = d.steal() {
+                                mine.push(v);
+                                continue;
+                            }
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    consumed.lock().unwrap().extend(mine);
+                });
+            }
+            let mut mine = Vec::new();
+            for i in 0..N {
+                d.push(i);
+                if i % 5 == 0 {
+                    if let Some(v) = d.pop() {
+                        mine.push(v);
+                    }
+                }
+            }
+            while let Some(v) = d.pop() {
+                mine.push(v);
+            }
+            DONE.store(true, Ordering::Release);
+            consumed.lock().unwrap().extend(mine);
+        });
+        let got = consumed.into_inner().unwrap();
+        assert_eq!(got.len(), N, "every task consumed exactly once");
+        let distinct: HashSet<usize> = got.iter().copied().collect();
+        assert_eq!(distinct.len(), N, "no task consumed twice");
+    }
+}

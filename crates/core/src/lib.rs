@@ -56,7 +56,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunk;
 pub mod config;
+pub mod deque;
 pub mod entry;
 pub mod fault;
 pub mod mmu;
@@ -70,7 +72,9 @@ pub mod shootdown;
 pub mod skew;
 pub mod system;
 
+pub use chunk::{run_jobs_chunked, run_jobs_chunked_with, ChunkSim};
 pub use config::{PomTlbConfig, SimConfig, SystemConfig};
+pub use deque::StealDeque;
 pub use entry::PomEntry;
 pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultStats};
 pub use mmu::{CoreMmu, MmuHit};

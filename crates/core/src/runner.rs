@@ -77,7 +77,7 @@ pub struct Sabotage {
 impl Sabotage {
     /// Panics with the configured message if any sabotaged attempts
     /// remain, consuming one; otherwise returns normally.
-    fn trip(&self) {
+    pub(crate) fn trip(&self) {
         let mut cur = self.remaining.load(Ordering::Relaxed);
         while cur > 0 {
             match self.remaining.compare_exchange(
@@ -158,6 +158,14 @@ impl SimJob {
         if let Some(sabotage) = &self.sabotage {
             sabotage.trip();
         }
+        self.to_simulation().run()
+    }
+
+    /// Builds the [`Simulation`] this job describes, without running it.
+    /// The chunked scheduler uses this to [`Simulation::begin`] a
+    /// resumable run; sabotage is *not* tripped here (it belongs to the
+    /// execution attempt, not to construction).
+    pub fn to_simulation(&self) -> Simulation {
         let mut sim = Simulation::new(&self.spec, self.scheme, self.sim)
             .shared_memory(self.shared_memory)
             .with_system_config(self.sys.clone())
@@ -171,7 +179,7 @@ impl SimJob {
         if let Some(faults) = self.faults {
             sim = sim.with_faults(faults);
         }
-        sim.run()
+        sim
     }
 }
 
@@ -409,7 +417,7 @@ pub fn default_jobs() -> usize {
 }
 
 /// Extracts a human-readable message from a caught panic payload.
-fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -463,7 +471,7 @@ fn run_one(job: &SimJob, policy: &RunPolicy) -> JobOutcome {
 /// Locks a mutex, tolerating poison: a panicking sibling must never cost
 /// the batch its completed results (the poisoned state is just "a panic
 /// happened while held", and slot writes are single plain stores).
-fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poison| poison.into_inner())
 }
 

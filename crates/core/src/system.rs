@@ -22,13 +22,8 @@ use pomtlb_sram_model::SramModel;
 use pomtlb_tlb::{NestedWalker, SramTlb, TlbConfig, Tsb, VirtTables};
 use std::sync::Arc;
 
-use pomtlb_trace::{
-    AddressLayout, CoreItem, Interleaver, OsEvent, OsEventKind, SharedTrace, TraceItem,
-    WorkloadSpec, WorkloadStream, PROMOTE_WINDOW_PAGES,
-};
-use pomtlb_types::{
-    AccessKind, AddressSpace, CoreId, Cycles, Gva, Hpa, PageSize, ProcessId, VmId,
-};
+use pomtlb_trace::{OsEvent, OsEventKind, SharedTrace, WorkloadSpec, PROMOTE_WINDOW_PAGES};
+use pomtlb_types::{AccessKind, AddressSpace, CoreId, Cycles, Gva, Hpa, PageSize, VmId};
 
 use crate::config::{SimConfig, SystemConfig};
 use crate::fault::{fault_key, FaultConfig, FaultKind, FaultState, FaultStats};
@@ -61,6 +56,13 @@ struct Counters {
 ///
 /// Most users drive this through [`Simulation`]; direct access is for
 /// custom experiments (see the `custom_workload` example).
+///
+/// `Clone` is the system-state snapshot primitive: every component is a
+/// plain owned value (the SoA TLB/cache arrays clone as flat memcpys, the
+/// page tables as arena copies), so a clone is a consistent mid-stream
+/// checkpoint the chunked scheduler and the fork-modeling example restore
+/// from.
+#[derive(Clone)]
 pub struct System {
     config: SystemConfig,
     scheme: Scheme,
@@ -768,15 +770,15 @@ pub fn simulations_run() -> u64 {
 /// interleaver, the tables and the [`System`]; maps pages on demand; warms
 /// up; measures.
 pub struct Simulation {
-    spec: WorkloadSpec,
-    scheme: Scheme,
-    sim_cfg: SimConfig,
-    sys_cfg: SystemConfig,
-    shared_memory: bool,
-    prepopulate: bool,
-    check_consistency: Option<bool>,
-    trace: Option<Arc<SharedTrace>>,
-    faults: Option<FaultConfig>,
+    pub(crate) spec: WorkloadSpec,
+    pub(crate) scheme: Scheme,
+    pub(crate) sim_cfg: SimConfig,
+    pub(crate) sys_cfg: SystemConfig,
+    pub(crate) shared_memory: bool,
+    pub(crate) prepopulate: bool,
+    pub(crate) check_consistency: Option<bool>,
+    pub(crate) trace: Option<Arc<SharedTrace>>,
+    pub(crate) faults: Option<FaultConfig>,
 }
 
 impl Simulation {
@@ -851,131 +853,22 @@ impl Simulation {
     }
 
     /// Runs the simulation to completion.
+    ///
+    /// Equivalent to [`Simulation::begin`] followed by advancing the
+    /// resulting [`crate::chunk::ChunkSim`] through the whole reference
+    /// budget in one chunk — the chunked scheduler and this method execute
+    /// the identical per-reference loop, which is why chunking cannot
+    /// perturb a report.
     pub fn run(self) -> SimReport {
+        let mut chunk = self.begin();
+        chunk.advance(u64::MAX);
+        chunk.finish()
+    }
+
+    /// Bumps the process-wide simulation counter; called exactly once per
+    /// run, from [`Simulation::begin`].
+    pub(crate) fn note_simulation_started() {
         SIMULATIONS_RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let n = self.sys_cfg.n_cores;
-        let walk_mode = self.sys_cfg.walk_mode;
-        let workload_name = self.spec.name.clone();
-        let mut system = System::new(self.sys_cfg, self.scheme);
-        if let Some(on) = self.check_consistency {
-            system.set_check_consistency(on);
-        }
-        if let Some(cfg) = self.faults {
-            system.set_fault_plan(cfg);
-        }
-
-        let spaces: Vec<AddressSpace> = (0..n)
-            .map(|c| {
-                let pid = if self.shared_memory { 0 } else { c as u16 };
-                AddressSpace::new(VmId(0), ProcessId(pid))
-            })
-            .collect();
-        let n_spaces = if self.shared_memory { 1 } else { n };
-        let mut tables: Vec<VirtTables> = (0..n_spaces)
-            .map(|i| VirtTables::with_region(walk_mode, i as u32))
-            .collect();
-        let layout = AddressLayout::of_spec(&self.spec);
-
-        if self.prepopulate {
-            for (idx, tables) in tables.iter_mut().enumerate() {
-                let space = spaces
-                    .iter()
-                    .find(|s| {
-                        let pid = if self.shared_memory { 0 } else { idx as u16 };
-                        s.process.0 == pid
-                    })
-                    .copied()
-                    .expect("space exists for table");
-                for (page, size) in layout.pages() {
-                    let hpa = tables.ensure_mapped(page, size);
-                    system.note_mapped(space, page, size, hpa);
-                    system.prepopulate_translation(space, page, size, hpa);
-                }
-            }
-        }
-
-        let warm_total = self.sim_cfg.warmup_per_core * n as u64;
-        let main_total = self.sim_cfg.refs_per_core * n as u64;
-
-        // Input stream: live generators, or a shared recording of the
-        // identical stream (one generation amortized over a whole batch).
-        let mut merged: Box<dyn Iterator<Item = CoreItem<TraceItem>>> = match &self.trace {
-            Some(trace) => {
-                assert!(
-                    trace.matches(
-                        &self.spec,
-                        self.sim_cfg.seed,
-                        n,
-                        self.shared_memory,
-                        warm_total + main_total,
-                    ),
-                    "shared trace was recorded for different parameters than this run"
-                );
-                Box::new(trace.replay())
-            }
-            None => {
-                let streams: Vec<WorkloadStream> = (0..n)
-                    .map(|c| {
-                        WorkloadStream::new(
-                            &self.spec,
-                            self.sim_cfg.seed + c as u64,
-                            spaces[c],
-                            n as u16,
-                        )
-                    })
-                    .collect();
-                Box::new(Interleaver::new(streams))
-            }
-        };
-        let mut core_stall = vec![Cycles::ZERO; n];
-        let mut icount_latest = vec![0u64; n];
-        let mut icount_base = vec![0u64; n];
-
-        let mut refs_done = 0u64;
-        while refs_done < warm_total + main_total {
-            let ci = merged.next().expect("streams are infinite");
-            let core = ci.core;
-            let space_idx = if self.shared_memory { 0 } else { core.index() };
-            let mref = match ci.item {
-                TraceItem::Event(event) => {
-                    // OS events stall the initiating core but are not
-                    // memory references: they don't consume the ref budget
-                    // and don't advance the instruction count.
-                    let penalty =
-                        system.handle_os_event(core, &event, &mut tables[space_idx]);
-                    core_stall[core.index()] += penalty;
-                    continue;
-                }
-                TraceItem::Ref(mref) => mref,
-            };
-            if refs_done == warm_total {
-                system.reset_stats();
-                icount_base.copy_from_slice(&icount_latest);
-            }
-            refs_done += 1;
-            let size = layout
-                .page_size_of(mref.addr)
-                .expect("generator addresses stay inside the layout");
-            let hpa = tables[space_idx].ensure_mapped(mref.addr, size);
-            system.note_mapped(mref.space, mref.addr, size, hpa);
-            // Per-core wall clock: instruction progress plus translation
-            // stalls (blocking, §2.2) plus half the data latency — data
-            // accesses are non-blocking and overlap with execution via
-            // memory-level parallelism, so they advance the clock at a
-            // discounted rate. This paces DRAM arrivals realistically.
-            let now = Cycles::new(mref.icount) + core_stall[core.index()];
-            let (penalty, data_latency) =
-                system.access(core, mref.space, mref.addr, mref.kind, &tables[space_idx], now);
-            core_stall[core.index()] += penalty + Cycles::new(data_latency.raw() / 2);
-            icount_latest[core.index()] = mref.icount;
-        }
-
-        let instructions: u64 = icount_latest
-            .iter()
-            .zip(&icount_base)
-            .map(|(latest, base)| latest - base)
-            .sum();
-        system.report(&workload_name, instructions)
     }
 }
 
@@ -983,6 +876,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use pomtlb_trace::LocalityModel;
+    use pomtlb_types::ProcessId;
 
     /// A footprint the POM-TLB can fully capture within the test budget:
     /// bigger than the L2 TLB's reach (so misses happen) but small enough
@@ -1027,6 +921,37 @@ mod tests {
         // touched several times per page — the POM-TLB needs one touch per
         // page to capture a translation.
         SimConfig { refs_per_core: 30_000, warmup_per_core: 30_000, seed: 11 }
+    }
+
+    #[test]
+    fn cloned_system_is_an_independent_machine_snapshot() {
+        // `System: Clone` is the whole-machine snapshot primitive behind
+        // chunk retry and fork modeling: a clone must carry every cached
+        // translation, and divergence (a shootdown storm in the clone)
+        // must leave the original untouched.
+        let space = AddressSpace::new(VmId(0), ProcessId(0));
+        let mut tables = VirtTables::with_region(pomtlb_tlb::WalkMode::Virtualized, 0);
+        let mut system = System::new(tiny_sys(2), Scheme::pom_tlb());
+        let pages: Vec<Gva> = (0..64u64).map(|i| Gva::new(0x4000_0000 + (i << 12))).collect();
+        let mut now = Cycles::ZERO;
+        for page in &pages {
+            let hpa = tables.ensure_mapped(*page, PageSize::Small4K);
+            system.note_mapped(space, *page, PageSize::Small4K, hpa);
+            let _ = system.access(CoreId(0), space, *page, AccessKind::Read, &tables, now);
+            now += Cycles::new(50);
+        }
+        let mut fork = system.clone();
+        for page in &pages {
+            assert!(fork.pom().contains(space, *page, PageSize::Small4K), "clone carries state");
+            assert!(fork.shootdown(space, *page, PageSize::Small4K) > 0);
+        }
+        for page in &pages {
+            assert!(!fork.pom().contains(space, *page, PageSize::Small4K));
+            assert!(
+                system.pom().contains(space, *page, PageSize::Small4K),
+                "original untouched by the clone's shootdown storm"
+            );
+        }
     }
 
     #[test]

@@ -358,6 +358,69 @@ impl RadixPageTable {
     pub fn node_bytes(&self) -> u64 {
         self.node_phys.len() as u64 * NODE_BYTES
     }
+
+    /// Captures the table's complete state. The arena layout makes this a
+    /// handful of `Vec` memcpys — no per-node traversal.
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            root: self.root,
+            slots: self.slots.clone(),
+            node_phys: self.node_phys.clone(),
+            n_small: self.n_small,
+            n_large: self.n_large,
+            alloc: self.alloc.clone(),
+            new_nodes: self.new_nodes.clone(),
+        }
+    }
+
+    /// Rewinds the table to a previously captured [`TableSnapshot`].
+    ///
+    /// Restoring into the table that took the snapshot reuses its existing
+    /// slot storage (mappings installed since the snapshot only ever *grow*
+    /// the arena, so the capacity is already there) — the rewind is a
+    /// memcpy, not a reallocation.
+    pub fn restore(&mut self, snap: &TableSnapshot) {
+        self.root = snap.root;
+        self.slots.clear();
+        self.slots.extend_from_slice(&snap.slots);
+        self.node_phys.clear();
+        self.node_phys.extend_from_slice(&snap.node_phys);
+        self.n_small = snap.n_small;
+        self.n_large = snap.n_large;
+        self.alloc = snap.alloc.clone();
+        self.new_nodes.clear();
+        self.new_nodes.extend_from_slice(&snap.new_nodes);
+    }
+}
+
+/// A point-in-time copy of one [`RadixPageTable`]'s complete state — the
+/// flat slot arena, the node address list, and the frame allocator cursor.
+///
+/// Because the table is a single contiguous arena, capture and
+/// [`RadixPageTable::restore`] are both O(table bytes) memcpys with no
+/// pointer graph to chase; this is what makes fork/VM-clone modeling and
+/// mid-stream chunk resumption cheap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableSnapshot {
+    root: u64,
+    slots: Vec<u64>,
+    node_phys: Vec<u64>,
+    n_small: u64,
+    n_large: u64,
+    alloc: FrameAlloc,
+    new_nodes: Vec<u64>,
+}
+
+impl TableSnapshot {
+    /// Bytes of arena state this snapshot carries (slot words + node list).
+    pub fn arena_bytes(&self) -> u64 {
+        (self.slots.len() * 8 + self.node_phys.len() * 8) as u64
+    }
+
+    /// Number of leaf mappings the captured table held.
+    pub fn mapping_count(&self) -> u64 {
+        self.n_small + self.n_large
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -557,6 +620,56 @@ impl VirtTables {
     /// Total page-table node bytes across both dimensions.
     pub fn node_bytes(&self) -> u64 {
         self.host.node_bytes() + self.guest.as_ref().map_or(0, |g| g.node_bytes())
+    }
+
+    /// Captures the full translation state of this address space: both
+    /// radix tables and both data-frame allocators.
+    pub fn snapshot(&self) -> TablesSnapshot {
+        TablesSnapshot {
+            mode: self.mode,
+            guest: self.guest.as_ref().map(RadixPageTable::snapshot),
+            host: self.host.snapshot(),
+            guest_data: self.guest_data.clone(),
+            host_data: self.host_data.clone(),
+        }
+    }
+
+    /// Rewinds to a previously captured [`TablesSnapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a [`VirtTables`] of the other
+    /// [`WalkMode`] — snapshots only rewind the address space they were
+    /// taken from (or a clone of it).
+    pub fn restore(&mut self, snap: &TablesSnapshot) {
+        assert_eq!(self.mode, snap.mode, "snapshot walk mode mismatch");
+        match (&mut self.guest, &snap.guest) {
+            (Some(table), Some(s)) => table.restore(s),
+            (None, None) => {}
+            _ => unreachable!("mode equality implies matching guest presence"),
+        }
+        self.host.restore(&snap.host);
+        self.guest_data = snap.guest_data.clone();
+        self.host_data = snap.host_data.clone();
+    }
+}
+
+/// A point-in-time copy of a whole [`VirtTables`] — guest and host
+/// [`TableSnapshot`]s plus the data-frame allocator cursors. Captured by
+/// [`VirtTables::snapshot`], rewound by [`VirtTables::restore`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TablesSnapshot {
+    mode: WalkMode,
+    guest: Option<TableSnapshot>,
+    host: TableSnapshot,
+    guest_data: FrameAlloc,
+    host_data: FrameAlloc,
+}
+
+impl TablesSnapshot {
+    /// Total arena bytes across both dimensions.
+    pub fn arena_bytes(&self) -> u64 {
+        self.host.arena_bytes() + self.guest.as_ref().map_or(0, TableSnapshot::arena_bytes)
     }
 }
 
@@ -770,6 +883,93 @@ mod tests {
         vt.ensure_mapped(gva, PageSize::Small4K);
         assert!(vt.unmap(gva, PageSize::Small4K));
         assert_eq!(vt.translate(gva), None);
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_mappings() {
+        let mut t = RadixPageTable::new(FrameAlloc::new(0x10_0000, 1 << 30));
+        t.map(0x1000_0000_0000, PageSize::Small4K, 0x1000);
+        t.map(0x2000_0020_0000, PageSize::Large2M, 0x4000_0000);
+        let snap = t.snapshot();
+        let bytes_at_snap = t.node_bytes();
+
+        // Diverge: add, remove, and remap.
+        t.map(0x3000_0000_0000, PageSize::Small4K, 0x5000);
+        t.map(0x1000_0000_0000, PageSize::Small4K, 0x7000);
+        assert!(t.unmap(0x2000_0020_0000, PageSize::Large2M));
+        assert!(t.node_bytes() > bytes_at_snap);
+
+        t.restore(&snap);
+        assert_eq!(t.node_bytes(), bytes_at_snap);
+        assert_eq!(t.mapping_count(), 2);
+        assert_eq!(t.translate(0x1000_0000_0000), Some(0x1000));
+        assert_eq!(t.translate_page(0x2000_0020_0000), Some((0x4000_0000, PageSize::Large2M)));
+        assert_eq!(t.translate(0x3000_0000_0000), None);
+        // The allocator cursor rewound too: mapping again reuses the same
+        // frames the diverged timeline consumed.
+        t.map(0x3000_0000_0000, PageSize::Small4K, 0x5000);
+        assert_eq!(t.translate(0x3000_0000_0000), Some(0x5000));
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_later_edits() {
+        let mut t = RadixPageTable::new(FrameAlloc::new(0x10_0000, 1 << 30));
+        t.map(0x1000, PageSize::Small4K, 0x9000);
+        let snap = t.snapshot();
+        let count = snap.mapping_count();
+        t.map(0x2000, PageSize::Small4K, 0xa000);
+        t.map(0x3000, PageSize::Small4K, 0xb000);
+        assert_eq!(snap.mapping_count(), count, "snapshot is a copy, not a view");
+        t.restore(&snap);
+        assert_eq!(t.mapping_count(), 1);
+        assert_eq!(t.translate(0x2000), None);
+    }
+
+    #[test]
+    fn virt_tables_snapshot_round_trip() {
+        let mut vt = VirtTables::new(WalkMode::Virtualized);
+        let gva_a = Gva::new(0x1000_0000_0000);
+        let hpa_a = vt.ensure_mapped(gva_a, PageSize::Small4K);
+        let snap = vt.snapshot();
+        assert!(snap.arena_bytes() > 0);
+
+        let gva_b = Gva::new(0x2000_0000_0000);
+        vt.ensure_mapped(gva_b, PageSize::Small4K);
+        assert!(vt.unmap(gva_a, PageSize::Small4K));
+
+        vt.restore(&snap);
+        assert_eq!(vt.translate(gva_a), Some(hpa_a));
+        assert_eq!(vt.translate(gva_b), None);
+        // Re-running the diverged history replays identically: demand
+        // allocation is deterministic from the rewound cursors.
+        let hpa_b1 = vt.ensure_mapped(gva_b, PageSize::Small4K);
+        vt.restore(&snap);
+        let hpa_b2 = vt.ensure_mapped(gva_b, PageSize::Small4K);
+        assert_eq!(hpa_b1, hpa_b2);
+    }
+
+    #[test]
+    fn snapshot_restores_across_clones() {
+        // Fork modeling: clone the space, diverge the child, and verify the
+        // parent's snapshot still rewinds the child to the fork point.
+        let mut parent = VirtTables::new(WalkMode::Virtualized);
+        let gva = Gva::new(0x1000_0000_0000);
+        let hpa = parent.ensure_mapped(gva, PageSize::Small4K);
+        let fork_point = parent.snapshot();
+        let mut child = parent.clone();
+        child.ensure_mapped(Gva::new(0x7000_0000_0000), PageSize::Small4K);
+        assert!(child.unmap(gva, PageSize::Small4K));
+        child.restore(&fork_point);
+        assert_eq!(child.translate(gva), Some(hpa));
+        assert_eq!(child.translate(Gva::new(0x7000_0000_0000)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "walk mode mismatch")]
+    fn snapshot_mode_mismatch_panics() {
+        let native = VirtTables::new(WalkMode::Native);
+        let mut virt = VirtTables::new(WalkMode::Virtualized);
+        virt.restore(&native.snapshot());
     }
 
     #[test]

@@ -23,12 +23,14 @@ pub mod cycles;
 pub mod fasthash;
 pub mod ids;
 pub mod page;
+pub mod simd;
 
 pub use addr::{Gpa, Gva, Hpa};
 pub use cycles::Cycles;
 pub use fasthash::{FastHasher, FastMap, FastSet};
 pub use ids::{AddressSpace, CoreId, ProcessId, VmId};
 pub use page::{PageSize, Ppn, Vpn};
+pub use simd::match_mask;
 
 /// The cache line (and die-stacked DRAM burst) size used throughout the
 /// paper: 64 bytes. Four 16-byte POM-TLB entries fit in one line, which is

@@ -1,0 +1,111 @@
+//! Branch-free multi-lane tag comparison for SoA lookup structures.
+//!
+//! `SetAssocCache` and `SramTlb` keep each set's tags in a dense,
+//! way-contiguous slice precisely so a probe can compare the whole
+//! set at once instead of chasing valid bits one way at a time. The helper
+//! here is that probe: a `u64x4`-by-hand equality compare producing a
+//! per-way hit bitmask the caller ANDs with its valid mask.
+//!
+//! Written as four independent scalar compares per iteration rather than
+//! explicit vector intrinsics so the crate stays portable, safe, and on
+//! stable Rust; the loop body is branch-free and the lanes carry no
+//! cross-iteration dependency, which is exactly the shape LLVM's
+//! auto-vectorizer turns into `pcmpeqq`/`cmeq` vectors on x86-64/aarch64.
+
+/// Compares every element of `tags` against `needle`, returning a bitmask
+/// with bit `i` set iff `tags[i] == needle`.
+///
+/// The mask is well-defined for up to 64 tags (one bit per way); callers
+/// AND it with their per-set valid mask and take `trailing_zeros` for the
+/// lowest matching way. Slices longer than 64 would alias bits and are a
+/// caller bug (set associativity in this workspace tops out at 32).
+#[inline]
+pub fn match_mask(tags: &[u64], needle: u64) -> u64 {
+    debug_assert!(tags.len() <= 64, "mask bits alias past 64 ways");
+    let mut mask = 0u64;
+    let mut chunks = tags.chunks_exact(4);
+    let mut base = 0u32;
+    for quad in &mut chunks {
+        // Four independent, branch-free lanes: each compare is a 0/1 that
+        // lands on its own bit. No early exit — the whole set is probed in
+        // one pass like a hardware CAM.
+        let m0 = (quad[0] == needle) as u64;
+        let m1 = (quad[1] == needle) as u64;
+        let m2 = (quad[2] == needle) as u64;
+        let m3 = (quad[3] == needle) as u64;
+        mask |= (m0 | (m1 << 1) | (m2 << 2) | (m3 << 3)) << base;
+        base += 4;
+    }
+    for (i, &t) in chunks.remainder().iter().enumerate() {
+        mask |= ((t == needle) as u64) << (base + i as u32);
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The obvious one-way-at-a-time reference the fast path must agree
+    /// with everywhere.
+    fn reference(tags: &[u64], needle: u64) -> u64 {
+        tags.iter()
+            .enumerate()
+            .filter(|(_, &t)| t == needle)
+            .fold(0u64, |m, (i, _)| m | (1 << i))
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(match_mask(&[], 7), 0);
+        assert_eq!(match_mask(&[7], 7), 1);
+        assert_eq!(match_mask(&[8], 7), 0);
+    }
+
+    #[test]
+    fn hits_land_on_their_way_bit() {
+        let tags = [10, 20, 30, 40, 50, 60, 70, 80];
+        for (i, &t) in tags.iter().enumerate() {
+            assert_eq!(match_mask(&tags, t), 1 << i, "way {i}");
+        }
+        assert_eq!(match_mask(&tags, 99), 0);
+    }
+
+    #[test]
+    fn duplicate_tags_set_multiple_bits() {
+        let tags = [5, 9, 5, 9, 5];
+        assert_eq!(match_mask(&tags, 5), 0b10101);
+        assert_eq!(match_mask(&tags, 9), 0b01010);
+    }
+
+    #[test]
+    fn remainder_lanes_are_covered() {
+        // Lengths that exercise 0..=3 remainder elements after the quads.
+        for len in 0..=19usize {
+            let tags: Vec<u64> = (0..len as u64).map(|i| i * 3).collect();
+            for needle in 0..len as u64 * 3 + 2 {
+                assert_eq!(
+                    match_mask(&tags, needle),
+                    reference(&tags, needle),
+                    "len {len} needle {needle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_reference_on_adversarial_patterns() {
+        // Sentinel-looking values, all-equal sets, and max-width sets.
+        let cases: Vec<Vec<u64>> = vec![
+            vec![0; 12],
+            vec![u64::MAX; 7],
+            (0..64).map(|i| i % 4).collect(),
+            (0..64).collect(),
+        ];
+        for tags in &cases {
+            for needle in [0u64, 1, 2, 3, 5, 63, u64::MAX] {
+                assert_eq!(match_mask(tags, needle), reference(tags, needle));
+            }
+        }
+    }
+}
