@@ -61,6 +61,18 @@
 //! NEW top-level `"chunked"` object; every pre-existing field keeps its
 //! name and meaning.
 //!
+//! A concurrent-serve pass measures the daemon's closed-loop throughput:
+//! eight clients on per-connection handles over one shared warm core,
+//! each repeating one identical compare request, against the same request
+//! stream answered one conversation at a time with disk memoization only
+//! (the pre-concurrency daemon shape). The pass hard-fails unless every
+//! response is byte-identical to the sequential run's, at least one
+//! client coalesced onto the leader's flight, exactly one computation's
+//! worth of simulation jobs ran, and throughput is at least 3x the
+//! sequential baseline. The numbers land in a NEW top-level
+//! `"serve_concurrent"` object — every pre-existing field keeps its name
+//! and meaning.
+//!
 //! The record is written with a local JSON emitter rather than a serde
 //! round trip: the artifact is diffed across commits by CI, so its byte
 //! layout should depend only on this file.
@@ -72,7 +84,8 @@ use std::time::{Duration, Instant};
 
 use pom_tlb::{
     default_jobs, run_jobs, run_jobs_chunked, run_jobs_with, share_traces,
-    share_traces_with_store, JobResult, RunPolicy, Scheme, ShareOutcome, SimConfig, SimJob,
+    share_traces_with_store, simulations_run, JobResult, RunPolicy, Scheme, ShareOutcome,
+    SimConfig, SimJob,
 };
 use pomtlb_serve::{ServeConfig, Service};
 use pomtlb_trace::TraceStore;
@@ -401,6 +414,110 @@ fn main() -> ExitCode {
         0.0
     };
 
+    // Concurrent-serve pass (PR 8): the same memoized-heavy request mix —
+    // every client repeating one identical compare — answered two ways.
+    // The sequential baseline is the pre-concurrency daemon shape: one
+    // conversation at a time, disk memoization only (hot tier off), every
+    // warm answer paying the POMREP1 read + checksum + manifest touch.
+    // The concurrent pass is the production shape: K closed-loop clients
+    // on per-connection handles over one shared warm core, the first wave
+    // coalescing onto a single flight and every repeat served by the
+    // in-memory hot tier. Gates (all hard): every response byte-identical
+    // to the sequential run's, at least one coalesced splice, exactly one
+    // computation's worth of simulation jobs during the concurrent pass,
+    // and closed-loop throughput at least 3x the sequential baseline.
+    // A small pinned request keeps the one computation from dominating
+    // either pass: the contrast under test is the per-repeat answer path
+    // (disk read + checksum + manifest touch vs an in-memory probe), so
+    // the repeats must be the bulk of the wall time.
+    const CONC_CLIENTS: usize = 8;
+    const CONC_REPEATS: usize = 1_200;
+    let conc_request = "{\"id\":\"conc\",\"kind\":\"compare\",\"workload\":\"gups\",\
+                        \"cores\":2,\"refs\":800,\"warmup\":200}";
+    let conc_total = CONC_CLIENTS * (1 + CONC_REPEATS);
+    let conc_service = |tag: &str, hot: u64, dir: &std::path::Path| -> Result<Service, String> {
+        Service::new(ServeConfig {
+            report_dir: Some(dir.to_path_buf()),
+            hot_max_bytes: hot,
+            ..Default::default()
+        })
+        .map_err(|e| format!("cannot open {tag} serve service: {e}"))
+    };
+    let conc_root =
+        std::env::temp_dir().join(format!("pomtlb-perf-conc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&conc_root);
+
+    let seq_dir = conc_root.join("sequential");
+    let mut seq_svc = match conc_service("sequential", 0, &seq_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seq_start = Instant::now();
+    let mut seq_body = String::new();
+    let mut seq_ok = true;
+    for i in 0..conc_total {
+        let Some(line) = seq_svc.handle_line(conc_request) else {
+            seq_ok = false;
+            break;
+        };
+        let body = body_of(&line);
+        if i == 0 {
+            seq_body = body;
+        } else if body != seq_body {
+            seq_ok = false;
+            break;
+        }
+    }
+    let seq_wall = seq_start.elapsed();
+
+    let conc_dir = conc_root.join("concurrent");
+    let conc_svc =
+        match conc_service("concurrent", pomtlb_serve::DEFAULT_HOT_MAX_BYTES, &conc_dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let sims_before = simulations_run();
+    let conc_barrier = std::sync::Barrier::new(CONC_CLIENTS);
+    let conc_start = Instant::now();
+    let client_ok: Vec<bool> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONC_CLIENTS)
+            .map(|_| {
+                let mut conn = conc_svc.connection();
+                let barrier = &conc_barrier;
+                let expect = seq_body.as_str();
+                scope.spawn(move || {
+                    barrier.wait();
+                    (0..1 + CONC_REPEATS).all(|_| {
+                        conn.handle_line(conc_request)
+                            .is_some_and(|line| body_of(&line) == expect)
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap_or(false)).collect()
+    });
+    let conc_wall = conc_start.elapsed();
+    let sims_during_conc = simulations_run() - sims_before;
+    let conc_counters = conc_svc.counters();
+    let _ = std::fs::remove_dir_all(&conc_root);
+
+    let conc_identical = seq_ok && !seq_body.is_empty() && client_ok.iter().all(|ok| *ok);
+    let seq_ms = seq_wall.as_secs_f64() * 1e3;
+    let conc_ms = conc_wall.as_secs_f64() * 1e3;
+    let throughput_x = if conc_ms > 0.0 { seq_ms / conc_ms } else { 0.0 };
+    // One compare request = one simulation job per scheme.
+    let one_computation = SCHEMES.len() as u64;
+    let serve_concurrent_ok = conc_identical
+        && conc_counters.coalesced >= 1
+        && sims_during_conc == one_computation
+        && throughput_x >= 3.0;
+
     let deterministic = same_reports(&serial, &parallel)
         && same_reports(&serial, &cached)
         && same_reports(&serial, &recorded_results)
@@ -549,6 +666,21 @@ fn main() -> ExitCode {
     let _ = writeln!(j, "    \"hit_ratio\": {},", jnum(report_hit_ratio));
     let _ = writeln!(j, "    \"memoized_ok\": {memoized_ok}");
     j.push_str("  },\n");
+    j.push_str("  \"serve_concurrent\": {\n");
+    let _ = writeln!(j, "    \"clients\": {CONC_CLIENTS},");
+    let _ = writeln!(j, "    \"requests_per_client\": {},", 1 + CONC_REPEATS);
+    let _ = writeln!(j, "    \"sequential_wall_ms\": {},", jnum(seq_ms));
+    let _ = writeln!(j, "    \"concurrent_wall_ms\": {},", jnum(conc_ms));
+    let _ = writeln!(j, "    \"throughput_x\": {},", jnum(throughput_x));
+    let _ = writeln!(
+        j,
+        "    \"tiers\": {{\"computed\": {}, \"memoized\": {}, \"hot\": {}, \"coalesced\": {}}},",
+        conc_counters.computed, conc_counters.memoized, conc_counters.hot, conc_counters.coalesced
+    );
+    let _ = writeln!(j, "    \"simulations_during_concurrent\": {sims_during_conc},");
+    let _ = writeln!(j, "    \"byte_identical\": {conc_identical},");
+    let _ = writeln!(j, "    \"serve_concurrent_ok\": {serve_concurrent_ok}");
+    j.push_str("  },\n");
     if let Some(base_ms) = baseline_serial_ms {
         j.push_str("  \"baseline\": {\n");
         let _ = writeln!(j, "    \"serial_wall_ms\": {},", jnum(base_ms));
@@ -581,7 +713,8 @@ fn main() -> ExitCode {
         "perf_track: serial {:.0} ms, trace-cache {:.0} ms, pooled {:.0} ms on {} workers \
          -> {:.2}x pool / {:.2}x cache; chunked ({} refs/chunk) {:.0} ms -> {:.2}x; store \
          replay {:.0} ms ({} hit(s), {} byte(s) mapped); serve cold {cold_ms:.0} ms vs \
-         memoized {memoized_ms:.0} ms; wrote {}",
+         memoized {memoized_ms:.0} ms; {CONC_CLIENTS} concurrent clients {conc_ms:.0} ms vs \
+         sequential {seq_ms:.0} ms -> {throughput_x:.2}x; wrote {}",
         serial_secs * 1e3,
         cache_secs * 1e3,
         parallel_secs * 1e3,
@@ -623,6 +756,15 @@ fn main() -> ExitCode {
         eprintln!(
             "perf_track: FAIL — warm serve pass was not a byte-identical memoized answer \
              ({report_hits} hit(s), {report_misses} miss(es))"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !serve_concurrent_ok {
+        eprintln!(
+            "perf_track: FAIL — concurrent serve pass broke its contract: byte_identical \
+             {conc_identical}, coalesced {}, simulations {sims_during_conc} (expected \
+             {one_computation}), throughput {throughput_x:.2}x (gate 3.0x)",
+            conc_counters.coalesced
         );
         return ExitCode::FAILURE;
     }

@@ -13,7 +13,8 @@
 //! pomtlb trace-store stats|verify|gc --dir DIR [--max-mb N]
 //! pomtlb report-store stats|verify|gc --dir DIR [--max-mb N]
 //! pomtlb serve [--socket PATH] [--trace-cache-dir DIR] [--report-dir DIR]
-//!              [--report-max-mb N] [--jobs N]
+//!              [--report-max-mb N] [--jobs N] [--max-connections N]
+//!              [--max-inflight N|auto] [--max-queue N] [--hot-cache-mb N]
 //! ```
 //!
 //! Batched commands (`compare`, `shootdown-sweep`, `fault-sweep`) accept
@@ -32,12 +33,18 @@
 //! into the exit code for CI.
 //!
 //! `serve` runs the long-lived sweep service (see `pomtlb_serve`): requests
-//! arrive as JSON lines on stdin (default) or a Unix socket, the trace
-//! store stays warm across requests, and finished response bodies are
-//! memoized in a content-addressed report store at `--report-dir` —
-//! repeated identical requests come back byte-identical from disk, tagged
-//! `"memoized"`. `report-store` inspects such a store with the same three
-//! actions as `trace-store`.
+//! arrive as JSON lines on stdin (default) or a Unix socket — the socket
+//! transport serves up to `--max-connections` conversations concurrently
+//! against one shared warm core. The trace store stays warm across
+//! requests, and finished response bodies are answered from three cache
+//! tiers, each byte-identical to the computed body: an in-memory hot
+//! cache (`"hot"`, sized by `--hot-cache-mb`), the content-addressed
+//! report store at `--report-dir` (`"memoized"`), and single-flight
+//! coalescing of identical requests already computing (`"coalesced"`).
+//! Admission control bounds concurrent computes to `--max-inflight` with
+//! a `--max-queue` backlog; overload gets a typed busy line. The daemon
+//! persists its tier counters into the report dir, and `report-store
+//! stats` (same three actions as `trace-store`) prints them back.
 
 use std::process::ExitCode;
 
@@ -731,6 +738,43 @@ fn run_report_store(args: &[String]) -> ExitCode {
                 store.total_bytes(),
                 store.max_bytes(),
             );
+            // The daemon persists its in-memory tier counters next to the
+            // store (see pomtlb_serve::TierSnapshot), so operators get tier
+            // hit ratios here without parsing perf JSON.
+            if let Some(t) = pomtlb_serve::TierSnapshot::load(store.root()) {
+                let answered = t.computed + t.memoized + t.hot + t.coalesced;
+                let ratio = |n: u64| {
+                    if answered == 0 { 0.0 } else { n as f64 * 100.0 / answered as f64 }
+                };
+                println!(
+                    "serve tiers (last daemon): {} answered — {} computed ({:.1}%), \
+                     {} memoized ({:.1}%), {} hot ({:.1}%), {} coalesced ({:.1}%)",
+                    answered,
+                    t.computed,
+                    ratio(t.computed),
+                    t.memoized,
+                    ratio(t.memoized),
+                    t.hot,
+                    ratio(t.hot),
+                    t.coalesced,
+                    ratio(t.coalesced),
+                );
+                println!(
+                    "  hot cache: {}/{} bytes, {} hits / {} misses, {} eviction(s); \
+                     single-flight: {} led, {} coalesced; admission: {} admitted, \
+                     {} rejected, {} busy line(s)",
+                    t.hot_bytes,
+                    t.hot_max_bytes,
+                    t.hot_hits,
+                    t.hot_misses,
+                    t.hot_evictions,
+                    t.flights_led,
+                    t.flights_coalesced,
+                    t.admitted,
+                    t.rejected,
+                    t.busy,
+                );
+            }
             if !entries.is_empty() {
                 println!(
                     "{:<16} {:<12} {:<14} {:>10} {:>11}",
@@ -814,6 +858,17 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
                 let v = value("--jobs")?;
                 out.cfg.jobs = if v == "auto" { 0 } else { num(&v)? as usize };
             }
+            "--max-connections" => {
+                out.cfg.max_connections = num(&value("--max-connections")?)? as usize;
+            }
+            "--max-inflight" => {
+                let v = value("--max-inflight")?;
+                out.cfg.max_inflight = if v == "auto" { 0 } else { num(&v)? as usize };
+            }
+            "--max-queue" => out.cfg.max_queue = num(&value("--max-queue")?)? as usize,
+            "--hot-cache-mb" => {
+                out.cfg.hot_max_bytes = num(&value("--hot-cache-mb")?)?.saturating_mul(1 << 20);
+            }
             other => return Err(format!("unknown serve flag `{other}`")),
         }
     }
@@ -841,7 +896,7 @@ fn run_serve(args: &[String]) -> ExitCode {
         }
     };
     let served = match parsed.socket {
-        Some(path) => serve_on_socket(&mut service, &path),
+        Some(path) => serve_on_socket(&service, &path),
         None => pomtlb_serve::serve_stdin(&mut service),
     };
     if let Err(e) = served {
@@ -850,19 +905,20 @@ fn run_serve(args: &[String]) -> ExitCode {
     }
     let c = service.counters();
     eprintln!(
-        "pomtlb-serve: done ({} computed, {} memoized, {} error(s))",
-        c.computed, c.memoized, c.errors
+        "pomtlb-serve: done ({} computed, {} memoized, {} hot, {} coalesced, \
+         {} busy, {} error(s))",
+        c.computed, c.memoized, c.hot, c.coalesced, c.busy, c.errors
     );
     ExitCode::SUCCESS
 }
 
 #[cfg(unix)]
-fn serve_on_socket(service: &mut Service, path: &str) -> std::io::Result<()> {
+fn serve_on_socket(service: &Service, path: &str) -> std::io::Result<()> {
     pomtlb_serve::serve_unix(service, std::path::Path::new(path))
 }
 
 #[cfg(not(unix))]
-fn serve_on_socket(_service: &mut Service, _path: &str) -> std::io::Result<()> {
+fn serve_on_socket(_service: &Service, _path: &str) -> std::io::Result<()> {
     Err(std::io::Error::new(
         std::io::ErrorKind::Unsupported,
         "--socket needs Unix domain sockets; use --stdin on this platform",
@@ -953,16 +1009,31 @@ USAGE:
                                                    same, for a store of
                                                    memoized serve responses
   pomtlb serve [--socket PATH] [--trace-cache-dir DIR] [--report-dir DIR]
-               [--report-max-mb N] [--jobs N]
+               [--report-max-mb N] [--jobs N] [--max-connections N]
+               [--max-inflight N|auto] [--max-queue N] [--hot-cache-mb N]
                                                    long-lived sweep service:
                                                    JSON-lines requests on
                                                    stdin (default) or a Unix
-                                                   socket; identical repeat
+                                                   socket. The socket serves
+                                                   up to --max-connections
+                                                   conversations concurrently
+                                                   against one shared warm
+                                                   core; identical repeat
                                                    requests are answered
                                                    byte-identically from the
-                                                   memoized report store at
-                                                   --report-dir, tagged
-                                                   \"memoized\"
+                                                   in-memory hot cache
+                                                   (\"hot\", --hot-cache-mb,
+                                                   0 disables), the memoized
+                                                   report store at
+                                                   --report-dir (\"memoized\"),
+                                                   or an identical request
+                                                   already in flight
+                                                   (\"coalesced\"). At most
+                                                   --max-inflight requests
+                                                   compute at once; past a
+                                                   --max-queue backlog the
+                                                   daemon answers a typed
+                                                   busy line
 
 FLAGS:
   --scheme S        baseline | pom-tlb | pom-uncached | shared-l2 | tsb
@@ -1117,6 +1188,8 @@ mod tests {
         let args: Vec<String> = [
             "--socket", "/tmp/pomtlb.sock", "--trace-cache-dir", "/tmp/traces",
             "--report-dir", "/tmp/reports", "--report-max-mb", "4", "--jobs", "2",
+            "--max-connections", "9", "--max-inflight", "3", "--max-queue", "7",
+            "--hot-cache-mb", "8",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -1127,10 +1200,16 @@ mod tests {
         assert_eq!(p.cfg.report_dir.as_deref(), Some(std::path::Path::new("/tmp/reports")));
         assert_eq!(p.cfg.report_max_bytes, 4 << 20);
         assert_eq!(p.cfg.jobs, 2);
+        assert_eq!(p.cfg.max_connections, 9);
+        assert_eq!(p.cfg.max_inflight, 3);
+        assert_eq!(p.cfg.max_queue, 7);
+        assert_eq!(p.cfg.hot_max_bytes, 8 << 20);
 
         assert!(parse_serve(&["--bogus".into()]).is_err());
         assert!(parse_serve(&["--socket".into()]).is_err());
         assert_eq!(parse_serve(&["--jobs".into(), "auto".into()]).unwrap().cfg.jobs, 0);
+        let auto = parse_serve(&["--max-inflight".into(), "auto".into()]).unwrap();
+        assert_eq!(auto.cfg.max_inflight, 0, "auto admission width");
     }
 
     #[test]

@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod chunk;
 pub mod config;
 pub mod deque;
@@ -72,6 +73,7 @@ pub mod shootdown;
 pub mod skew;
 pub mod system;
 
+pub use admission::{AdmissionControl, AdmissionCounters, AdmissionPermit, Busy};
 pub use chunk::{run_jobs_chunked, run_jobs_chunked_with, ChunkSim};
 pub use config::{PomTlbConfig, SimConfig, SystemConfig};
 pub use deque::StealDeque;

@@ -1,0 +1,266 @@
+//! Single-flight deduplication of identical in-flight requests.
+//!
+//! Two clients asking the same question at the same instant should cost
+//! one computation. [`SingleFlight::join`] is the rendezvous: the first
+//! caller for a given [`request_digest`](crate::request_digest) becomes
+//! the **leader** and computes; every later caller arriving while that
+//! flight is open becomes a **follower** and parks until the leader
+//! [publishes](FlightLeader::publish). Followers receive the leader's
+//! result *by clone of the exact body string*, so a coalesced response is
+//! byte-identical to the led one — the same splice-verbatim contract the
+//! report store keeps on disk.
+//!
+//! Failure is part of the protocol: a leader that unwinds (or returns
+//! early) without publishing still resolves the flight, with
+//! [`FlightFailure::Abandoned`] — a follower can never hang on a dead
+//! leader, because publication lives in [`Drop`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Why a flight produced no body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightFailure {
+    /// The leader was refused by admission control; depths as observed.
+    Busy {
+        /// Compute permits out when the leader was refused.
+        in_flight: usize,
+        /// Admission waiters parked when the leader was refused.
+        queued: usize,
+    },
+    /// The leader computed and failed; the message it reported.
+    Error(String),
+    /// The leader unwound or dropped without publishing.
+    Abandoned,
+}
+
+/// What a flight resolves to: the exact response body, or a typed failure
+/// every follower replays.
+pub type FlightResult = Result<String, FlightFailure>;
+
+#[derive(Debug, Default)]
+struct FlightSlot {
+    result: Option<FlightResult>,
+}
+
+#[derive(Debug, Default)]
+struct Flight {
+    slot: Mutex<FlightSlot>,
+    published: Condvar,
+}
+
+fn lock_slot<'a>(m: &'a Mutex<FlightSlot>) -> MutexGuard<'a, FlightSlot> {
+    // The only write under this lock is the single publication store.
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// The in-flight request table: one open flight per request digest.
+#[derive(Debug, Default)]
+pub struct SingleFlight {
+    open: Mutex<HashMap<[u8; 32], Arc<Flight>>>,
+    led: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// What [`SingleFlight::join`] made of the caller.
+#[derive(Debug)]
+pub enum Joined<'a> {
+    /// First caller for this digest: compute, then publish.
+    Leader(FlightLeader<'a>),
+    /// A flight is already open: wait for the leader's result.
+    Follower(FlightFollower),
+}
+
+impl SingleFlight {
+    /// An empty table.
+    pub fn new() -> SingleFlight {
+        SingleFlight::default()
+    }
+
+    /// Joins the flight for `digest`, opening it if absent. Exactly one
+    /// concurrent caller per digest becomes the leader.
+    pub fn join(&self, digest: [u8; 32]) -> Joined<'_> {
+        let mut open = self
+            .open
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        if let Some(flight) = open.get(&digest) {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Joined::Follower(FlightFollower { flight: Arc::clone(flight) });
+        }
+        let flight = Arc::new(Flight::default());
+        open.insert(digest, Arc::clone(&flight));
+        self.led.fetch_add(1, Ordering::Relaxed);
+        Joined::Leader(FlightLeader { table: self, digest, flight, published: false })
+    }
+
+    /// Flights currently open (leaders that have not yet published).
+    pub fn in_flight(&self) -> usize {
+        self.open
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .len()
+    }
+
+    /// Callers that became leaders, cumulatively.
+    pub fn led(&self) -> u64 {
+        self.led.load(Ordering::Relaxed)
+    }
+
+    /// Callers that became followers, cumulatively.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    fn resolve(&self, digest: &[u8; 32], flight: &Arc<Flight>, result: FlightResult) {
+        // Close the flight first: a caller arriving after this point opens
+        // a fresh one (and will typically hit the hot cache instead).
+        self.open
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .remove(digest);
+        lock_slot(&flight.slot).result = Some(result);
+        flight.published.notify_all();
+    }
+}
+
+/// The leader's half of an open flight: publish exactly once; dropping
+/// unpublished resolves the flight as [`FlightFailure::Abandoned`].
+#[derive(Debug)]
+pub struct FlightLeader<'a> {
+    table: &'a SingleFlight,
+    digest: [u8; 32],
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+impl FlightLeader<'_> {
+    /// Resolves the flight: every parked follower wakes with a clone of
+    /// `result`, and the digest is free for a new flight.
+    pub fn publish(mut self, result: FlightResult) {
+        self.published = true;
+        self.table.resolve(&self.digest, &self.flight, result);
+    }
+}
+
+impl Drop for FlightLeader<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.table
+                .resolve(&self.digest, &self.flight, Err(FlightFailure::Abandoned));
+        }
+    }
+}
+
+/// The follower's half: park until the leader publishes.
+#[derive(Debug)]
+pub struct FlightFollower {
+    flight: Arc<Flight>,
+}
+
+impl FlightFollower {
+    /// Blocks until the flight resolves; returns a clone of the leader's
+    /// result.
+    pub fn wait(self) -> FlightResult {
+        let mut slot = lock_slot(&self.flight.slot);
+        loop {
+            if let Some(result) = &slot.result {
+                return result.clone();
+            }
+            slot = self
+                .flight
+                .published
+                .wait(slot)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(tag: u8) -> [u8; 32] {
+        [tag; 32]
+    }
+
+    #[test]
+    fn first_caller_leads_second_follows_and_gets_the_same_body() {
+        let table = SingleFlight::new();
+        let leader = match table.join(digest(1)) {
+            Joined::Leader(l) => l,
+            Joined::Follower(_) => panic!("first caller must lead"),
+        };
+        let follower = match table.join(digest(1)) {
+            Joined::Follower(f) => f,
+            Joined::Leader(_) => panic!("second caller must follow"),
+        };
+        assert_eq!(table.in_flight(), 1);
+        leader.publish(Ok("{\"body\":42}".to_string()));
+        assert_eq!(follower.wait(), Ok("{\"body\":42}".to_string()));
+        assert_eq!(table.in_flight(), 0);
+        assert_eq!((table.led(), table.coalesced()), (1, 1));
+    }
+
+    #[test]
+    fn distinct_digests_fly_independently() {
+        let table = SingleFlight::new();
+        let a = table.join(digest(1));
+        let b = table.join(digest(2));
+        assert!(matches!(a, Joined::Leader(_)));
+        assert!(matches!(b, Joined::Leader(_)));
+        assert_eq!(table.in_flight(), 2);
+    }
+
+    #[test]
+    fn publishing_reopens_the_digest_for_a_fresh_flight() {
+        let table = SingleFlight::new();
+        match table.join(digest(7)) {
+            Joined::Leader(l) => l.publish(Ok("x".to_string())),
+            Joined::Follower(_) => panic!("lead"),
+        }
+        assert!(matches!(table.join(digest(7)), Joined::Leader(_)));
+    }
+
+    #[test]
+    fn dropped_leader_resolves_followers_as_abandoned() {
+        let table = SingleFlight::new();
+        let leader = match table.join(digest(3)) {
+            Joined::Leader(l) => l,
+            Joined::Follower(_) => panic!("lead"),
+        };
+        let follower = match table.join(digest(3)) {
+            Joined::Follower(f) => f,
+            Joined::Leader(_) => panic!("follow"),
+        };
+        drop(leader);
+        assert_eq!(follower.wait(), Err(FlightFailure::Abandoned));
+        assert_eq!(table.in_flight(), 0, "abandoned flight is closed");
+    }
+
+    #[test]
+    fn parked_followers_wake_with_the_published_result() {
+        let table = SingleFlight::new();
+        let leader = match table.join(digest(9)) {
+            Joined::Leader(l) => l,
+            Joined::Follower(_) => panic!("lead"),
+        };
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let follower = match table.join(digest(9)) {
+                        Joined::Follower(f) => f,
+                        Joined::Leader(_) => panic!("follow"),
+                    };
+                    scope.spawn(move || follower.wait())
+                })
+                .collect();
+            leader.publish(Ok("shared".to_string()));
+            for handle in handles {
+                assert_eq!(handle.join().expect("follower"), Ok("shared".to_string()));
+            }
+        });
+        assert_eq!(table.coalesced(), 4);
+    }
+}

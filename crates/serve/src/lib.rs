@@ -19,11 +19,21 @@
 //! * **Value** — the canonical JSON response body, stored byte-exact in
 //!   the checksummed POMREP1 format and spliced back verbatim, so a
 //!   memoized response is *byte-identical* to the computed one.
-//! * **Provenance** — every response line says `"computed"` or
-//!   `"memoized"`, and `stats` exposes the hit/miss counters.
+//! * **Provenance** — every response line says which tier answered:
+//!   `"computed"`, `"memoized"` (disk store), `"hot"` (the in-memory
+//!   [`HotCache`] in front of the disk tier), or `"coalesced"` (spliced
+//!   from an identical request already in flight via [`SingleFlight`]);
+//!   `stats` exposes every tier's counters.
 //! * **Invalidation** — fault-injected runs are never memoized; any
 //!   defective on-disk entry warns, misses, and is recomputed
 //!   (strict warn-and-recompute, never a wrong answer).
+//!
+//! Since PR 8 the daemon is concurrent end to end: [`Service`] is a
+//! cheap per-connection handle onto one shared warm core
+//! ([`ServiceShared`]), the Unix-socket transport runs one handler
+//! thread per connection (bounded by `max_connections`), and an
+//! admission gate in front of the worker pool answers overload with a
+//! typed `busy` line instead of convoying every conversation.
 //!
 //! See `DESIGN.md` §10 for the architecture discussion and the CLI's
 //! `pomtlb serve` / `pomtlb report-store` commands for the operator
@@ -32,10 +42,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod flight;
+mod hot_cache;
 mod report_store;
 mod request;
 mod service;
+mod tiers;
 
+pub use flight::{FlightFailure, FlightFollower, FlightLeader, FlightResult, Joined, SingleFlight};
+pub use hot_cache::{HotCache, HotCacheCounters, DEFAULT_HOT_MAX_BYTES};
 pub use report_store::{
     ReportCounters, ReportEntry, ReportGcReport, ReportStore, ReportVerifyEntry,
     DEFAULT_REPORT_MAX_BYTES, REPORT_FORMAT_VERSION,
@@ -44,7 +59,11 @@ pub use request::{
     request_bytes, request_digest, RequestKind, ResolvedRequest, RowMeta, ServeRequest,
     REQUEST_DIGEST_VERSION,
 };
-pub use service::{serve_io, serve_stdin, ServeConfig, Service, ServiceCounters};
+pub use service::{
+    serve_io, serve_stdin, ServeConfig, Service, ServiceCounters, ServiceShared,
+    DEFAULT_MAX_CONNECTIONS, DEFAULT_MAX_QUEUE,
+};
+pub use tiers::{TierSnapshot, SERVE_COUNTERS_FILE};
 
 #[cfg(unix)]
-pub use service::serve_unix;
+pub use service::{bind_unix_listener, serve_unix};

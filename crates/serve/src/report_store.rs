@@ -369,8 +369,14 @@ impl ReportStore {
         kind: &str,
         workload: &str,
     ) -> io::Result<u64> {
+        // The tmp name is unique per call (not just per digest): two
+        // handles saving the same key concurrently must each stage into
+        // their own file, or the interleaved writes could rename a torn
+        // body into place.
+        static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
         let hex = digest_hex(digest);
-        let tmp = self.root.join(format!(".{hex}.tmp"));
+        let seq = SAVE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.root.join(format!(".{hex}.{}.{seq}.tmp", std::process::id()));
         let path = self.file_path(&hex);
         let encoded = encode_entry(digest, payload);
         let mut file = fs::File::create(&tmp)?;

@@ -1,12 +1,16 @@
-//! The long-lived sweep service: warm state, request dispatch, transports.
+//! The long-lived sweep service: shared warm core, per-connection state,
+//! request dispatch, transports.
 //!
-//! A [`Service`] owns the state that used to die with every CLI
-//! invocation: one warm [`TraceStore`] handle (input streams), one
-//! [`ReportStore`] handle (memoized response bodies), and one run policy
-//! for the worker pool. [`Service::handle_line`] maps one request line to
-//! one response line; [`serve_stdin`] and [`serve_unix`] are thin
-//! transports around that mapping, so every behaviour is testable without
-//! sockets or processes.
+//! A [`Service`] is a lightweight per-connection handle onto one shared
+//! warm core ([`ServiceShared`]): the resolved configuration, one warm
+//! [`TraceStore`] handle (input streams), one [`ReportStore`] handle
+//! (memoized response bodies), the in-memory hot tier, the single-flight
+//! table, and the admission gate in front of the worker pool.
+//! [`Service::handle_line`] maps one request line to one response line;
+//! [`serve_stdin`] drives one conversation, and [`serve_unix`] multiplexes
+//! many — one handler thread per accepted connection (bounded by
+//! `max_connections`), all sharing the same warm core through
+//! [`Service::connection`].
 //!
 //! # Response lines
 //!
@@ -15,35 +19,65 @@
 //! ```text
 //! {"id":"c1","ok":true,"provenance":"computed","wall_ms":412,"body":{...}}
 //! {"id":"c2","ok":true,"provenance":"memoized","wall_ms":1,"body":{...}}
-//! {"id":"c3","ok":false,"error":"unknown workload `nope`; known: ..."}
+//! {"id":"c3","ok":true,"provenance":"hot","wall_ms":0,"body":{...}}
+//! {"id":"c4","ok":true,"provenance":"coalesced","wall_ms":410,"body":{...}}
+//! {"id":"c5","ok":false,"busy":true,"in_flight":2,"queued":8,"error":"..."}
+//! {"id":"c6","ok":false,"error":"unknown workload `nope`; known: ..."}
 //! ```
 //!
-//! `provenance` says where the body came from: `"computed"` (simulated
-//! this request, possibly stored) or `"memoized"` (served from the report
-//! store). A memoized `body` is spliced into the response line *verbatim*
-//! from the stored payload — not re-serialized — so it is byte-identical
-//! to the computed body it memoizes, by construction.
+//! `provenance` says which tier answered: `"computed"` (ran simulations),
+//! `"memoized"` (on-disk report store), `"hot"` (in-memory hot cache), or
+//! `"coalesced"` (spliced from an identical request already in flight).
+//! Every non-computed body is spliced into the response line *verbatim*
+//! from the tier's stored string — not re-serialized — so all four tiers
+//! produce byte-identical bodies for the same request, by construction.
+//!
+//! # The tier walk
+//!
+//! For a memoizable request the handler tries, in order: hot cache (map
+//! probe), single-flight join (follower parks on the leader), on-disk
+//! store (read + checksum), and finally compute — gated by
+//! [`AdmissionControl`] so N connections cannot oversubscribe the one
+//! worker pool; past the bounded queue the request gets a typed
+//! `busy` line instead of stalling the conversation.
 //!
 //! # What is never memoized
 //!
 //! Error responses (they describe the request, not a result) and
 //! `fault-sweep` bodies (the fault plan's interaction with retries makes
 //! the run itself the product — see [`crate::ServeRequest`]'s `no_memoize`
-//! and [`ResolvedRequest::memoize`](crate::ResolvedRequest)).
+//! and [`ResolvedRequest::memoize`](crate::ResolvedRequest)). Those
+//! requests also skip the hot cache and the single-flight table, but they
+//! still pay admission: the gate prices compute, not caching.
 
 use std::io::{self, BufRead, Write};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use pom_tlb::{
-    default_jobs, run_jobs_with, share_traces_with_store, JobOutcome, RunPolicy, SimReport,
+    default_jobs, run_jobs_with, share_traces_with_store, AdmissionControl, JobOutcome, RunPolicy,
+    SimReport,
 };
 use pomtlb_trace::digest::digest_hex;
 use pomtlb_trace::TraceStore;
 use serde::Serialize;
 
+use crate::flight::{FlightFailure, Joined, SingleFlight};
+use crate::hot_cache::{HotCache, DEFAULT_HOT_MAX_BYTES};
 use crate::report_store::{ReportStore, DEFAULT_REPORT_MAX_BYTES};
-use crate::request::{request_digest, ServeRequest};
+use crate::request::{request_digest, ResolvedRequest, ServeRequest};
+use crate::tiers::TierSnapshot;
+
+/// Default bound on concurrently served socket connections.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 16;
+
+/// Default bound on compute requests parked behind the admission gate.
+pub const DEFAULT_MAX_QUEUE: usize = 32;
+
+/// How many recent latency samples feed the p50/p99 stats.
+const LATENCY_WINDOW: usize = 4096;
 
 /// How to stand up a [`Service`].
 #[derive(Debug, Clone)]
@@ -60,6 +94,17 @@ pub struct ServeConfig {
     pub jobs: usize,
     /// Retry/timeout policy for simulation jobs.
     pub policy: RunPolicy,
+    /// Concurrent socket connections served (further ones get a typed
+    /// busy line and are closed).
+    pub max_connections: usize,
+    /// Concurrent requests allowed into the compute path (0 = auto:
+    /// scaled to the machine's cores).
+    pub max_inflight: usize,
+    /// Compute requests parked waiting for a slot before the gate
+    /// answers busy.
+    pub max_queue: usize,
+    /// In-memory hot report cache budget in bytes (0 disables the tier).
+    pub hot_max_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +115,10 @@ impl Default for ServeConfig {
             report_max_bytes: DEFAULT_REPORT_MAX_BYTES,
             jobs: 0,
             policy: RunPolicy::default(),
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            max_inflight: 0,
+            max_queue: DEFAULT_MAX_QUEUE,
+            hot_max_bytes: DEFAULT_HOT_MAX_BYTES,
         }
     }
 }
@@ -79,10 +128,178 @@ impl Default for ServeConfig {
 pub struct ServiceCounters {
     /// Requests answered by running simulations.
     pub computed: u64,
-    /// Requests answered from the report store.
+    /// Requests answered from the on-disk report store.
     pub memoized: u64,
+    /// Requests answered from the in-memory hot cache.
+    pub hot: u64,
+    /// Requests answered by splicing an identical in-flight result.
+    pub coalesced: u64,
+    /// Requests turned away with a typed busy line.
+    pub busy: u64,
     /// Requests answered with an error line.
     pub errors: u64,
+}
+
+impl ServiceCounters {
+    /// Requests answered from any cache tier (everything but computed,
+    /// busy and errors).
+    pub fn served_from_cache(&self) -> u64 {
+        self.memoized + self.hot + self.coalesced
+    }
+}
+
+#[derive(Debug, Default)]
+struct SharedCounters {
+    computed: AtomicU64,
+    memoized: AtomicU64,
+    hot: AtomicU64,
+    coalesced: AtomicU64,
+    busy: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl SharedCounters {
+    fn snapshot(&self) -> ServiceCounters {
+        ServiceCounters {
+            computed: self.computed.load(Ordering::Relaxed),
+            memoized: self.memoized.load(Ordering::Relaxed),
+            hot: self.hot.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A bounded ring of recent samples; percentile reads sort a copy, which
+/// is fine at stats-request frequency.
+#[derive(Debug, Default)]
+struct SampleWindow {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl SampleWindow {
+    fn push(&mut self, value: u64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(value);
+        } else {
+            self.samples[self.next] = value;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    fn percentile(&self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    fn len(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+#[derive(Debug, Default)]
+struct LatencyWindows {
+    queue_wait_us: SampleWindow,
+    service_wall_us: SampleWindow,
+}
+
+fn lock_latency<'a>(m: &'a Mutex<LatencyWindows>) -> MutexGuard<'a, LatencyWindows> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn lock_hot<'a>(m: &'a Mutex<HotCache>) -> MutexGuard<'a, HotCache> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// The immutable shared core every connection handle points at: resolved
+/// configuration, warm store handles, cache tiers, admission gate, and
+/// the service-wide counters they update.
+#[derive(Debug)]
+pub struct ServiceShared {
+    trace_store: Option<TraceStore>,
+    report_store: Option<ReportStore>,
+    hot: Option<Mutex<HotCache>>,
+    flights: SingleFlight,
+    admission: AdmissionControl,
+    jobs: usize,
+    policy: RunPolicy,
+    max_connections: usize,
+    counters: SharedCounters,
+    latency: Mutex<LatencyWindows>,
+    shutdown: AtomicBool,
+}
+
+impl ServiceShared {
+    /// Service-wide request counters, aggregated across every connection.
+    pub fn counters(&self) -> ServiceCounters {
+        self.counters.snapshot()
+    }
+
+    /// The admission gate in front of the compute path.
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.admission
+    }
+
+    /// The single-flight table.
+    pub fn flights(&self) -> &SingleFlight {
+        &self.flights
+    }
+
+    /// The bound on concurrently served socket connections.
+    pub fn max_connections(&self) -> usize {
+        self.max_connections
+    }
+
+    /// Whether a `shutdown` request has been served on any connection.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn tier_snapshot(&self) -> TierSnapshot {
+        let requests = self.counters.snapshot();
+        let (hot_counters, hot_bytes, hot_max_bytes) = match &self.hot {
+            Some(hot) => {
+                let hot = lock_hot(hot);
+                (hot.counters(), hot.total_bytes(), hot.max_bytes())
+            }
+            None => (Default::default(), 0, 0),
+        };
+        let admission = self.admission.counters();
+        TierSnapshot {
+            computed: requests.computed,
+            memoized: requests.memoized,
+            hot: requests.hot,
+            coalesced: requests.coalesced,
+            busy: requests.busy,
+            errors: requests.errors,
+            hot_hits: hot_counters.hits,
+            hot_misses: hot_counters.misses,
+            hot_evictions: hot_counters.evictions,
+            hot_bytes,
+            hot_max_bytes,
+            flights_led: self.flights.led(),
+            flights_coalesced: self.flights.coalesced(),
+            admitted: admission.admitted,
+            rejected: admission.rejected,
+        }
+    }
+
+    /// Best-effort write of the tier counters into the report directory
+    /// (see [`crate::TierSnapshot`]); a failure costs observability only.
+    pub fn persist_counters(&self) {
+        if let Some(store) = &self.report_store {
+            if let Err(e) = self.tier_snapshot().save(store.root()) {
+                eprintln!("pomtlb-serve: counter snapshot failed ({e}); continuing");
+            }
+        }
+    }
 }
 
 #[derive(Serialize)]
@@ -124,11 +341,54 @@ struct TraceStoreStats {
 }
 
 #[derive(Serialize)]
+struct HotCacheStats {
+    enabled: bool,
+    entries: u64,
+    total_bytes: u64,
+    max_bytes: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+#[derive(Serialize)]
+struct SingleFlightStats {
+    led: u64,
+    coalesced: u64,
+    in_flight: u64,
+}
+
+#[derive(Serialize)]
+struct AdmissionStats {
+    max_in_flight: u64,
+    max_queue: u64,
+    in_flight: u64,
+    queued: u64,
+    admitted: u64,
+    rejected: u64,
+}
+
+#[derive(Serialize)]
+struct LatencyStats {
+    samples: u64,
+    queue_wait_p50_us: u64,
+    queue_wait_p99_us: u64,
+    service_wall_p50_us: u64,
+    service_wall_p99_us: u64,
+}
+
+#[derive(Serialize)]
 struct StatsBody {
     kind: String,
     requests: ServiceCounters,
+    max_connections: u64,
     report_store: ReportStoreStats,
     trace_store: TraceStoreStats,
+    hot_cache: HotCacheStats,
+    single_flight: SingleFlightStats,
+    admission: AdmissionStats,
+    latency: LatencyStats,
 }
 
 fn json_str(s: &str) -> String {
@@ -136,7 +396,8 @@ fn json_str(s: &str) -> String {
 }
 
 /// One response line with a body (`body_json` is spliced in verbatim —
-/// this is what makes memoized bodies byte-identical to computed ones).
+/// this is what makes every cache tier byte-identical to the computed
+/// body it caches).
 fn ok_line(id: &str, provenance: &str, wall_ms: u128, body_json: &str) -> String {
     format!(
         "{{\"id\":{},\"ok\":true,\"provenance\":\"{provenance}\",\"wall_ms\":{wall_ms},\"body\":{body_json}}}",
@@ -148,16 +409,32 @@ fn err_line(id: &str, message: &str) -> String {
     format!("{{\"id\":{},\"ok\":false,\"error\":{}}}", json_str(id), json_str(message))
 }
 
-/// The daemon's warm state: stores, policy, counters. One instance serves
-/// many requests; construction is the only expensive step.
+/// The typed refusal when the compute gate (or its wait queue) is full.
+fn busy_line(id: &str, in_flight: usize, queued: usize) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":false,\"busy\":true,\"in_flight\":{in_flight},\"queued\":{queued},\
+         \"error\":\"server busy: compute queue full; retry later\"}}",
+        json_str(id)
+    )
+}
+
+enum Served {
+    Computed,
+    Memoized,
+    Hot,
+    Coalesced,
+    Busy,
+    Error,
+}
+
+/// A per-connection handle onto the shared warm core. `new` builds the
+/// core and the first handle; [`Service::connection`] mints further
+/// handles (fresh per-connection counters, same warm state) for the
+/// socket transport's handler threads.
 #[derive(Debug)]
 pub struct Service {
-    trace_store: Option<TraceStore>,
-    report_store: Option<ReportStore>,
-    jobs: usize,
-    policy: RunPolicy,
-    counters: ServiceCounters,
-    shutdown: bool,
+    shared: Arc<ServiceShared>,
+    conn: ServiceCounters,
 }
 
 impl Service {
@@ -169,34 +446,82 @@ impl Service {
             .map(ReportStore::open)
             .transpose()?
             .map(|s| s.with_max_bytes(cfg.report_max_bytes));
-        Ok(Service {
+        let hot = (cfg.hot_max_bytes > 0).then(|| Mutex::new(HotCache::new(cfg.hot_max_bytes)));
+        let max_inflight = if cfg.max_inflight == 0 {
+            // Auto: enough concurrent computes to keep the pool busy while
+            // one request blocks on I/O, without convoying the cores.
+            default_jobs().clamp(2, 8)
+        } else {
+            cfg.max_inflight
+        };
+        let shared = ServiceShared {
             trace_store,
             report_store,
+            hot,
+            flights: SingleFlight::new(),
+            admission: AdmissionControl::new(max_inflight, cfg.max_queue),
             jobs: cfg.jobs,
             policy: cfg.policy,
-            counters: ServiceCounters::default(),
-            shutdown: false,
-        })
+            max_connections: cfg.max_connections.max(1),
+            counters: SharedCounters::default(),
+            latency: Mutex::new(LatencyWindows::default()),
+            shutdown: AtomicBool::new(false),
+        };
+        Ok(Service { shared: Arc::new(shared), conn: ServiceCounters::default() })
     }
 
-    /// Whether a `shutdown` request has been served.
+    /// A new handle onto the same warm core with fresh per-connection
+    /// counters — what [`serve_unix`] hands each handler thread.
+    pub fn connection(&self) -> Service {
+        Service { shared: Arc::clone(&self.shared), conn: ServiceCounters::default() }
+    }
+
+    /// The shared warm core this handle points at.
+    pub fn shared(&self) -> &Arc<ServiceShared> {
+        &self.shared
+    }
+
+    /// Whether a `shutdown` request has been served on any connection.
     pub fn shutdown_requested(&self) -> bool {
-        self.shutdown
+        self.shared.shutdown_requested()
     }
 
-    /// Requests served so far, by provenance.
+    /// Requests served so far across all connections, by provenance.
     pub fn counters(&self) -> ServiceCounters {
-        self.counters
+        self.shared.counters()
+    }
+
+    /// Requests served on this connection handle alone.
+    pub fn conn_counters(&self) -> ServiceCounters {
+        self.conn
     }
 
     /// The warm report store, when memoization is enabled.
     pub fn report_store(&self) -> Option<&ReportStore> {
-        self.report_store.as_ref()
+        self.shared.report_store.as_ref()
     }
 
     /// The warm trace store, when persistent traces are enabled.
     pub fn trace_store(&self) -> Option<&TraceStore> {
-        self.trace_store.as_ref()
+        self.shared.trace_store.as_ref()
+    }
+
+    /// Best-effort persistence of tier counters into the report dir.
+    pub fn persist_counters(&self) {
+        self.shared.persist_counters();
+    }
+
+    fn note(&mut self, served: Served) {
+        let (conn_field, shared_field) = match served {
+            Served::Computed => (&mut self.conn.computed, &self.shared.counters.computed),
+            Served::Memoized => (&mut self.conn.memoized, &self.shared.counters.memoized),
+            Served::Hot => (&mut self.conn.hot, &self.shared.counters.hot),
+            Served::Coalesced => (&mut self.conn.coalesced, &self.shared.counters.coalesced),
+            Served::Busy => (&mut self.conn.busy, &self.shared.counters.busy),
+            Served::Error => (&mut self.conn.errors, &self.shared.counters.errors),
+        };
+        *conn_field += 1;
+        shared_field.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Serves one request line. Blank lines yield `None`; everything else
@@ -209,7 +534,7 @@ impl Service {
         let req: ServeRequest = match serde_json::from_str(line) {
             Ok(req) => req,
             Err(e) => {
-                self.counters.errors += 1;
+                self.note(Served::Error);
                 return Some(err_line("", &format!("unparseable request: {e}")));
             }
         };
@@ -221,53 +546,164 @@ impl Service {
             "stats" => {
                 let body = serde_json::to_string(&self.stats_body())
                     .unwrap_or_else(|_| "{}".to_string());
+                self.shared.persist_counters();
                 return ok_line(&req.id, "computed", 0, &body);
             }
             "shutdown" => {
-                self.shutdown = true;
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+                self.shared.persist_counters();
                 return ok_line(&req.id, "computed", 0, "{\"kind\":\"shutdown\"}");
             }
             _ => {}
         }
         let started = Instant::now();
+        let response = self.run_request(req, &started);
+        lock_latency(&self.shared.latency)
+            .service_wall_us
+            .push(started.elapsed().as_micros() as u64);
+        response
+    }
+
+    /// The tier walk for a run-kind request: hot cache, single-flight,
+    /// disk store, compute (behind admission).
+    fn run_request(&mut self, req: &ServeRequest, started: &Instant) -> String {
+        // Permits and flight leaderships borrow the shared core; holding
+        // them through the per-connection counter updates needs a borrow
+        // that is independent of `self`.
+        let shared = Arc::clone(&self.shared);
         let resolved = match req.resolve() {
             Ok(r) => r,
             Err(e) => {
-                self.counters.errors += 1;
+                self.note(Served::Error);
                 return err_line(&req.id, &e);
             }
         };
         let digest = request_digest(&resolved);
-        if resolved.memoize {
-            if let Some(store) = &self.report_store {
-                if let Some(payload) = store.load(&digest) {
-                    // Stored payloads are the canonical UTF-8 body; a
-                    // defective one already missed inside `load`.
-                    if let Ok(body) = String::from_utf8(payload) {
-                        self.counters.memoized += 1;
-                        return ok_line(
-                            &req.id,
-                            "memoized",
-                            started.elapsed().as_millis(),
-                            &body,
-                        );
+        if !resolved.memoize {
+            // Fault sweeps and opted-out requests: the run is the product,
+            // so no tier may answer for it — but it still pays admission.
+            let permit = match shared.admission.admit() {
+                Ok(permit) => permit,
+                Err(busy) => {
+                    self.note(Served::Busy);
+                    return busy_line(&req.id, busy.in_flight, busy.queued);
+                }
+            };
+            lock_latency(&shared.latency)
+                .queue_wait_us
+                .push(started.elapsed().as_micros() as u64);
+            let computed = self.compute_body(&resolved, &digest);
+            drop(permit);
+            return match computed {
+                Ok(body) => {
+                    self.note(Served::Computed);
+                    ok_line(&req.id, "computed", started.elapsed().as_millis(), &body)
+                }
+                Err(message) => {
+                    self.note(Served::Error);
+                    err_line(&req.id, &message)
+                }
+            };
+        }
+        if let Some(hot) = &shared.hot {
+            if let Some(body) = lock_hot(hot).get(&digest) {
+                self.note(Served::Hot);
+                return ok_line(&req.id, "hot", started.elapsed().as_millis(), &body);
+            }
+        }
+        let leader = match shared.flights.join(digest) {
+            Joined::Follower(follower) => {
+                return match follower.wait() {
+                    Ok(body) => {
+                        self.note(Served::Coalesced);
+                        ok_line(&req.id, "coalesced", started.elapsed().as_millis(), &body)
                     }
+                    Err(FlightFailure::Busy { in_flight, queued }) => {
+                        self.note(Served::Busy);
+                        busy_line(&req.id, in_flight, queued)
+                    }
+                    Err(FlightFailure::Error(message)) => {
+                        self.note(Served::Error);
+                        err_line(&req.id, &message)
+                    }
+                    Err(FlightFailure::Abandoned) => {
+                        self.note(Served::Error);
+                        err_line(&req.id, "in-flight computation was abandoned; retry")
+                    }
+                };
+            }
+            Joined::Leader(leader) => leader,
+        };
+        if let Some(store) = &shared.report_store {
+            if let Some(payload) = store.load(&digest) {
+                // Stored payloads are the canonical UTF-8 body; a
+                // defective one already missed inside `load`.
+                if let Ok(body) = String::from_utf8(payload) {
+                    self.promote_to_hot(&digest, &body);
+                    leader.publish(Ok(body.clone()));
+                    self.note(Served::Memoized);
+                    return ok_line(&req.id, "memoized", started.elapsed().as_millis(), &body);
                 }
             }
         }
+        let permit = match shared.admission.admit() {
+            Ok(permit) => permit,
+            Err(busy) => {
+                leader.publish(Err(FlightFailure::Busy {
+                    in_flight: busy.in_flight,
+                    queued: busy.queued,
+                }));
+                self.note(Served::Busy);
+                return busy_line(&req.id, busy.in_flight, busy.queued);
+            }
+        };
+        lock_latency(&shared.latency)
+            .queue_wait_us
+            .push(started.elapsed().as_micros() as u64);
+        let computed = self.compute_body(&resolved, &digest);
+        drop(permit);
+        match computed {
+            Ok(body) => {
+                if let Some(store) = &shared.report_store {
+                    if let Err(e) = store.save(
+                        &digest,
+                        body.as_bytes(),
+                        resolved.kind.name(),
+                        resolved.workload.name,
+                    ) {
+                        // Memoization is an accelerator: a failed save costs
+                        // the next identical request a recompute, nothing else.
+                        eprintln!("report-store: save failed ({e}); continuing unmemoized");
+                    }
+                }
+                self.promote_to_hot(&digest, &body);
+                leader.publish(Ok(body.clone()));
+                self.note(Served::Computed);
+                ok_line(&req.id, "computed", started.elapsed().as_millis(), &body)
+            }
+            Err(message) => {
+                leader.publish(Err(FlightFailure::Error(message.clone())));
+                self.note(Served::Error);
+                err_line(&req.id, &message)
+            }
+        }
+    }
 
+    fn promote_to_hot(&self, digest: &[u8; 32], body: &str) {
+        if let Some(hot) = &self.shared.hot {
+            lock_hot(hot).insert(*digest, body);
+        }
+    }
+
+    fn compute_body(&self, resolved: &ResolvedRequest, digest: &[u8; 32]) -> Result<String, String> {
         let (mut jobs, rows) = resolved.jobs();
-        share_traces_with_store(&mut jobs, self.trace_store.as_ref());
-        let workers = if self.jobs == 0 { default_jobs() } else { self.jobs };
-        let outcomes = run_jobs_with(jobs, workers, self.policy, &|_, _| {});
+        share_traces_with_store(&mut jobs, self.shared.trace_store.as_ref());
+        let workers = if self.shared.jobs == 0 { default_jobs() } else { self.shared.jobs };
+        let outcomes = run_jobs_with(jobs, workers, self.shared.policy, &|_, _| {});
         let mut row_bodies = Vec::with_capacity(outcomes.len());
         for (outcome, meta) in outcomes.into_iter().zip(rows) {
             if let JobOutcome::Panicked { label, message, .. } = &outcome {
-                self.counters.errors += 1;
-                return err_line(
-                    &req.id,
-                    &format!("job `{label}` failed after retries: {message}"),
-                );
+                return Err(format!("job `{label}` failed after retries: {message}"));
             }
             let Some(result) = outcome.into_result() else { continue };
             row_bodies.push(RowBody {
@@ -279,33 +715,16 @@ impl Service {
         let body = RunBody {
             kind: resolved.kind.name().to_string(),
             workload: resolved.workload.name.to_string(),
-            digest: digest_hex(&digest),
+            digest: digest_hex(digest),
             rows: row_bodies,
         };
-        let Ok(body_json) = serde_json::to_string(&body) else {
-            self.counters.errors += 1;
-            return err_line(&req.id, "internal error: body serialization failed");
-        };
-        if resolved.memoize {
-            if let Some(store) = &self.report_store {
-                if let Err(e) = store.save(
-                    &digest,
-                    body_json.as_bytes(),
-                    resolved.kind.name(),
-                    resolved.workload.name,
-                ) {
-                    // Memoization is an accelerator: a failed save costs
-                    // the next identical request a recompute, nothing else.
-                    eprintln!("report-store: save failed ({e}); continuing unmemoized");
-                }
-            }
-        }
-        self.counters.computed += 1;
-        ok_line(&req.id, "computed", started.elapsed().as_millis(), &body_json)
+        serde_json::to_string(&body)
+            .map_err(|_| "internal error: body serialization failed".to_string())
     }
 
     fn stats_body(&self) -> StatsBody {
-        let report_store = match &self.report_store {
+        let shared = &*self.shared;
+        let report_store = match &shared.report_store {
             Some(s) => {
                 let c = s.counters();
                 ReportStoreStats {
@@ -332,7 +751,7 @@ impl Service {
                 load_failures: 0,
             },
         };
-        let trace_store = match &self.trace_store {
+        let trace_store = match &shared.trace_store {
             Some(s) => {
                 let c = s.counters();
                 TraceStoreStats {
@@ -353,18 +772,69 @@ impl Service {
                 load_failures: 0,
             },
         };
+        let hot_cache = match &shared.hot {
+            Some(hot) => {
+                let hot = lock_hot(hot);
+                let c = hot.counters();
+                HotCacheStats {
+                    enabled: true,
+                    entries: hot.len() as u64,
+                    total_bytes: hot.total_bytes(),
+                    max_bytes: hot.max_bytes(),
+                    hits: c.hits,
+                    misses: c.misses,
+                    insertions: c.insertions,
+                    evictions: c.evictions,
+                }
+            }
+            None => HotCacheStats {
+                enabled: false,
+                entries: 0,
+                total_bytes: 0,
+                max_bytes: 0,
+                hits: 0,
+                misses: 0,
+                insertions: 0,
+                evictions: 0,
+            },
+        };
+        let admission_counters = shared.admission.counters();
+        let latency = lock_latency(&shared.latency);
         StatsBody {
             kind: "stats".to_string(),
-            requests: self.counters,
+            requests: shared.counters.snapshot(),
+            max_connections: shared.max_connections as u64,
             report_store,
             trace_store,
+            hot_cache,
+            single_flight: SingleFlightStats {
+                led: shared.flights.led(),
+                coalesced: shared.flights.coalesced(),
+                in_flight: shared.flights.in_flight() as u64,
+            },
+            admission: AdmissionStats {
+                max_in_flight: shared.admission.max_in_flight() as u64,
+                max_queue: shared.admission.max_queue() as u64,
+                in_flight: shared.admission.in_flight() as u64,
+                queued: shared.admission.queued() as u64,
+                admitted: admission_counters.admitted,
+                rejected: admission_counters.rejected,
+            },
+            latency: LatencyStats {
+                samples: latency.service_wall_us.len() as u64,
+                queue_wait_p50_us: latency.queue_wait_us.percentile(0.50),
+                queue_wait_p99_us: latency.queue_wait_us.percentile(0.99),
+                service_wall_p50_us: latency.service_wall_us.percentile(0.50),
+                service_wall_p99_us: latency.service_wall_us.percentile(0.99),
+            },
         }
     }
 }
 
 /// Serves JSON-lines requests from `input` to `output` until EOF or a
-/// `shutdown` request; the core of both the stdin transport and the
-/// per-connection Unix-socket loop.
+/// `shutdown` request; the core of the stdin transport (the socket
+/// transport layers read timeouts on top so it can observe a shutdown
+/// raised on a *different* connection).
 pub fn serve_io(
     service: &mut Service,
     input: impl BufRead,
@@ -392,30 +862,143 @@ pub fn serve_stdin(service: &mut Service) -> io::Result<()> {
     serve_io(service, stdin.lock(), stdout.lock())
 }
 
-/// The Unix-socket transport: binds `path` (replacing any stale socket
-/// file), then serves connections one at a time — each connection is a
-/// JSON-lines conversation — until a `shutdown` request arrives. The
-/// socket file is removed on clean shutdown.
+/// Binds the daemon's Unix socket, with stale-socket recovery: if the
+/// path is already bound (`EADDRINUSE`), probe it — a live daemon
+/// answering the connect means the address is genuinely taken (error
+/// out); a refused connect means a previous daemon died without
+/// unlinking, so remove the stale file and bind again.
 #[cfg(unix)]
-pub fn serve_unix(service: &mut Service, path: &std::path::Path) -> io::Result<()> {
-    use std::os::unix::net::UnixListener;
-    if path.exists() {
-        std::fs::remove_file(path)?;
-    }
-    let listener = UnixListener::bind(path)?;
-    eprintln!("pomtlb-serve: listening on {}", path.display());
-    for stream in listener.incoming() {
-        let stream = stream?;
-        let reader = io::BufReader::new(stream.try_clone()?);
-        // A dropped connection only ends that conversation, never the
-        // daemon: the next accept keeps serving with the same warm state.
-        if let Err(e) = serve_io(service, reader, &stream) {
-            eprintln!("pomtlb-serve: connection error: {e}");
+pub fn bind_unix_listener(path: &std::path::Path) -> io::Result<std::os::unix::net::UnixListener> {
+    use std::os::unix::net::{UnixListener, UnixStream};
+    match UnixListener::bind(path) {
+        Ok(listener) => Ok(listener),
+        Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+            if UnixStream::connect(path).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("{} is served by a live daemon", path.display()),
+                ));
+            }
+            std::fs::remove_file(path)?;
+            UnixListener::bind(path)
         }
+        Err(e) => Err(e),
+    }
+}
+
+/// The per-connection loop of the socket transport: like [`serve_io`],
+/// but reads with a timeout so a shutdown served on another connection
+/// ends this one promptly, and accumulates partial lines across timeouts.
+#[cfg(unix)]
+fn serve_conn(service: &mut Service, stream: &std::os::unix::net::UnixStream) -> io::Result<()> {
+    use std::time::Duration;
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = io::BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let mut line = Vec::new();
+    loop {
         if service.shutdown_requested() {
-            break;
+            return Ok(());
+        }
+        // `read_until` appends what it consumed even when it then times
+        // out, so a line split across timeouts accumulates intact.
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) if line.is_empty() => return Ok(()),
+            Ok(_) if !line.ends_with(b"\n") && !line.is_empty() => {
+                // EOF mid-line: serve the final unterminated request.
+                respond(service, &mut out, &line)?;
+                return Ok(());
+            }
+            Ok(_) => {
+                respond(service, &mut out, &line)?;
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
         }
     }
+}
+
+#[cfg(unix)]
+fn respond(service: &mut Service, out: &mut impl Write, raw: &[u8]) -> io::Result<()> {
+    let text = String::from_utf8_lossy(raw);
+    if let Some(response) = service.handle_line(&text) {
+        out.write_all(response.as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()?;
+    }
+    Ok(())
+}
+
+/// The Unix-socket transport: binds `path` (recovering stale socket
+/// files, refusing live ones), then serves each accepted connection on
+/// its own handler thread against the shared warm core — up to
+/// `max_connections` at once; further connections receive one typed busy
+/// line and are closed. The loop ends when any connection serves a
+/// `shutdown` request; all handlers drain before the socket file is
+/// removed and tier counters are persisted.
+#[cfg(unix)]
+pub fn serve_unix(service: &Service, path: &std::path::Path) -> io::Result<()> {
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+    let listener = bind_unix_listener(path)?;
+    listener.set_nonblocking(true)?;
+    let max_connections = service.shared().max_connections();
+    eprintln!(
+        "pomtlb-serve: listening on {} (max {max_connections} connections)",
+        path.display()
+    );
+    let active = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        loop {
+            if service.shutdown_requested() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    if active.load(Ordering::SeqCst) >= max_connections {
+                        // Refuse with one typed line; never stall the
+                        // accept loop behind a saturated handler set.
+                        service.shared().counters.busy.fetch_add(1, Ordering::Relaxed);
+                        let line = format!(
+                            "{{\"id\":\"\",\"ok\":false,\"busy\":true,\
+                             \"active_connections\":{},\"max_connections\":{max_connections},\
+                             \"error\":\"server busy: connection limit reached; retry later\"}}\n",
+                            active.load(Ordering::SeqCst)
+                        );
+                        let _ = (&stream).write_all(line.as_bytes());
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::SeqCst);
+                    let mut conn = service.connection();
+                    let active_ref = &active;
+                    scope.spawn(move || {
+                        // A dropped connection only ends that conversation,
+                        // never the daemon: the shared warm core lives on.
+                        if let Err(e) = serve_conn(&mut conn, &stream) {
+                            eprintln!("pomtlb-serve: connection error: {e}");
+                        }
+                        active_ref.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    eprintln!("pomtlb-serve: accept error: {e}");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    });
+    service.persist_counters();
     let _ = std::fs::remove_file(path);
     Ok(())
 }
@@ -476,8 +1059,21 @@ mod tests {
     }
 
     #[test]
-    fn sim_without_stores_computes_every_time() {
+    fn sim_without_stores_computes_then_serves_hot() {
         let mut svc = Service::new(ServeConfig::default()).expect("service");
+        let a = svc.handle_line(&quick("a", "sim")).expect("response");
+        let b = svc.handle_line(&quick("b", "sim")).expect("response");
+        assert!(a.contains("\"provenance\":\"computed\""));
+        assert!(b.contains("\"provenance\":\"hot\""), "hot tier needs no disk store");
+        assert_eq!(body_of(&a), body_of(&b), "same request, same body");
+        let counters = svc.counters();
+        assert_eq!((counters.computed, counters.hot), (1, 1));
+    }
+
+    #[test]
+    fn hot_tier_disabled_computes_every_time() {
+        let cfg = ServeConfig { hot_max_bytes: 0, ..Default::default() };
+        let mut svc = Service::new(cfg).expect("service");
         let a = svc.handle_line(&quick("a", "sim")).expect("response");
         let b = svc.handle_line(&quick("b", "sim")).expect("response");
         assert!(a.contains("\"provenance\":\"computed\""));
@@ -487,17 +1083,24 @@ mod tests {
     }
 
     #[test]
-    fn memoized_second_pass_is_byte_identical() {
+    fn warm_tiers_are_byte_identical_hot_in_process_memoized_across_handles() {
         let dir = TempDir::new("memo");
         let cfg = ServeConfig { report_dir: Some(dir.0.join("reports")), ..Default::default() };
-        let mut svc = Service::new(cfg).expect("service");
+        let mut svc = Service::new(cfg.clone()).expect("service");
         let cold = svc.handle_line(&quick("c1", "compare")).expect("response");
         let warm = svc.handle_line(&quick("c2", "compare")).expect("response");
         assert!(cold.contains("\"provenance\":\"computed\""));
-        assert!(warm.contains("\"provenance\":\"memoized\""));
+        assert!(warm.contains("\"provenance\":\"hot\""), "in-process repeat hits the hot tier");
         assert_eq!(body_of(&cold), body_of(&warm));
         let counters = svc.counters();
-        assert_eq!((counters.computed, counters.memoized), (1, 1));
+        assert_eq!((counters.computed, counters.hot), (1, 1));
+        // A fresh service over the same report dir has a cold hot-cache:
+        // the disk tier answers, byte-identically.
+        let mut fresh = Service::new(cfg).expect("fresh service");
+        let memo = fresh.handle_line(&quick("c3", "compare")).expect("response");
+        assert!(memo.contains("\"provenance\":\"memoized\""));
+        assert_eq!(body_of(&cold), body_of(&memo));
+        assert_eq!(fresh.counters().memoized, 1);
     }
 
     #[test]
@@ -510,6 +1113,7 @@ mod tests {
         assert!(a.contains("\"provenance\":\"computed\""));
         assert!(b.contains("\"provenance\":\"computed\""));
         assert_eq!(svc.counters().memoized, 0);
+        assert_eq!(svc.counters().hot, 0, "fault sweeps skip the hot tier too");
         assert_eq!(svc.report_store().expect("store").counters().stores, 0);
     }
 
@@ -518,10 +1122,43 @@ mod tests {
         let mut svc = Service::new(ServeConfig::default()).expect("service");
         let r = svc.handle_line("{\"id\":\"s\",\"kind\":\"stats\"}").expect("response");
         assert!(r.contains("\"ok\":true") && r.contains("\"requests\""));
+        assert!(r.contains("\"hot_cache\"") && r.contains("\"single_flight\""));
+        assert!(r.contains("\"admission\"") && r.contains("\"latency\""));
         assert!(!svc.shutdown_requested());
         let r = svc.handle_line("{\"id\":\"q\",\"kind\":\"shutdown\"}").expect("response");
         assert!(r.contains("\"ok\":true"));
         assert!(svc.shutdown_requested());
+    }
+
+    #[test]
+    fn connection_handles_share_warm_state_and_shutdown() {
+        let mut svc = Service::new(ServeConfig::default()).expect("service");
+        let mut conn = svc.connection();
+        let a = svc.handle_line(&quick("a", "sim")).expect("response");
+        let b = conn.handle_line(&quick("b", "sim")).expect("response");
+        assert!(a.contains("\"provenance\":\"computed\""));
+        assert!(b.contains("\"provenance\":\"hot\""), "tiers are shared across handles");
+        assert_eq!(body_of(&a), body_of(&b));
+        let total = svc.counters();
+        assert_eq!((total.computed, total.hot), (1, 1), "counters aggregate");
+        assert_eq!(conn.conn_counters().hot, 1);
+        assert_eq!(conn.conn_counters().computed, 0);
+        conn.handle_line("{\"id\":\"q\",\"kind\":\"shutdown\"}").expect("response");
+        assert!(svc.shutdown_requested(), "shutdown raised anywhere is seen everywhere");
+    }
+
+    #[test]
+    fn stats_persist_tier_counters_for_the_cli() {
+        let dir = TempDir::new("persist");
+        let reports = dir.0.join("reports");
+        let cfg = ServeConfig { report_dir: Some(reports.clone()), ..Default::default() };
+        let mut svc = Service::new(cfg).expect("service");
+        svc.handle_line(&quick("a", "sim")).expect("response");
+        svc.handle_line(&quick("b", "sim")).expect("response");
+        svc.handle_line("{\"id\":\"s\",\"kind\":\"stats\"}").expect("response");
+        let snapshot = TierSnapshot::load(&reports).expect("snapshot written");
+        assert_eq!((snapshot.computed, snapshot.hot), (1, 1));
+        assert_eq!(snapshot.flights_led, 1);
     }
 
     #[test]
@@ -540,5 +1177,23 @@ mod tests {
         assert!(lines[0].contains("\"id\":\"r1\""));
         assert!(lines[1].contains("\"id\":\"s\""));
         assert!(lines[2].contains("\"id\":\"q\""));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn stale_socket_files_are_recovered_live_ones_are_refused() {
+        use std::os::unix::net::UnixListener;
+        let dir = TempDir::new("sock");
+        let path = dir.0.join("daemon.sock");
+        // A dead daemon's leftover: bound once, listener dropped, file
+        // still on disk.
+        drop(UnixListener::bind(&path).expect("first bind"));
+        assert!(path.exists(), "socket file survives the dead listener");
+        let recovered = bind_unix_listener(&path).expect("stale socket is recovered");
+        // While that daemon is alive, a second bind must refuse.
+        let err = bind_unix_listener(&path).expect_err("live socket is refused");
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        assert!(err.to_string().contains("live daemon"));
+        drop(recovered);
     }
 }

@@ -452,7 +452,13 @@ impl TraceStore {
     pub fn save(&self, trace: &SharedTrace) -> io::Result<u64> {
         let key = trace.key();
         let hex = key.digest_hex();
-        let tmp = self.root.join(format!(".{hex}.tmp"));
+        // The tmp name is unique per call (not just per digest): two
+        // handles recording the same stream concurrently must each stage
+        // into their own file, or the interleaved writes could rename a
+        // torn recording into place.
+        static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.root.join(format!(".{hex}.{}.{seq}.tmp", std::process::id()));
         let path = self.file_path(&hex);
         let digest = key.digest();
         let file = fs::File::create(&tmp)?;

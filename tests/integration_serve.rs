@@ -47,6 +47,18 @@ fn service(root: &Path) -> Service {
     .expect("service opens")
 }
 
+/// A service with the in-memory hot tier disabled, for tests that must
+/// exercise the on-disk store on every repeat.
+fn service_disk_only(root: &Path) -> Service {
+    Service::new(ServeConfig {
+        trace_dir: Some(root.join("traces")),
+        report_dir: Some(root.join("reports")),
+        hot_max_bytes: 0,
+        ..Default::default()
+    })
+    .expect("service opens")
+}
+
 fn compare_request(id: &str) -> String {
     format!(
         "{{\"id\":\"{id}\",\"kind\":\"compare\",\"workload\":\"gups\",\
@@ -63,13 +75,12 @@ fn body_bytes(line: &str) -> &str {
 }
 
 fn provenance(line: &str) -> &str {
-    if line.contains("\"provenance\":\"memoized\"") {
-        "memoized"
-    } else if line.contains("\"provenance\":\"computed\"") {
-        "computed"
-    } else {
-        "?"
+    for tier in ["memoized", "computed", "hot", "coalesced"] {
+        if line.contains(&format!("\"provenance\":\"{tier}\"")) {
+            return tier;
+        }
     }
+    "?"
 }
 
 #[test]
@@ -84,7 +95,7 @@ fn warm_identical_request_is_memoized_byte_identical_with_zero_work() {
     let interleavers_before = interleaver_constructions();
     let simulations_before = simulations_run();
     let warm = svc.handle_line(&compare_request("warm-2")).expect("warm response");
-    assert_eq!(provenance(&warm), "memoized");
+    assert_eq!(provenance(&warm), "hot", "in-process repeat is served by the hot tier");
     assert_eq!(
         interleaver_constructions() - interleavers_before,
         0,
@@ -98,7 +109,7 @@ fn warm_identical_request_is_memoized_byte_identical_with_zero_work() {
     assert_eq!(
         body_bytes(&cold),
         body_bytes(&warm),
-        "memoized body must be byte-identical to the computed one"
+        "hot body must be byte-identical to the computed one"
     );
 
     // A *fresh* service on the same directories — the daemon restarted —
@@ -149,7 +160,10 @@ fn fault_sweep_recomputes_every_time() {
 fn memoization_survives_a_corrupted_entry_by_recomputing() {
     let _guard = COUNTER_GUARD.lock().unwrap_or_else(|e| e.into_inner());
     let dir = TempDir::new("corrupt");
-    let mut svc = service(&dir.0);
+    // Hot tier off: within one daemon the hot cache would (correctly)
+    // keep answering from memory and mask the disk damage this test is
+    // about.
+    let mut svc = service_disk_only(&dir.0);
     let req = |id: &str| {
         format!(
             "{{\"id\":\"{id}\",\"kind\":\"sim\",\"workload\":\"gups\",\
