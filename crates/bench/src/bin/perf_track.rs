@@ -61,6 +61,13 @@
 //! NEW top-level `"chunked"` object; every pre-existing field keeps its
 //! name and meaning.
 //!
+//! A consolidation pass runs the multi-tenant QoS workload at the
+//! smallest ladder rung (100 VMs, default churn) serially and
+//! chunk-scheduled, hard-failing on any report divergence or an empty
+//! per-tenant accounting section; its walls and QoS digest land in a NEW
+//! top-level `"consolidation"` object — every pre-existing field keeps
+//! its name and meaning.
+//!
 //! A concurrent-serve pass measures the daemon's closed-loop throughput:
 //! eight clients on per-connection handles over one shared warm core,
 //! each repeating one identical compare request, against the same request
@@ -90,6 +97,9 @@ use pom_tlb::{
 use pomtlb_serve::{ServeConfig, Service};
 use pomtlb_trace::TraceStore;
 use pomtlb_workloads::by_name;
+use pomtlb_workloads::consolidation::{
+    consolidation_spec, DEFAULT_CHURN_DESTROYS, DEFAULT_CHURN_FORKS,
+};
 
 type SchemeCtor = fn() -> Scheme;
 
@@ -359,6 +369,39 @@ fn main() -> ExitCode {
     let replay_all_hits = replay.store_misses == 0 && replay.store_hits == replay.attached;
     let chunked_replay_all_hits =
         chunked_replay.store_misses == 0 && chunked_replay.store_hits == chunked_replay.attached;
+
+    // Consolidation pass: the multi-tenant QoS workload at the smallest
+    // ladder rung — 100 VMs with default lifecycle churn — run serially
+    // and chunk-scheduled over a shared recorded stream. Tracks the cost
+    // of tenant attribution and churn handling commit over commit, and
+    // hard-fails if the chunked schedule moves a byte of any report or
+    // the QoS section comes back empty.
+    const CONS_VMS: u32 = 100;
+    let cons_batch = || -> Vec<SimJob> {
+        let sim = SimConfig { refs_per_core: refs, warmup_per_core: warmup, seed: 0x90af };
+        let spec =
+            consolidation_spec(CONS_VMS, Some((DEFAULT_CHURN_DESTROYS, DEFAULT_CHURN_FORKS)));
+        SCHEMES
+            .into_iter()
+            .map(|(slabel, scheme)| {
+                SimJob::new(format!("consolidation/{slabel}"), &spec, scheme(), sim)
+                    .shared_memory(true)
+            })
+            .collect()
+    };
+    let (cons_wall, cons_serial) = best_of(laps, || run_jobs(cons_batch(), 1));
+    let (cons_chunked_wall, cons_chunked) = best_of(laps, || {
+        let mut jobs = cons_batch();
+        share_traces(&mut jobs);
+        run_jobs_chunked(jobs, jobs_n, chunk_refs_n)
+    });
+    let cons_deterministic = same_reports(&cons_serial, &cons_chunked);
+    let cons_tenancy = cons_serial
+        .iter()
+        .find(|r| r.label.ends_with("/pom_tlb"))
+        .map(|r| r.report.tenancy.clone())
+        .unwrap_or_default();
+    let cons_accounted = cons_tenancy.measured_tenants > 0 && cons_tenancy.dispersion > 0.0;
 
     // Report-store memoization pass: one compare-shaped request, cold
     // through a fresh service (computes + memoizes) and warm through a
@@ -650,6 +693,24 @@ fn main() -> ExitCode {
     );
     let _ = writeln!(j, "    \"replay_all_hits\": {chunked_replay_all_hits}");
     j.push_str("  },\n");
+    let cons_secs = cons_wall.as_secs_f64();
+    let cons_chunked_secs = cons_chunked_wall.as_secs_f64();
+    j.push_str("  \"consolidation\": {\n");
+    let _ = writeln!(j, "    \"vms\": {CONS_VMS},");
+    let _ = writeln!(j, "    \"serial_wall_ms\": {},", jnum(cons_secs * 1e3));
+    let _ = writeln!(j, "    \"chunked_wall_ms\": {},", jnum(cons_chunked_secs * 1e3));
+    let _ = writeln!(
+        j,
+        "    \"chunked_speedup_vs_serial\": {},",
+        jnum(if cons_chunked_secs > 0.0 { cons_secs / cons_chunked_secs } else { 0.0 })
+    );
+    let _ = writeln!(j, "    \"measured_tenants\": {},", cons_tenancy.measured_tenants);
+    let _ = writeln!(j, "    \"dispersion\": {},", jnum(cons_tenancy.dispersion));
+    let _ = writeln!(j, "    \"worst_p99\": {},", cons_tenancy.worst_p99);
+    let _ = writeln!(j, "    \"median_p99\": {},", cons_tenancy.median_p99);
+    let _ = writeln!(j, "    \"churn_destroys\": {},", cons_tenancy.churn.destroys);
+    let _ = writeln!(j, "    \"deterministic\": {cons_deterministic}");
+    j.push_str("  },\n");
     let cold_ms = cold_wall.as_secs_f64() * 1e3;
     let memoized_ms = memoized_wall.as_secs_f64() * 1e3;
     j.push_str("  \"report_store\": {\n");
@@ -749,6 +810,14 @@ fn main() -> ExitCode {
             "perf_track: FAIL — a store replay pass missed (whole-job {}/{} hit(s), chunked \
              {}/{} hit(s)); a just-recorded store must serve every stream from disk",
             replay.store_hits, replay.attached, chunked_replay.store_hits, chunked_replay.attached
+        );
+        return ExitCode::FAILURE;
+    }
+    if !cons_deterministic || !cons_accounted {
+        eprintln!(
+            "perf_track: FAIL — consolidation pass broke its contract: deterministic \
+             {cons_deterministic}, measured_tenants {}, dispersion {:.4}",
+            cons_tenancy.measured_tenants, cons_tenancy.dispersion
         );
         return ExitCode::FAILURE;
     }

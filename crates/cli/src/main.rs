@@ -49,12 +49,14 @@
 use std::process::ExitCode;
 
 use pom_tlb::{
-    run_jobs_chunked, share_traces_with_store, FaultConfig, FaultStats, PomTlbConfig, Scheme,
-    ShootdownStats, SimConfig, SimJob, SimReport, SystemConfig,
+    consolidation_ladder, run_jobs, run_jobs_chunked, share_traces, share_traces_with_store,
+    FaultConfig, FaultStats, PomTlbConfig, Scheme, ShootdownStats, SimConfig, SimJob, SimReport,
+    SystemConfig,
 };
 use pomtlb_serve::{ReportStore, ServeConfig, Service};
 use pomtlb_tlb::WalkMode;
 use pomtlb_trace::{OsEventRates, TraceStore};
+use pomtlb_workloads::consolidation::{consolidation_spec, resolve_mix};
 use pomtlb_workloads::{by_name, names, PaperWorkload};
 
 fn main() -> ExitCode {
@@ -67,6 +69,7 @@ fn main() -> ExitCode {
         Some("sim") => run_command(&args[1..], CommandKind::Sim),
         Some("compare") => run_command(&args[1..], CommandKind::Compare),
         Some("shootdown-sweep") => run_sweep(&args[1..]),
+        Some("consolidation-sweep") => run_consolidation_sweep(&args[1..]),
         Some("fault-sweep") => run_fault_sweep(&args[1..]),
         Some("trace-store") => run_trace_store(&args[1..]),
         Some("report-store") => run_report_store(&args[1..]),
@@ -108,6 +111,11 @@ struct Options {
     trace_cache_dir: Option<String>,
     fault_seed: u64,
     assert_detection: bool,
+    vms: u32,
+    churn_destroys: f64,
+    churn_forks: f64,
+    no_churn: bool,
+    assert_determinism: bool,
 }
 
 impl Default for Options {
@@ -131,6 +139,11 @@ impl Default for Options {
             trace_cache_dir: None,
             fault_seed: 0x5eed,
             assert_detection: false,
+            vms: 0,
+            churn_destroys: 0.0,
+            churn_forks: 0.0,
+            no_churn: false,
+            assert_determinism: false,
         }
     }
 }
@@ -163,6 +176,15 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--vm-destroys-per-10k" => {
                 o.events.vm_destroys = fnum(&value("--vm-destroys-per-10k")?)?;
             }
+            "--vms" => o.vms = num(&value("--vms")?)? as u32,
+            "--churn-destroys-per-10k" => {
+                o.churn_destroys = fnum(&value("--churn-destroys-per-10k")?)?;
+            }
+            "--churn-forks-per-10k" => {
+                o.churn_forks = fnum(&value("--churn-forks-per-10k")?)?;
+            }
+            "--no-churn" => o.no_churn = true,
+            "--assert-determinism" => o.assert_determinism = true,
             "--check-consistency" => o.check_consistency = true,
             "--fault-seed" => o.fault_seed = num(&value("--fault-seed")?)?,
             "--assert-detection" => o.assert_detection = true,
@@ -396,6 +418,202 @@ fn run_sweep(args: &[String]) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// One row of the `consolidation-sweep` output: tenant count × scheme,
+/// with the per-tenant QoS digest (worst/median tail latency, Eq. (1)
+/// set-index dispersion) and the lifecycle churn counters.
+#[derive(serde::Serialize)]
+struct ConsolidationRow {
+    vms: u32,
+    scheme: String,
+    p_avg: f64,
+    dispersion: f64,
+    measured_tenants: u32,
+    median_p99: u64,
+    worst_p99: u64,
+    destroys: u64,
+    reboots: u64,
+    fork_remaps: u64,
+}
+
+impl ConsolidationRow {
+    fn from_report(vms: u32, r: &SimReport) -> Self {
+        let t = &r.tenancy;
+        ConsolidationRow {
+            vms,
+            scheme: r.scheme.label().to_string(),
+            p_avg: r.p_avg(),
+            dispersion: t.dispersion,
+            measured_tenants: t.measured_tenants,
+            median_p99: t.median_p99,
+            worst_p99: t.worst_p99,
+            destroys: t.churn.destroys,
+            reboots: t.churn.reboots,
+            fork_remaps: t.churn.fork_remaps,
+        }
+    }
+}
+
+/// Builds the consolidation batch: every ladder rung × scheme, one shared
+/// host-memory image per rung so the tenant population (not the core
+/// count) sets the table footprint. Returns the jobs and, per job, its
+/// tenant count.
+fn consolidation_jobs(rungs: &[u32], churn: Option<(f64, f64)>, o: &Options) -> (Vec<SimJob>, Vec<u32>) {
+    let sys = SystemConfig {
+        n_cores: o.cores,
+        walk_mode: if o.native { WalkMode::Native } else { WalkMode::Virtualized },
+        pom: PomTlbConfig { capacity_bytes: o.capacity_mb << 20, ..Default::default() },
+        ..Default::default()
+    };
+    let sim = SimConfig { refs_per_core: o.refs, warmup_per_core: o.warmup, seed: o.seed };
+    let mut jobs = Vec::new();
+    let mut vms_of = Vec::new();
+    for &vms in rungs {
+        let spec = consolidation_spec(vms, churn);
+        for scheme in [Scheme::Baseline, Scheme::SharedL2, Scheme::Tsb, Scheme::pom_tlb()] {
+            let mut job =
+                SimJob::new(format!("{}/{}", spec.name, scheme.label()), &spec, scheme, sim)
+                    .with_system_config(sys.clone())
+                    .shared_memory(true);
+            job.prepopulate = o.prepopulate;
+            if o.check_consistency {
+                job.check_consistency = Some(true);
+            }
+            jobs.push(job);
+            vms_of.push(vms);
+        }
+    }
+    (jobs, vms_of)
+}
+
+/// `--assert-determinism`: the same batch must fingerprint byte-identically
+/// when run serially, on a worker pool, and chunk-scheduled over a shared
+/// recorded trace. Returns false (after naming the divergent job) if any
+/// scheduler disagrees with the serial reference.
+fn consolidation_is_deterministic(
+    rungs: &[u32],
+    churn: Option<(f64, f64)>,
+    opts: &Options,
+) -> bool {
+    let pool = opts.jobs.max(2);
+    let chunk = if opts.chunk_refs > 0 { opts.chunk_refs } else { (opts.refs / 4).max(1) };
+    let serial = run_jobs(consolidation_jobs(rungs, churn, opts).0, 1);
+    let pooled = run_jobs(consolidation_jobs(rungs, churn, opts).0, pool);
+    let mut chunked_jobs = consolidation_jobs(rungs, churn, opts).0;
+    share_traces(&mut chunked_jobs);
+    let chunked = run_jobs_chunked(chunked_jobs, pool, chunk);
+    let mut ok = true;
+    for ((a, b), c) in serial.iter().zip(&pooled).zip(&chunked) {
+        let reference = serde_json::to_string(&a.report).unwrap_or_default();
+        if serde_json::to_string(&b.report).unwrap_or_default() != reference {
+            eprintln!("consolidation-sweep: {}: serial vs pooled reports diverged", a.label);
+            ok = false;
+        }
+        if serde_json::to_string(&c.report).unwrap_or_default() != reference {
+            eprintln!("consolidation-sweep: {}: serial vs chunked-replay reports diverged", a.label);
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// `pomtlb consolidation-sweep`: all four schemes across a tenant-count
+/// ladder (or one `--vms` rung) under lifecycle churn, reporting per-tenant
+/// p50/p99 tail latency and Eq. (1) set-index dispersion per scheme.
+fn run_consolidation_sweep(args: &[String]) -> ExitCode {
+    let opts = match parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n");
+            help();
+            return ExitCode::FAILURE;
+        }
+    };
+    // Zero means default, out-of-domain values are refused outright — the
+    // exact resolution serve's `consolidation` requests go through.
+    let (vms, destroys, forks) =
+        match resolve_mix(opts.vms, opts.churn_destroys, opts.churn_forks) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("consolidation-sweep: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let churn = if opts.no_churn { None } else { Some((destroys, forks)) };
+    let rungs: Vec<u32> =
+        if opts.vms == 0 { consolidation_ladder().to_vec() } else { vec![vms] };
+
+    let (mut jobs, vms_of) = consolidation_jobs(&rungs, churn, &opts);
+    if opts.trace_cache {
+        let store = match open_store(&opts.trace_cache_dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        share_traces_with_store(&mut jobs, store.as_ref());
+    }
+    let rows: Vec<ConsolidationRow> = run_jobs_chunked(jobs, opts.jobs, opts.chunk_refs)
+        .into_iter()
+        .zip(vms_of)
+        .map(|(res, vms)| ConsolidationRow::from_report(vms, &res.report))
+        .collect();
+
+    let deterministic =
+        !opts.assert_determinism || consolidation_is_deterministic(&rungs, churn, &opts);
+
+    if opts.json {
+        match serde_json::to_string_pretty(&rows) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("cannot serialize consolidation rows: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        println!(
+            "consolidation sweep, {} cores, churn {}: destroys {:.2}/10k forks {:.2}/10k",
+            opts.cores,
+            if churn.is_some() { "on" } else { "off" },
+            if churn.is_some() { destroys } else { 0.0 },
+            if churn.is_some() { forks } else { 0.0 },
+        );
+        println!(
+            "{:>7} {:>12} {:>10} {:>11} {:>8} {:>10} {:>10} {:>9} {:>8} {:>11}",
+            "vms",
+            "scheme",
+            "p_avg",
+            "dispersion",
+            "tenants",
+            "med_p99",
+            "worst_p99",
+            "destroys",
+            "reboots",
+            "fork_remaps"
+        );
+        for row in &rows {
+            println!(
+                "{:>7} {:>12} {:>10.1} {:>11.4} {:>8} {:>10} {:>10} {:>9} {:>8} {:>11}",
+                row.vms,
+                row.scheme,
+                row.p_avg,
+                row.dispersion,
+                row.measured_tenants,
+                row.median_p99,
+                row.worst_p99,
+                row.destroys,
+                row.reboots,
+                row.fork_remaps,
+            );
+        }
+    }
+    if deterministic {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// One row of the `fault-sweep` output: scheme × detection mode, with the
@@ -998,6 +1216,14 @@ USAGE:
   pomtlb compare         --workload NAME [flags]   all four schemes side by side
   pomtlb shootdown-sweep --workload NAME [flags]   0/1/10 unmaps per 10k refs
                                                    x all four schemes
+  pomtlb consolidation-sweep [flags]               multi-tenant consolidation:
+                                                   all four schemes across a
+                                                   100/1000/10000-VM ladder
+                                                   (or one --vms rung) under
+                                                   lifecycle churn, reporting
+                                                   per-tenant p50/p99 tail
+                                                   latency and Eq. (1)
+                                                   set-index dispersion
   pomtlb fault-sweep    [--workload NAME] [flags]  seeded fault injection x
                                                    all four schemes, with the
                                                    consistency machinery on
@@ -1051,6 +1277,18 @@ FLAGS:
   --vm-destroys-per-10k X VM-teardown events
   --check-consistency     enable the stale-translation watchdog (panics
                           if any level serves a dead mapping)
+  --vms N           consolidation-sweep tenant count (0 = the full
+                    100/1000/10000 ladder; max 65536)
+  --churn-destroys-per-10k X  VM teardowns per 10k refs per core
+                    (0 = default 0.5; out-of-range values are errors,
+                    never clamped)
+  --churn-forks-per-10k X     fork COW storms per 10k refs per core
+                    (0 = default 1.0; same validation)
+  --no-churn        consolidation-sweep control arm: static tenant
+                    population, no teardowns or fork storms
+  --assert-determinism    consolidation-sweep exits nonzero unless the
+                          batch fingerprints byte-identically when run
+                          serially, pooled and chunk-scheduled (for CI)
   --fault-seed N    RNG seed for fault-sweep's injection plan
                     (default 0x5eed)
   --assert-detection      fault-sweep exits nonzero unless consistency-on
@@ -1152,6 +1390,52 @@ mod tests {
         assert!(o.trace_cache);
         assert_eq!(o.trace_cache_dir.as_deref(), Some("/tmp/store"));
         assert!(parse(&["--trace-cache-dir".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_consolidation_flags() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.vms, 0, "zero means the full ladder");
+        assert_eq!(o.churn_destroys, 0.0);
+        assert_eq!(o.churn_forks, 0.0);
+        assert!(!o.no_churn && !o.assert_determinism);
+
+        let args: Vec<String> = [
+            "--vms", "250", "--churn-destroys-per-10k", "2.5", "--churn-forks-per-10k",
+            "0.25", "--no-churn", "--assert-determinism",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse(&args).unwrap();
+        assert_eq!(o.vms, 250);
+        assert_eq!(o.churn_destroys, 2.5);
+        assert_eq!(o.churn_forks, 0.25);
+        assert!(o.no_churn && o.assert_determinism);
+        assert!(parse(&["--vms".into()]).is_err());
+    }
+
+    #[test]
+    fn consolidation_resolution_is_validation_not_clamping() {
+        // The CLI shares serve's resolver: zero falls back to defaults,
+        // out-of-domain values error instead of being silently clamped.
+        assert!(resolve_mix(0, 0.0, 0.0).is_ok());
+        assert!(resolve_mix(70_000, 0.0, 0.0).is_err());
+        assert!(resolve_mix(100, -0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn consolidation_jobs_cover_the_ladder_by_scheme() {
+        let o = Options { cores: 2, refs: 500, warmup: 100, ..Default::default() };
+        let (jobs, vms_of) = consolidation_jobs(&[100, 1_000], Some((0.5, 1.0)), &o);
+        assert_eq!(jobs.len(), 8, "two rungs x four schemes");
+        assert_eq!(vms_of, [100, 100, 100, 100, 1_000, 1_000, 1_000, 1_000]);
+    }
+
+    #[test]
+    fn consolidation_smoke_is_deterministic() {
+        let o = Options { cores: 2, refs: 700, warmup: 200, jobs: 2, ..Default::default() };
+        assert!(consolidation_is_deterministic(&[30], Some((10.0, 5.0)), &o));
     }
 
     #[test]

@@ -51,12 +51,13 @@
 //! chunk instead. Either way the recovery is confined to the one job:
 //! sibling jobs own disjoint `ChunkSim`s and never observe a retry.
 
+use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use pomtlb_tlb::VirtTables;
+use pomtlb_tlb::{VirtTables, WalkMode, MAX_REGIONS};
 use pomtlb_trace::{
     AddressLayout, CoreItem, Interleaver, SharedTraceIter, TraceItem, WorkloadStream,
 };
@@ -92,6 +93,44 @@ impl StreamSource {
     }
 }
 
+/// Per-address-space page tables, created lazily as the reference stream
+/// introduces spaces.
+///
+/// Non-tenancy runs only ever see the base spaces [`Simulation::begin`]
+/// pre-creates (one per core, or one shared), in the same creation order
+/// as before this struct existed — so their reports are byte-identical.
+/// Consolidation runs introduce up to 10k tenant spaces mid-stream; each
+/// gets its own tables on first touch. Physical regions are assigned
+/// round-robin over the [`MAX_REGIONS`] arena stripes, so beyond 64 live
+/// spaces two VMs' frames may alias the same host-physical range — an
+/// accepted approximation (every translation structure and the stale
+/// watchdog key on the full [`AddressSpace`], so correctness is
+/// unaffected; only data-cache contention is modeled as slightly higher).
+#[derive(Clone)]
+struct SpaceTables {
+    list: Vec<VirtTables>,
+    index: HashMap<AddressSpace, usize>,
+    walk_mode: WalkMode,
+}
+
+impl SpaceTables {
+    fn new(walk_mode: WalkMode) -> SpaceTables {
+        SpaceTables { list: Vec::new(), index: HashMap::new(), walk_mode }
+    }
+
+    /// Index of `space`'s tables, creating them on first sight.
+    fn slot(&mut self, space: AddressSpace) -> usize {
+        if let Some(&i) = self.index.get(&space) {
+            return i;
+        }
+        let i = self.list.len();
+        let region = (i as u32) % MAX_REGIONS;
+        self.list.push(VirtTables::with_region(self.walk_mode, region));
+        self.index.insert(space, i);
+        i
+    }
+}
+
 /// A simulation paused between references: the whole machine state —
 /// [`System`], page tables, stream cursor, per-core clocks — as one owned,
 /// `Send` value.
@@ -102,9 +141,8 @@ impl StreamSource {
 pub struct ChunkSim {
     stream: StreamSource,
     system: System,
-    tables: Vec<VirtTables>,
+    tables: SpaceTables,
     layout: AddressLayout,
-    shared_memory: bool,
     workload_name: String,
     warm_total: u64,
     main_total: u64,
@@ -135,6 +173,9 @@ impl Simulation {
         if let Some(cfg) = self.faults {
             system.set_fault_plan(cfg);
         }
+        if self.spec.tenancy.active() {
+            system.enable_tenancy(self.spec.tenancy.vms);
+        }
 
         let spaces: Vec<AddressSpace> = (0..n)
             .map(|c| {
@@ -142,24 +183,28 @@ impl Simulation {
                 AddressSpace::new(VmId(0), ProcessId(pid))
             })
             .collect();
-        let n_spaces = if self.shared_memory { 1 } else { n };
-        let mut tables: Vec<VirtTables> = (0..n_spaces)
-            .map(|i| VirtTables::with_region(walk_mode, i as u32))
-            .collect();
+        // Pre-create the base spaces' tables in core order — the same
+        // regions, in the same order, as the pre-tenancy fixed layout, so
+        // non-tenancy reports stay byte-identical. Tenant spaces the
+        // stream introduces later are created lazily by `slot`.
+        let mut tables = SpaceTables::new(walk_mode);
+        for &space in &spaces {
+            tables.slot(space);
+        }
         let layout = AddressLayout::of_spec(&self.spec);
 
         if self.prepopulate {
-            for (idx, tables) in tables.iter_mut().enumerate() {
-                let space = spaces
-                    .iter()
-                    .find(|s| {
-                        let pid = if self.shared_memory { 0 } else { idx as u16 };
-                        s.process.0 == pid
-                    })
-                    .copied()
-                    .expect("space exists for table");
+            // One pass per *distinct* base space (shared memory collapses
+            // all cores onto one), exactly as the old per-table loop did.
+            let mut seen: Vec<AddressSpace> = Vec::new();
+            for &space in &spaces {
+                if seen.contains(&space) {
+                    continue;
+                }
+                seen.push(space);
+                let ti = tables.slot(space);
                 for (page, size) in layout.pages() {
-                    let hpa = tables.ensure_mapped(page, size);
+                    let hpa = tables.list[ti].ensure_mapped(page, size);
                     system.note_mapped(space, page, size, hpa);
                     system.prepopulate_translation(space, page, size, hpa);
                 }
@@ -205,7 +250,6 @@ impl Simulation {
             system,
             tables,
             layout,
-            shared_memory: self.shared_memory,
             workload_name,
             warm_total,
             main_total,
@@ -234,14 +278,17 @@ impl ChunkSim {
         while self.refs_done < target {
             let ci = self.stream.next().expect("streams are infinite");
             let core = ci.core;
-            let space_idx = if self.shared_memory { 0 } else { core.index() };
             let mref = match ci.item {
                 TraceItem::Event(event) => {
                     // OS events stall the initiating core but are not
                     // memory references: they don't consume the ref budget
-                    // and don't advance the instruction count.
+                    // and don't advance the instruction count. Tables are
+                    // keyed by the event's own address space — for base
+                    // spaces that is the same table the old per-core
+                    // indexing chose; tenant churn events hit their VM's.
+                    let ti = self.tables.slot(event.space);
                     let penalty =
-                        self.system.handle_os_event(core, &event, &mut self.tables[space_idx]);
+                        self.system.handle_os_event(core, &event, &mut self.tables.list[ti]);
                     self.core_stall[core.index()] += penalty;
                     continue;
                 }
@@ -256,7 +303,8 @@ impl ChunkSim {
                 .layout
                 .page_size_of(mref.addr)
                 .expect("generator addresses stay inside the layout");
-            let hpa = self.tables[space_idx].ensure_mapped(mref.addr, size);
+            let ti = self.tables.slot(mref.space);
+            let hpa = self.tables.list[ti].ensure_mapped(mref.addr, size);
             self.system.note_mapped(mref.space, mref.addr, size, hpa);
             // Per-core wall clock: instruction progress plus translation
             // stalls (blocking, §2.2) plus half the data latency — data
@@ -269,7 +317,7 @@ impl ChunkSim {
                 mref.space,
                 mref.addr,
                 mref.kind,
-                &self.tables[space_idx],
+                &self.tables.list[ti],
                 now,
             );
             self.core_stall[core.index()] += penalty + Cycles::new(data_latency.raw() / 2);
@@ -330,7 +378,6 @@ impl ChunkSim {
             system: self.system.clone(),
             tables: self.tables.clone(),
             layout: self.layout,
-            shared_memory: self.shared_memory,
             workload_name: self.workload_name.clone(),
             warm_total: self.warm_total,
             main_total: self.main_total,

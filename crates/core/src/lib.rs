@@ -72,6 +72,7 @@ pub mod scheme;
 pub mod shootdown;
 pub mod skew;
 pub mod system;
+pub mod tenancy;
 
 pub use admission::{AdmissionControl, AdmissionCounters, AdmissionPermit, Busy};
 pub use chunk::{run_jobs_chunked, run_jobs_chunked_with, ChunkSim};
@@ -93,3 +94,7 @@ pub use shootdown::{
 };
 pub use skew::SkewPomTlb;
 pub use system::{simulations_run, Simulation, System};
+pub use tenancy::{
+    consolidation_ladder, set_index_chi_square, set_index_dispersion, ChurnCounters,
+    TenancyStats, TenantLatency, TenantQos, TenantSet, VmLifecycle,
+};

@@ -108,7 +108,6 @@ impl Partition {
     }
 
     /// Number of sets in this partition.
-    #[cfg(test)]
     fn n_sets(&self) -> u64 {
         self.set_mask + 1
     }
@@ -191,6 +190,17 @@ impl PomTlb {
         p.set_addr(p.set_index(space, va))
     }
 
+    /// Eq. (1): the raw set index `va` maps to in the `size` partition —
+    /// the quantity the tenancy dispersion metric histograms across VM_IDs.
+    pub fn set_index(&self, space: AddressSpace, va: Gva, size: PageSize) -> u64 {
+        self.partition(size).set_index(space, va)
+    }
+
+    /// Number of sets in the `size` partition (always a power of two).
+    pub fn n_sets(&self, size: PageSize) -> u64 {
+        self.partition(size).n_sets()
+    }
+
     /// Whether `addr` falls inside the POM-TLB's reserved physical range.
     pub fn owns_addr(&self, addr: Hpa) -> bool {
         let start = self.config.base_small.raw();
@@ -270,30 +280,33 @@ impl PomTlb {
         false
     }
 
-    /// Drops every entry of a VM (teardown). Returns the host-physical set
-    /// address of each removed entry (one element per entry, so the length
-    /// is the number of entries dropped) — under the mostly-inclusive rule
-    /// the caller must also invalidate any data-cache copies of exactly
-    /// these lines, or the caches would keep serving dead translations.
-    pub fn flush_vm(&mut self, vm: pomtlb_types::VmId) -> Vec<Hpa> {
-        let mut evicted = Vec::new();
+    /// Drops every entry of a VM (teardown). Fills `evicted` (cleared
+    /// first) with the host-physical set address of each removed entry (one
+    /// element per entry, so the length is the number of entries dropped) —
+    /// under the mostly-inclusive rule the caller must also invalidate any
+    /// data-cache copies of exactly these lines, or the caches would keep
+    /// serving dead translations.
+    ///
+    /// Takes the output buffer by `&mut` so churn-heavy consolidation runs
+    /// (10k VMs tearing down constantly) reuse one allocation instead of
+    /// paying a fresh `Vec` per teardown on this hot path.
+    pub fn flush_vm(&mut self, vm: pomtlb_types::VmId, evicted: &mut Vec<Hpa>) {
+        evicted.clear();
         for p in [&mut self.small, &mut self.large] {
             let ways = p.ways as u64;
-            let mut dead = Vec::new();
-            for (i, slot) in p.slots.iter_mut().enumerate() {
-                if slot.is_some_and(|e| e.space.vm == vm) {
-                    *slot = None;
-                    dead.push(i as u64 / ways);
+            for i in 0..p.slots.len() {
+                if p.slots[i].is_some_and(|e| e.space.vm == vm) {
+                    p.slots[i] = None;
+                    // Reconstruct through the same Eq. (1) helper every
+                    // other consumer uses — the shootdown engine scrubs
+                    // data-cache copies of exactly these addresses, so a
+                    // divergent re-derivation here would silently break the
+                    // mostly-inclusive rule.
+                    evicted.push(p.set_addr(i as u64 / ways));
                 }
             }
-            // Reconstruct through the same Eq. (1) helper every other
-            // consumer uses — the shootdown engine scrubs data-cache copies
-            // of exactly these addresses, so a divergent re-derivation here
-            // would silently break the mostly-inclusive rule.
-            evicted.extend(dead.into_iter().map(|set| p.set_addr(set)));
         }
         self.stats.invalidations += evicted.len() as u64;
-        evicted
     }
 
     /// Valid entries in the given partition.
@@ -518,8 +531,9 @@ mod tests {
         pom.insert(space(2), Gva::new(0x3000), PageSize::Small4K, Hpa::new(0x3000));
         assert!(pom.invalidate_page(space(1), Gva::new(0x1000), PageSize::Small4K));
         assert!(!pom.invalidate_page(space(1), Gva::new(0x1000), PageSize::Small4K));
-        let evicted = pom.flush_vm(VmId(1));
-        assert_eq!(evicted.len(), 1, "one surviving vm1 entry to flush");
+        let mut evicted = vec![Hpa::new(0xdead)];
+        pom.flush_vm(VmId(1), &mut evicted);
+        assert_eq!(evicted.len(), 1, "one surviving vm1 entry to flush (scratch cleared)");
         assert_eq!(
             evicted[0],
             pom.set_addr(space(1), Gva::new(0x2000), PageSize::Small4K),

@@ -10,6 +10,7 @@ use crate::fault::FaultStats;
 use crate::predictor::PredictorStats;
 use crate::scheme::Scheme;
 use crate::shootdown::ShootdownStats;
+use crate::tenancy::TenancyStats;
 
 /// Everything measured during one [`crate::Simulation`] run (post-warmup).
 ///
@@ -80,6 +81,13 @@ pub struct SimReport {
     /// from older runs still load.
     #[serde(default)]
     pub faults: FaultStats,
+    /// Multi-tenant consolidation accounting: per-tenant p50/p99
+    /// translation latency, lifecycle churn counters, and the Eq. (1)
+    /// set-index dispersion of the live VM population. All-default (zero
+    /// VMs) unless the run's workload spec declared a tenant mix.
+    /// Defaulted on deserialization so reports from older runs still load.
+    #[serde(default)]
+    pub tenancy: TenancyStats,
 }
 
 impl SimReport {
@@ -114,6 +122,7 @@ impl SimReport {
             l3d_data_lines: KindStats::default(),
             shootdowns: ShootdownStats::default(),
             faults: FaultStats::default(),
+            tenancy: TenancyStats::default(),
         }
     }
 

@@ -139,6 +139,9 @@ pub struct ShootdownEngine {
     pending_ipi_drops: u32,
     /// IPI drops that actually left a stale SRAM entry behind.
     dropped_ipis: u64,
+    /// Reusable evicted-set-address buffer for [`PomTlb::flush_vm`], so
+    /// churn-heavy consolidation runs don't allocate per teardown.
+    scratch: Vec<Hpa>,
 }
 
 impl ShootdownEngine {
@@ -149,6 +152,7 @@ impl ShootdownEngine {
             stats: ShootdownStats::default(),
             pending_ipi_drops: 0,
             dropped_ipis: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -329,7 +333,8 @@ impl ShootdownEngine {
             walker.flush_vm(vm);
             self.stats.psc_flushes += 1;
         }
-        let evicted = parts.pom.flush_vm(vm);
+        let mut evicted = std::mem::take(&mut self.scratch);
+        parts.pom.flush_vm(vm, &mut evicted);
         self.stats.pom_invalidations += evicted.len() as u64;
         let mut scrubbed = 0u64;
         for addr in &evicted {
@@ -338,6 +343,7 @@ impl ShootdownEngine {
         self.stats.cached_line_invalidations += scrubbed;
         let extra =
             self.cost.pom_write * evicted.len() as u64 + self.cost.cached_line_inval * scrubbed;
+        self.scratch = evicted;
         self.broadcast_round(parts.mmus.len(), extra)
     }
 

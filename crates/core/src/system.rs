@@ -35,6 +35,7 @@ use crate::scheme::Scheme;
 use crate::shootdown::{
     ShootdownEngine, ShootdownParts, ShootdownStats, StaleChecker, StaleVerdict,
 };
+use crate::tenancy::TenantQos;
 
 /// Resolution-path counters reset at warmup boundaries.
 #[derive(Debug, Clone, Copy, Default)]
@@ -80,6 +81,11 @@ pub struct System {
     shootdowns: ShootdownEngine,
     stale: StaleChecker,
     fault: Option<FaultState>,
+    /// Per-tenant QoS accounting; inert unless [`System::enable_tenancy`]
+    /// switched it on for a consolidation run.
+    tenancy: TenantQos,
+    /// Reusable evicted-line buffer for [`PomTlb::flush_vm`].
+    flush_scratch: Vec<Hpa>,
 }
 
 impl System {
@@ -112,6 +118,8 @@ impl System {
             shootdowns: ShootdownEngine::new(config.shootdown),
             stale: StaleChecker::new(cfg!(debug_assertions)),
             fault: None,
+            tenancy: TenantQos::default(),
+            flush_scratch: Vec::new(),
             config,
             scheme,
         }
@@ -172,6 +180,18 @@ impl System {
     /// The POM-TLB structure (inspection).
     pub fn pom(&self) -> &PomTlb {
         &self.pom
+    }
+
+    /// Switches per-tenant QoS accounting on for a `vms`-tenant
+    /// consolidation run. Costs one flat `vms × 26`-counter array; without
+    /// this call the accounting is a single branch per reference.
+    pub fn enable_tenancy(&mut self, vms: u32) {
+        self.tenancy.enable(vms);
+    }
+
+    /// The per-tenant QoS accounting state (inspection).
+    pub fn tenancy(&self) -> &TenantQos {
+        &self.tenancy
     }
 
     /// Page walks performed so far (inspection; resets with
@@ -273,6 +293,7 @@ impl System {
         } else {
             probe.latency + self.main_mem.access(hpa, now + penalty + probe.latency).latency
         };
+        self.tenancy.record(space.vm, penalty);
         (penalty, data_latency)
     }
 
@@ -535,6 +556,7 @@ impl System {
                 if !tables.unmap(va, size) {
                     return Cycles::ZERO;
                 }
+                self.tenancy.note_fork_remap(space.vm);
                 let old_base = self.stale.lookup_page(space, va, size);
                 self.stale.note_unmapped(space, va, size);
                 let drops_before = self.shootdowns.dropped_ipis();
@@ -585,6 +607,7 @@ impl System {
                 // Structures are flushed; the tables themselves are kept (a
                 // successor VM with the same id reuses the frames), so no
                 // live mapping goes stale.
+                self.tenancy.note_destroy(space.vm);
                 self.shootdowns.destroy_vm(&mut parts, space.vm)
             }
         }
@@ -653,13 +676,15 @@ impl System {
 
     /// Flushes all state belonging to a VM (teardown across structures).
     pub fn flush_vm(&mut self, vm: VmId) -> u64 {
-        let evicted = self.pom.flush_vm(vm);
+        let mut evicted = std::mem::take(&mut self.flush_scratch);
+        self.pom.flush_vm(vm, &mut evicted);
         let mut dropped = evicted.len() as u64;
         // Mostly-inclusive rule: scrub the cached copy of every POM-TLB
         // set line the teardown touched.
         for addr in &evicted {
             dropped += u64::from(self.hier.invalidate_line(*addr));
         }
+        self.flush_scratch = evicted;
         for mmu in &mut self.mmus {
             dropped += mmu.flush_vm(vm);
         }
@@ -687,6 +712,7 @@ impl System {
         self.die_stacked.reset_stats();
         self.main_mem.reset_stats();
         self.shootdowns.reset_stats();
+        self.tenancy.reset_stats();
     }
 
     /// Assembles the report for a finished run.
@@ -737,6 +763,7 @@ impl System {
             l3d_data_lines: *self.hier.l3_stats().kind(pomtlb_cache::LineKind::Data),
             shootdowns: *self.shootdowns.stats(),
             faults: self.fault.as_ref().map(|f| f.snapshot()).unwrap_or_default(),
+            tenancy: self.tenancy.stats(&self.pom),
         }
     }
 }

@@ -1,0 +1,111 @@
+//! The descriptive view of a tenant population.
+
+use pomtlb_trace::TenantMix;
+
+/// The VM-count ladder consolidation sweeps walk by default: two decades
+/// from "busy host" to "the 10k-VM stress point the set-index XOR must
+/// survive".
+pub fn consolidation_ladder() -> [u32; 3] {
+    [100, 1000, 10_000]
+}
+
+/// A tenant population derived from a [`TenantMix`]: traffic shares and
+/// working-set scaling as *queryable quantities* (the stream-side sampling
+/// lives in the trace crate's `TenantAttrib`, which this mirrors exactly).
+#[derive(Debug, Clone)]
+pub struct TenantSet {
+    mix: TenantMix,
+    /// Generalized harmonic number `H_{n,skew}` normalizing the Zipf pmf.
+    harmonic: f64,
+}
+
+impl TenantSet {
+    /// Builds the population view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix does not validate or describes zero tenants.
+    pub fn new(mix: TenantMix) -> TenantSet {
+        if let Err(e) = mix.validate() {
+            panic!("invalid tenant mix: {e}");
+        }
+        assert!(mix.active(), "TenantSet needs at least one tenant");
+        let harmonic = if mix.skew > 0.0 {
+            (1..=u64::from(mix.vms)).map(|k| (k as f64).powf(-mix.skew)).sum()
+        } else {
+            f64::from(mix.vms)
+        };
+        TenantSet { mix, harmonic }
+    }
+
+    /// Number of tenants (VM_IDs `0..count()`).
+    pub fn count(&self) -> u32 {
+        self.mix.vms
+    }
+
+    /// The underlying mix.
+    pub fn mix(&self) -> &TenantMix {
+        &self.mix
+    }
+
+    /// Expected fraction of traffic tenant `vm` receives (VM 0 hottest
+    /// under skew; uniform `1/n` at skew 0). Sums to 1 over all tenants.
+    pub fn traffic_share(&self, vm: u32) -> f64 {
+        assert!(vm < self.mix.vms, "vm {vm} out of range");
+        if self.mix.skew > 0.0 {
+            f64::from(vm + 1).powf(-self.mix.skew) / self.harmonic
+        } else {
+            1.0 / self.harmonic
+        }
+    }
+
+    /// Pages of an `region_pages`-page region tenant `vm` keeps as working
+    /// set — delegates to [`TenantMix::ws_pages`], the single source of
+    /// truth the trace-side attribution also uses.
+    pub fn ws_pages(&self, region_pages: u64, vm: u32) -> u64 {
+        self.mix.ws_pages(region_pages, vm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(vms: u32, skew: f64) -> TenantMix {
+        TenantMix { vms, skew, ws_decay: 1.0, ..Default::default() }
+    }
+
+    #[test]
+    fn ladder_spans_two_decades() {
+        let l = consolidation_ladder();
+        assert_eq!(l, [100, 1000, 10_000]);
+    }
+
+    #[test]
+    fn shares_sum_to_one_and_rank_by_heat() {
+        for skew in [0.0, 0.9] {
+            let set = TenantSet::new(mix(500, skew));
+            let total: f64 = (0..500).map(|v| set.traffic_share(v)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "skew {skew}: shares sum to {total}");
+        }
+        let set = TenantSet::new(mix(500, 0.9));
+        assert!(set.traffic_share(0) > 10.0 * set.traffic_share(499));
+        let flat = TenantSet::new(mix(500, 0.0));
+        assert_eq!(flat.traffic_share(0), flat.traffic_share(499));
+    }
+
+    #[test]
+    fn ws_delegates_to_mix() {
+        let m = mix(100, 0.5);
+        let set = TenantSet::new(m);
+        for vm in [0, 7, 99] {
+            assert_eq!(set.ws_pages(4096, vm), m.ws_pages(4096, vm));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn rejects_empty_population() {
+        TenantSet::new(TenantMix::default());
+    }
+}

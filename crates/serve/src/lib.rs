@@ -3,8 +3,8 @@
 //! Every CLI invocation before this crate paid the same warm-up taxes:
 //! generate (or load) the input streams, build the simulators, run the
 //! batch — then throw all of it away. The serve crate keeps that state
-//! alive. A [`Service`] is a daemon-shaped object that accepts sweep,
-//! compare and fault-sweep requests as JSON lines (over stdin or a Unix
+//! alive. A [`Service`] is a daemon-shaped object that accepts sim,
+//! compare, consolidation and fault-sweep requests as JSON lines (over stdin or a Unix
 //! socket), keeps one warm [`pomtlb_trace::TraceStore`] handle and one
 //! worker-pool policy across requests, and answers *repeated* requests
 //! from a second content-addressed store: the [`ReportStore`], which
@@ -57,7 +57,7 @@ pub use report_store::{
 };
 pub use request::{
     request_bytes, request_digest, RequestKind, ResolvedRequest, RowMeta, ServeRequest,
-    REQUEST_DIGEST_VERSION,
+    TenantParams, REQUEST_DIGEST_VERSION,
 };
 pub use service::{
     serve_io, serve_stdin, ServeConfig, Service, ServiceCounters, ServiceShared,

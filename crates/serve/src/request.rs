@@ -12,6 +12,9 @@
 //!
 //! * `sim` — one scheme (`scheme` knob, default `pom-tlb`),
 //! * `compare` — the four-scheme comparison batch,
+//! * `consolidation` — the four schemes over a churning multi-tenant
+//!   population (`vms`, `churn_destroys_per_10k`, `churn_forks_per_10k`,
+//!   `no_churn` knobs; takes no `workload`),
 //! * `fault-sweep` — every scheme × consistency {on, off} with seeded
 //!   fault injection (never memoized — see [`ResolvedRequest::memoize`]),
 //! * `stats` — service and store counters,
@@ -34,12 +37,15 @@ use pom_tlb::{FaultConfig, PomTlbConfig, Scheme, SimConfig, SimJob, SystemConfig
 use pomtlb_tlb::WalkMode;
 use pomtlb_trace::digest::digest256;
 use pomtlb_trace::{OsEventRates, TraceKey};
+use pomtlb_workloads::consolidation::{consolidation_spec, resolve_mix};
 use pomtlb_workloads::{by_name, names, PaperWorkload};
 use serde::{Deserialize, Serialize};
 
 /// Version of the canonical [`request_digest`] encoding, baked into the
-/// digest input so stale digests can never alias new ones.
-pub const REQUEST_DIGEST_VERSION: u32 = 1;
+/// digest input so stale digests can never alias new ones. Version 2
+/// added the `consolidation` kind (and made the workload optional in the
+/// resolved form); the kind tag byte keeps old digests from aliasing.
+pub const REQUEST_DIGEST_VERSION: u32 = 2;
 
 /// One wire-format request line. Missing fields deserialize to their
 /// zero value, which [`ServeRequest::resolve`] maps to the CLI defaults
@@ -101,6 +107,21 @@ pub struct ServeRequest {
     /// Fault-plan seed for `fault-sweep` (0 = default 0x5eed).
     #[serde(default)]
     pub fault_seed: u64,
+    /// Consolidation tenant count (0 = default 1000, max 65536;
+    /// `consolidation` requests only).
+    #[serde(default)]
+    pub vms: u32,
+    /// VM teardowns per 10k refs per core (0 = default 0.5; out-of-domain
+    /// values are errors, never clamped).
+    #[serde(default)]
+    pub churn_destroys_per_10k: f64,
+    /// Fork COW storms per 10k refs per core (0 = default 1.0; same
+    /// validation).
+    #[serde(default)]
+    pub churn_forks_per_10k: f64,
+    /// Consolidation control arm: static tenant population, no churn.
+    #[serde(default)]
+    pub no_churn: bool,
     /// Opt this request out of memoization (always compute, never store).
     #[serde(default)]
     pub no_memoize: bool,
@@ -113,6 +134,9 @@ pub enum RequestKind {
     Sim,
     /// The four-scheme comparison batch.
     Compare,
+    /// The four schemes over a churning multi-tenant consolidation
+    /// population with per-tenant QoS accounting.
+    Consolidation,
     /// Every scheme × consistency {on, off}, fault-armed.
     FaultSweep,
     /// Service/store counters; no simulation.
@@ -126,11 +150,13 @@ impl RequestKind {
         match s {
             "sim" => Ok(RequestKind::Sim),
             "compare" => Ok(RequestKind::Compare),
+            "consolidation" => Ok(RequestKind::Consolidation),
             "fault-sweep" => Ok(RequestKind::FaultSweep),
             "stats" => Ok(RequestKind::Stats),
             "shutdown" => Ok(RequestKind::Shutdown),
             other => Err(format!(
-                "unknown kind `{other}` (sim | compare | fault-sweep | stats | shutdown)"
+                "unknown kind `{other}` (sim | compare | consolidation | fault-sweep | stats | \
+                 shutdown)"
             )),
         }
     }
@@ -140,6 +166,7 @@ impl RequestKind {
         match self {
             RequestKind::Sim => "sim",
             RequestKind::Compare => "compare",
+            RequestKind::Consolidation => "consolidation",
             RequestKind::FaultSweep => "fault-sweep",
             RequestKind::Stats => "stats",
             RequestKind::Shutdown => "shutdown",
@@ -177,6 +204,16 @@ pub struct RowMeta {
     pub consistency: Option<bool>,
 }
 
+/// Resolved `consolidation` parameters: tenant count plus the churn
+/// rates (`None` = the `no_churn` control arm).
+#[derive(Debug, Clone, Copy)]
+pub struct TenantParams {
+    /// Tenant VM count.
+    pub vms: u32,
+    /// `(destroys_per_10k, fork_storms_per_10k)`, or `None` for no churn.
+    pub churn: Option<(f64, f64)>,
+}
+
 /// A fully-resolved run request: defaults applied, workload looked up,
 /// scheme set expanded. Everything [`request_digest`] hashes and
 /// [`ResolvedRequest::jobs`] executes.
@@ -184,8 +221,11 @@ pub struct RowMeta {
 pub struct ResolvedRequest {
     /// The batch shape (always a run kind here, never stats/shutdown).
     pub kind: RequestKind,
-    /// The workload to synthesize.
-    pub workload: PaperWorkload,
+    /// The paper workload to synthesize; `None` for `consolidation`,
+    /// which builds its own tenant-mix spec from [`TenantParams`].
+    pub workload: Option<PaperWorkload>,
+    /// Consolidation tenant parameters (`None` for the workload kinds).
+    pub tenants: Option<TenantParams>,
     /// The scheme set, in batch order.
     pub schemes: Vec<Scheme>,
     /// Run lengths and RNG seed.
@@ -221,15 +261,31 @@ impl ServeRequest {
         if matches!(kind, RequestKind::Stats | RequestKind::Shutdown) {
             return Err(format!("kind `{}` carries no run parameters", self.kind));
         }
-        if self.workload.is_empty() {
-            return Err("`workload` is required for run requests".to_string());
-        }
-        let Some(workload) = by_name(&self.workload) else {
-            return Err(format!(
-                "unknown workload `{}`; known: {}",
-                self.workload,
-                names().join(" ")
-            ));
+        let (workload, tenants) = if kind == RequestKind::Consolidation {
+            if !self.workload.is_empty() {
+                return Err(
+                    "`consolidation` builds its own tenant-mix workload; leave `workload` unset"
+                        .to_string(),
+                );
+            }
+            // Zero means default and out-of-domain values are errors —
+            // the identical resolution the CLI flag path goes through.
+            let (vms, destroys, forks) =
+                resolve_mix(self.vms, self.churn_destroys_per_10k, self.churn_forks_per_10k)?;
+            let churn = if self.no_churn { None } else { Some((destroys, forks)) };
+            (None, Some(TenantParams { vms, churn }))
+        } else {
+            if self.workload.is_empty() {
+                return Err("`workload` is required for run requests".to_string());
+            }
+            let Some(workload) = by_name(&self.workload) else {
+                return Err(format!(
+                    "unknown workload `{}`; known: {}",
+                    self.workload,
+                    names().join(" ")
+                ));
+            };
+            (Some(workload), None)
         };
         let schemes = match kind {
             RequestKind::Sim => vec![parse_scheme(&self.scheme)?],
@@ -243,6 +299,13 @@ impl ServeRequest {
             vm_destroys: self.vm_destroys_per_10k,
         };
         events.validate()?;
+        if kind == RequestKind::Consolidation && events != OsEventRates::default() {
+            return Err(
+                "`consolidation` drives OS events through its churn mix; the *-per-10k knobs \
+                 do not apply"
+                    .to_string(),
+            );
+        }
         if kind == RequestKind::FaultSweep && events == OsEventRates::default() {
             events = fault_sweep_default_events();
         }
@@ -250,6 +313,7 @@ impl ServeRequest {
         Ok(ResolvedRequest {
             kind,
             workload,
+            tenants,
             schemes,
             sim: SimConfig {
                 refs_per_core: nz(self.refs, 40_000),
@@ -279,11 +343,32 @@ impl ResolvedRequest {
     }
 
     /// The workload spec with this request's event rates applied — the
-    /// spec every job (and the trace key) is built from.
+    /// spec every job (and the trace key) is built from. `consolidation`
+    /// requests synthesize their tenant-mix spec instead of using a
+    /// paper workload.
     pub fn spec(&self) -> pomtlb_trace::WorkloadSpec {
-        let mut spec = self.workload.spec.clone();
+        if let Some(t) = self.tenants {
+            return consolidation_spec(t.vms, t.churn);
+        }
+        let w = self.workload.as_ref().expect("run kinds carry a workload");
+        let mut spec = w.spec.clone();
         spec.os_events = self.events;
         spec
+    }
+
+    /// The label the response body and the report-store manifest record.
+    pub fn workload_name(&self) -> String {
+        match &self.workload {
+            Some(w) => w.name.to_string(),
+            None => self.spec().name,
+        }
+    }
+
+    /// Whether all cores share one guest-physical image. Consolidation
+    /// always shares (the tenant population, not the core count, sets
+    /// the table footprint); paper workloads follow their suite.
+    fn shares_memory(&self) -> bool {
+        self.tenants.is_some() || self.workload.as_ref().is_some_and(|w| w.suite.shares_memory())
     }
 
     /// The key of the one input stream every job in this batch replays
@@ -294,7 +379,7 @@ impl ResolvedRequest {
             spec: self.spec(),
             seed: self.sim.seed,
             n_cores: self.cores,
-            shared_memory: self.workload.suite.shares_memory(),
+            shared_memory: self.shares_memory(),
             total_refs: (self.sim.warmup_per_core + self.sim.refs_per_core) * self.cores as u64,
         }
     }
@@ -303,7 +388,8 @@ impl ResolvedRequest {
     pub fn jobs(&self) -> (Vec<SimJob>, Vec<RowMeta>) {
         let spec = self.spec();
         let sys = self.sys_config();
-        let shared = self.workload.suite.shares_memory();
+        let shared = self.shares_memory();
+        let name = self.workload_name();
         let mut jobs = Vec::new();
         let mut rows = Vec::new();
         let mut push = |scheme: Scheme, consistency: Option<bool>, faults: Option<FaultConfig>| {
@@ -313,7 +399,7 @@ impl ResolvedRequest {
                 None => "",
             };
             let mut job = SimJob::new(
-                format!("{}/{}{tag}", self.workload.name, scheme.label()),
+                format!("{}/{}{tag}", name, scheme.label()),
                 &spec,
                 scheme,
                 self.sim,
@@ -384,6 +470,7 @@ pub fn request_bytes(r: &ResolvedRequest) -> Vec<u8> {
             RequestKind::Sim => 0,
             RequestKind::Compare => 1,
             RequestKind::FaultSweep => 2,
+            RequestKind::Consolidation => 3,
             RequestKind::Stats | RequestKind::Shutdown => 255,
         },
     );
@@ -442,8 +529,17 @@ mod tests {
             migrations_per_10k: 0.0,
             vm_destroys_per_10k: 0.0,
             fault_seed: 0,
+            vms: 0,
+            churn_destroys_per_10k: 0.0,
+            churn_forks_per_10k: 0.0,
+            no_churn: false,
             no_memoize: false,
         }
+    }
+
+    /// A consolidation request fixture: no workload, tenant knobs set.
+    fn creq() -> ServeRequest {
+        ServeRequest { workload: String::new(), vms: 50, ..req("consolidation") }
     }
 
     #[test]
@@ -486,6 +582,48 @@ mod tests {
     }
 
     #[test]
+    fn consolidation_resolves_tenant_params() {
+        let r = creq().resolve().expect("resolve");
+        assert_eq!(r.kind, RequestKind::Consolidation);
+        assert!(r.workload.is_none());
+        let t = r.tenants.expect("tenant params");
+        assert_eq!(t.vms, 50);
+        assert_eq!(t.churn, Some((0.5, 1.0)), "zero churn knobs resolve to the defaults");
+        assert!(r.memoize, "consolidation runs are deterministic and memoizable");
+        assert_eq!(r.workload_name(), "consolidation-50vm");
+        assert_eq!(r.schemes.len(), 4);
+        let (jobs, rows) = r.jobs();
+        assert_eq!(jobs.len(), 4);
+        assert!(rows.iter().all(|m| m.consistency.is_none()));
+
+        let quiet = ServeRequest { no_churn: true, ..creq() }.resolve().expect("resolve");
+        assert_eq!(quiet.tenants.expect("tenant params").churn, None);
+
+        let defaulted = ServeRequest { vms: 0, ..creq() }.resolve().expect("resolve");
+        assert_eq!(defaulted.tenants.expect("tenant params").vms, 1_000);
+    }
+
+    #[test]
+    fn consolidation_rejects_conflicting_knobs() {
+        assert!(
+            ServeRequest { workload: "gups".into(), ..creq() }.resolve().is_err(),
+            "consolidation takes no workload"
+        );
+        assert!(
+            ServeRequest { vms: 70_000, ..creq() }.resolve().is_err(),
+            "over the VM_ID space is an error, not a clamp"
+        );
+        assert!(
+            ServeRequest { churn_destroys_per_10k: -1.0, ..creq() }.resolve().is_err(),
+            "negative churn rates are errors"
+        );
+        assert!(
+            ServeRequest { unmaps_per_10k: 5.0, ..creq() }.resolve().is_err(),
+            "the generic event knobs do not apply to consolidation"
+        );
+    }
+
+    #[test]
     fn no_memoize_opts_out() {
         let r = ServeRequest { no_memoize: true, ..req("compare") }.resolve().expect("resolve");
         assert!(!r.memoize);
@@ -524,6 +662,11 @@ mod tests {
             ServeRequest { kind: "sim".into(), scheme: "pom-uncached".into(), ..base.clone() },
             ServeRequest { kind: "fault-sweep".into(), ..base.clone() },
             ServeRequest { kind: "fault-sweep".into(), fault_seed: 9, ..base.clone() },
+            creq(),
+            ServeRequest { vms: 51, ..creq() },
+            ServeRequest { churn_destroys_per_10k: 2.0, ..creq() },
+            ServeRequest { churn_forks_per_10k: 0.5, ..creq() },
+            ServeRequest { no_churn: true, ..creq() },
         ];
         let mut digests = vec![d0];
         for v in &variants {

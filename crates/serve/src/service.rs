@@ -669,7 +669,7 @@ impl Service {
                         &digest,
                         body.as_bytes(),
                         resolved.kind.name(),
-                        resolved.workload.name,
+                        &resolved.workload_name(),
                     ) {
                         // Memoization is an accelerator: a failed save costs
                         // the next identical request a recompute, nothing else.
@@ -714,7 +714,7 @@ impl Service {
         }
         let body = RunBody {
             kind: resolved.kind.name().to_string(),
-            workload: resolved.workload.name.to_string(),
+            workload: resolved.workload_name(),
             digest: digest_hex(digest),
             rows: row_bodies,
         };
@@ -1101,6 +1101,29 @@ mod tests {
         assert!(memo.contains("\"provenance\":\"memoized\""));
         assert_eq!(body_of(&cold), body_of(&memo));
         assert_eq!(fresh.counters().memoized, 1);
+    }
+
+    #[test]
+    fn consolidation_requests_compute_and_memoize() {
+        let dir = TempDir::new("consmemo");
+        let cfg = ServeConfig { report_dir: Some(dir.0.join("reports")), ..Default::default() };
+        let mut svc = Service::new(cfg.clone()).expect("service");
+        let line = "{\"id\":\"k1\",\"kind\":\"consolidation\",\"vms\":40,\
+                    \"cores\":2,\"refs\":1500,\"warmup\":500}";
+        let cold = svc.handle_line(line).expect("response");
+        assert!(cold.contains("\"provenance\":\"computed\""), "cold response computes: {cold}");
+        assert!(cold.contains("consolidation-40vm"), "body names the tenant-mix workload");
+        assert!(cold.contains("\"tenancy\""), "rows carry the per-tenant QoS section");
+        // A fresh handle over the same report dir answers byte-identically
+        // from disk — consolidation runs are deterministic and memoizable.
+        let mut fresh = Service::new(cfg).expect("fresh service");
+        let memo = fresh.handle_line(line).expect("response");
+        assert!(memo.contains("\"provenance\":\"memoized\""));
+        assert_eq!(body_of(&cold), body_of(&memo));
+        // The generic event knobs are refused, not silently ignored.
+        let bad = "{\"id\":\"k2\",\"kind\":\"consolidation\",\"unmaps_per_10k\":5}";
+        let err = fresh.handle_line(bad).expect("response");
+        assert!(err.contains("\"ok\":false"), "event knobs conflict: {err}");
     }
 
     #[test]

@@ -34,7 +34,7 @@ mod walker;
 pub use config::{MmuConfig, TlbConfig};
 pub use page_table::{
     FrameAlloc, PathLevels, RadixPageTable, TableSnapshot, TablesSnapshot, VirtTables, WalkMode,
-    WalkPath,
+    WalkPath, MAX_REGIONS,
 };
 pub use psc::{Psc, PscConfig, PscLevel};
 pub use sram_tlb::{SramTlb, TlbLookup, TlbStats};

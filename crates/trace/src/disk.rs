@@ -9,8 +9,8 @@
 //! ```text
 //! offset size
 //! 0      8   magic "POMTRC2\n"
-//! 8      4   format version (2)
-//! 12     4   key-digest version (1)
+//! 8      4   format version (3)
+//! 12     4   key-digest version (2)
 //! 16     32  TraceKey content digest (see [`key_digest`])
 //! 48     8   n_items  — items in merge order (n_refs + n_events)
 //! 56     8   n_refs
@@ -58,10 +58,13 @@ use crate::spec::LocalityModel;
 /// store's merged-and-checksummed recording.
 pub(crate) const STORE_MAGIC: &[u8; 8] = b"POMTRC2\n";
 /// Bumped whenever the layout above changes; readers reject other versions.
-pub(crate) const FORMAT_VERSION: u32 = 2;
+/// Version 3 added the tenant-mix fields to the key encoding: records are
+/// unchanged, but pre-tenancy recordings must not alias tenancy-aware keys,
+/// so the reader rejects version-2 files and the store regenerates them.
+pub(crate) const FORMAT_VERSION: u32 = 3;
 /// Version of the canonical [`key_bytes`] encoding, baked into both the
 /// digest input and the header so stale digests can never alias new ones.
-pub(crate) const KEY_DIGEST_VERSION: u32 = 1;
+pub(crate) const KEY_DIGEST_VERSION: u32 = 2;
 /// Fixed header size in bytes.
 pub(crate) const HEADER_BYTES: usize = 104;
 /// Bytes per encoded event record.
@@ -160,6 +163,12 @@ pub(crate) fn key_bytes(key: &TraceKey) -> Vec<u8> {
     put_f64(&mut out, spec.os_events.promotes);
     put_f64(&mut out, spec.os_events.migrations);
     put_f64(&mut out, spec.os_events.vm_destroys);
+    put_u64(&mut out, u64::from(spec.tenancy.vms));
+    put_f64(&mut out, spec.tenancy.skew);
+    put_f64(&mut out, spec.tenancy.ws_decay);
+    put_f64(&mut out, spec.tenancy.churn_destroys_per_10k);
+    put_f64(&mut out, spec.tenancy.fork_storms_per_10k);
+    put_u64(&mut out, u64::from(spec.tenancy.fork_pages));
     put_u64(&mut out, key.seed);
     put_u64(&mut out, key.n_cores as u64);
     put_u8(&mut out, u8::from(key.shared_memory));
@@ -625,6 +634,27 @@ mod tests {
         let mut s = base.clone();
         s.spec.write_frac += 0.01;
         variants.push(s);
+        let mut s = base.clone();
+        s.spec.tenancy = crate::tenancy::TenantMix { vms: 1000, ..Default::default() };
+        variants.push(s);
+        let mut s = base.clone();
+        s.spec.tenancy = crate::tenancy::TenantMix { vms: 1000, skew: 0.9, ..Default::default() };
+        variants.push(s);
+        let mut s = base.clone();
+        s.spec.tenancy = crate::tenancy::TenantMix {
+            vms: 1000,
+            churn_destroys_per_10k: 0.5,
+            ..Default::default()
+        };
+        variants.push(s);
+        let mut s = base.clone();
+        s.spec.tenancy = crate::tenancy::TenantMix {
+            vms: 1000,
+            fork_storms_per_10k: 1.0,
+            fork_pages: 16,
+            ..Default::default()
+        };
+        variants.push(s);
 
         let mut digests = vec![key_digest(&base)];
         for v in &variants {
@@ -742,7 +772,7 @@ mod tests {
         // A version bump is rejected cleanly (checksum recomputed so the
         // version check itself is reached).
         let mut wrong = file.clone();
-        wrong[8..12].copy_from_slice(&3u32.to_le_bytes());
+        wrong[8..12].copy_from_slice(&9u32.to_le_bytes());
         let hsum = fnv1a64(&wrong[..96]);
         wrong[96..104].copy_from_slice(&hsum.to_le_bytes());
         let err = parse_header(&wrong).expect_err("future version must be rejected");

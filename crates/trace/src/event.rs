@@ -32,6 +32,7 @@ use pomtlb_types::{AddressSpace, Gva, PageSize};
 use crate::generator::{AddressLayout, TraceGenerator};
 use crate::record::MemoryRef;
 use crate::spec::WorkloadSpec;
+use crate::tenancy::{ChurnGenerator, TenantAttrib};
 
 /// 4 KB pages per 2 MB promotion window.
 pub const PROMOTE_WINDOW_PAGES: u64 = 512;
@@ -277,33 +278,80 @@ impl TraceItem {
 /// One core's full trace: references and OS events merged in instruction
 /// order. On an icount tie the event goes first, so an unmap scheduled at
 /// instruction *t* is visible to a reference at the same *t*.
+///
+/// When the spec's [`crate::TenantMix`] is active, references are
+/// re-attributed to tenant VMs and a third substream of VM lifecycle churn
+/// (teardowns, fork storms) is merged in — churn ties against OS events
+/// resolve OS-event-first, and both go before a reference at the same
+/// icount. Each substream draws from its own salted RNG, so turning any of
+/// them on never perturbs the others.
 #[derive(Debug, Clone)]
 pub struct WorkloadStream {
     refs: TraceGenerator,
     events: OsEventGenerator,
+    tenants: Option<TenantAttrib>,
+    churn: Option<ChurnGenerator>,
     next_ref: Option<MemoryRef>,
     next_event: Option<OsEvent>,
+    next_churn: Option<OsEvent>,
 }
 
 impl WorkloadStream {
     /// Builds the combined stream for one core, deterministic in `seed`.
     /// The reference substream is identical to a bare
-    /// [`TraceGenerator::with_space`] with the same seed.
+    /// [`TraceGenerator::with_space`] with the same seed (modulo tenant
+    /// attribution when tenancy is active).
     ///
     /// # Panics
     ///
     /// Panics if the spec does not validate.
     pub fn new(spec: &WorkloadSpec, seed: u64, space: AddressSpace, n_cores: u16) -> WorkloadStream {
-        let mut refs = TraceGenerator::with_space(spec, seed, space);
+        let refs = TraceGenerator::with_space(spec, seed, space);
         let mut events = OsEventGenerator::new(spec, seed, space, n_cores);
-        let next_ref = refs.next();
+        let layout = refs.layout();
+        let tenants =
+            spec.tenancy.active().then(|| TenantAttrib::new(&spec.tenancy, layout, seed));
+        let mut churn = spec.tenancy.has_churn().then(|| {
+            ChurnGenerator::new(&spec.tenancy, layout, seed, spec.refs_per_kilo_instr, space)
+        });
         let next_event = events.next();
-        WorkloadStream { refs, events, next_ref, next_event }
+        let next_churn = churn.as_mut().and_then(|c| c.next());
+        let mut stream =
+            WorkloadStream { refs, events, tenants, churn, next_ref: None, next_event, next_churn };
+        stream.next_ref = stream.pull_ref();
+        stream
     }
 
     /// The address layout the reference substream draws from.
     pub fn layout(&self) -> AddressLayout {
         self.refs.layout()
+    }
+
+    fn pull_ref(&mut self) -> Option<MemoryRef> {
+        let r = self.refs.next()?;
+        Some(match &mut self.tenants {
+            Some(t) => t.attribute(r),
+            None => r,
+        })
+    }
+
+    /// The earliest pending event across the OS and churn substreams
+    /// (OS-event-first on a tie), plus which substream it came from.
+    fn peek_event(&self) -> Option<(OsEvent, bool)> {
+        match (self.next_event, self.next_churn) {
+            (Some(e), Some(c)) if c.icount < e.icount => Some((c, true)),
+            (Some(e), _) => Some((e, false)),
+            (None, Some(c)) => Some((c, true)),
+            (None, None) => None,
+        }
+    }
+
+    fn advance_event(&mut self, from_churn: bool) {
+        if from_churn {
+            self.next_churn = self.churn.as_mut().and_then(|c| c.next());
+        } else {
+            self.next_event = self.events.next();
+        }
     }
 }
 
@@ -311,17 +359,17 @@ impl Iterator for WorkloadStream {
     type Item = TraceItem;
 
     fn next(&mut self) -> Option<TraceItem> {
-        match (self.next_ref, self.next_event) {
-            (Some(r), Some(e)) if e.icount <= r.icount => {
-                self.next_event = self.events.next();
+        match (self.next_ref, self.peek_event()) {
+            (Some(r), Some((e, from_churn))) if e.icount <= r.icount => {
+                self.advance_event(from_churn);
                 Some(TraceItem::Event(e))
             }
             (Some(r), _) => {
-                self.next_ref = self.refs.next();
+                self.next_ref = self.pull_ref();
                 Some(TraceItem::Ref(r))
             }
-            (None, Some(e)) => {
-                self.next_event = self.events.next();
+            (None, Some((e, from_churn))) => {
+                self.advance_event(from_churn);
                 Some(TraceItem::Event(e))
             }
             (None, None) => None,
@@ -452,6 +500,50 @@ mod tests {
             .take(1000)
             .collect();
         assert_eq!(bare, merged, "reference stream must be identical with events on");
+    }
+
+    #[test]
+    fn tenancy_merges_churn_and_attributes_refs() {
+        use crate::tenancy::TenantMix;
+        let spec = WorkloadSpec::builder("ev-tenants")
+            .footprint_bytes(16 << 20)
+            .locality(LocalityModel::UniformRandom)
+            .os_events(OsEventRates::unmap_heavy(2.0))
+            .tenancy(TenantMix {
+                vms: 200,
+                skew: 0.9,
+                ws_decay: 0.5,
+                churn_destroys_per_10k: 3.0,
+                fork_storms_per_10k: 2.0,
+                fork_pages: 4,
+            })
+            .build();
+        let space = AddressSpace::new(VmId(0), ProcessId(1));
+        let run = || WorkloadStream::new(&spec, 13, space, 4).take(5000).collect::<Vec<_>>();
+        let items = run();
+        assert_eq!(items, run(), "tenancy streams stay deterministic");
+        let mut prev = 0;
+        let (mut destroys, mut remaps, mut unmaps, mut tenant_refs) = (0, 0, 0, 0);
+        for it in &items {
+            assert!(it.icount() >= prev, "non-decreasing merge order");
+            prev = it.icount();
+            match it {
+                TraceItem::Ref(r) => {
+                    assert!(u32::from(r.space.vm.0) < 200);
+                    if r.space.vm != VmId(0) {
+                        tenant_refs += 1;
+                    }
+                }
+                TraceItem::Event(e) => match e.kind {
+                    OsEventKind::DestroyVm => destroys += 1,
+                    OsEventKind::RemapPage { .. } => remaps += 1,
+                    OsEventKind::UnmapPage { .. } => unmaps += 1,
+                    _ => {}
+                },
+            }
+        }
+        assert!(tenant_refs > 0, "refs re-attributed to tenants");
+        assert!(destroys > 0 && remaps > 0 && unmaps > 0, "all three substreams merged");
     }
 
     #[test]

@@ -59,6 +59,7 @@ mod record;
 mod shared;
 mod spec;
 mod store;
+mod tenancy;
 mod zipf;
 
 pub use event::{
@@ -75,12 +76,13 @@ pub use store::{
     GcReport, StoreCounters, StoreEntry, TraceStore, VerifyEntry, DEFAULT_MAX_BYTES,
     STORE_FORMAT_VERSION,
 };
+pub use tenancy::{ChurnGenerator, TenantAttrib, TenantMix, CHURN_SEED_SALT, TENANT_SEED_SALT};
 pub use zipf::Zipf;
 
 /// Re-exported for downstream crates that need the spec module path.
 pub mod prelude {
     pub use crate::{
-        Interleaver, LocalityModel, MemoryRef, OsEvent, OsEventKind, TraceItem, TraceGenerator,
-        WorkloadSpec, WorkloadStream,
+        Interleaver, LocalityModel, MemoryRef, OsEvent, OsEventKind, TenantMix, TraceItem,
+        TraceGenerator, WorkloadSpec, WorkloadStream,
     };
 }

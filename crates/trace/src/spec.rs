@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::event::OsEventRates;
+use crate::tenancy::TenantMix;
 
 /// The page-level locality structure of a synthetic workload.
 ///
@@ -163,6 +164,11 @@ pub struct WorkloadSpec {
     /// OS — so existing specs and serialized forms are unchanged.
     #[serde(default)]
     pub os_events: OsEventRates,
+    /// Multi-tenant consolidation population sharing this footprint.
+    /// Defaults to disabled (zero VMs) — a single-tenant spec behaves
+    /// exactly as before, and old serialized forms still deserialize.
+    #[serde(default)]
+    pub tenancy: TenantMix,
 }
 
 impl WorkloadSpec {
@@ -181,6 +187,7 @@ impl WorkloadSpec {
                 same_page_burst: 0.5,
                 line_repeat: 0.6,
                 os_events: OsEventRates::default(),
+                tenancy: TenantMix::default(),
             },
         }
     }
@@ -226,6 +233,7 @@ impl WorkloadSpec {
             return Err(format!("line_repeat out of range: {}", self.line_repeat));
         }
         self.os_events.validate()?;
+        self.tenancy.validate()?;
         self.locality.validate()
     }
 }
@@ -282,6 +290,12 @@ impl WorkloadSpecBuilder {
     /// Sets the OS-event rates (per 10 000 references).
     pub fn os_events(mut self, rates: OsEventRates) -> Self {
         self.spec.os_events = rates;
+        self
+    }
+
+    /// Sets the multi-tenant consolidation mix.
+    pub fn tenancy(mut self, mix: TenantMix) -> Self {
+        self.spec.tenancy = mix;
         self
     }
 
@@ -351,6 +365,14 @@ mod tests {
     fn builder_rejects_negative_event_rate() {
         WorkloadSpec::builder("w")
             .os_events(OsEventRates { unmaps: -1.0, ..Default::default() })
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload spec")]
+    fn builder_rejects_bad_tenancy() {
+        WorkloadSpec::builder("w")
+            .tenancy(TenantMix { vms: 100, skew: 1.0, ..Default::default() })
             .build();
     }
 

@@ -1,0 +1,121 @@
+//! The consolidation tenant-mix workload: 100..10 000 VMs sharing one
+//! host, with Zipf-skewed traffic, per-VM working-set scaling and
+//! lifecycle churn.
+//!
+//! The paper's workloads each model *one* guest's reference behaviour;
+//! consolidation sweeps instead stress Eq. (1)'s VM_ID spreading and the
+//! shootdown machinery under a realistic multi-tenant population. This
+//! module is the single source of truth for that scenario's spec — the
+//! CLI's `consolidation-sweep`, the serve daemon's `consolidation`
+//! request kind and the perf tracker all build their jobs here, so a
+//! memoized sweep report answers an identical CLI run byte for byte.
+
+use pomtlb_trace::{LocalityModel, TenantMix, WorkloadSpec};
+
+/// Default tenant count when a request leaves it unset (zero).
+pub const DEFAULT_VMS: u32 = 1_000;
+/// Default `DestroyVm` teardowns per 10 000 references (per core).
+pub const DEFAULT_CHURN_DESTROYS: f64 = 0.5;
+/// Default fork storms per 10 000 references (per core).
+pub const DEFAULT_CHURN_FORKS: f64 = 1.0;
+/// COW pages each fork storm remaps.
+pub const FORK_PAGES: u32 = 8;
+/// Zipf exponent of the tenant traffic distribution (datacenter tenant
+/// popularity is heavy-tailed but not scale-free; 0.9 keeps a long
+/// measurable tail at 10k VMs).
+pub const TRAFFIC_SKEW: f64 = 0.9;
+/// Working-set decay exponent: tenant `v` keeps `(v+1)^-0.5` of the
+/// region as resident working set, so cold tenants are small but never
+/// empty.
+pub const WS_DECAY: f64 = 0.5;
+
+/// Resolves request-level consolidation knobs, where **zero means
+/// default** — the same convention serve requests use everywhere else —
+/// and out-of-domain values are *errors*, never silent clamps.
+///
+/// Returns `(vms, destroys_per_10k, fork_storms_per_10k)`.
+pub fn resolve_mix(vms: u32, destroys: f64, forks: f64) -> Result<(u32, f64, f64), String> {
+    let vms = if vms == 0 { DEFAULT_VMS } else { vms };
+    if vms > 65_536 {
+        return Err(format!("tenant count {vms} exceeds the 65536 VM_ID space"));
+    }
+    let destroys = if destroys == 0.0 { DEFAULT_CHURN_DESTROYS } else { destroys };
+    let forks = if forks == 0.0 { DEFAULT_CHURN_FORKS } else { forks };
+    for (name, rate) in [("churn-destroys", destroys), ("churn-forks", forks)] {
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(format!("{name} must be a finite non-negative rate, got {rate}"));
+        }
+        if rate > 10_000.0 {
+            return Err(format!("{name} {rate} exceeds 10000 events per 10k references"));
+        }
+    }
+    Ok((vms, destroys, forks))
+}
+
+/// The consolidation workload spec for a resolved tenant population.
+///
+/// One shared 64 MB host footprint (all cores in one guest-physical
+/// space, shared-memory style) folded per tenant by working-set decay;
+/// Zipf page locality within each tenant's slice; the base OS-event
+/// rates zeroed so every observed remap is fork-storm COW traffic and
+/// every teardown is tenant churn — the report's churn counters then
+/// measure exactly what the mix injected.
+///
+/// Pass `churn = None` for a churn-free population (the `--no-churn`
+/// control arm).
+pub fn consolidation_spec(vms: u32, churn: Option<(f64, f64)>) -> WorkloadSpec {
+    let (destroys, forks) = churn.unwrap_or((0.0, 0.0));
+    WorkloadSpec::builder(format!("consolidation-{vms}vm"))
+        .footprint_bytes(64 << 20)
+        .large_page_frac(0.3)
+        .same_page_burst(0.3)
+        .locality(LocalityModel::Zipf { alpha: 1.05 })
+        .tenancy(TenantMix {
+            vms,
+            skew: TRAFFIC_SKEW,
+            ws_decay: WS_DECAY,
+            churn_destroys_per_10k: destroys,
+            fork_storms_per_10k: forks,
+            fork_pages: FORK_PAGES,
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_resolves_to_defaults() {
+        let (vms, d, f) = resolve_mix(0, 0.0, 0.0).unwrap();
+        assert_eq!(vms, DEFAULT_VMS);
+        assert_eq!(d, DEFAULT_CHURN_DESTROYS);
+        assert_eq!(f, DEFAULT_CHURN_FORKS);
+    }
+
+    #[test]
+    fn explicit_values_pass_through() {
+        let (vms, d, f) = resolve_mix(10_000, 2.5, 0.25).unwrap();
+        assert_eq!((vms, d, f), (10_000, 2.5, 0.25));
+    }
+
+    #[test]
+    fn bad_values_error_instead_of_clamping() {
+        assert!(resolve_mix(70_000, 0.0, 0.0).is_err(), "over the VM_ID space");
+        assert!(resolve_mix(100, -1.0, 0.0).is_err(), "negative rate");
+        assert!(resolve_mix(100, f64::NAN, 0.0).is_err(), "NaN rate");
+        assert!(resolve_mix(100, 0.0, 20_000.0).is_err(), "absurd rate");
+    }
+
+    #[test]
+    fn spec_validates_at_every_ladder_rung() {
+        for vms in [100, 1_000, 10_000] {
+            let spec = consolidation_spec(vms, Some((0.5, 1.0)));
+            assert_eq!(spec.tenancy.vms, vms);
+            assert!(spec.tenancy.has_churn());
+            assert_eq!(spec.os_events.total(), 0.0, "base OS events stay off");
+            let quiet = consolidation_spec(vms, None);
+            assert!(!quiet.tenancy.has_churn());
+        }
+    }
+}

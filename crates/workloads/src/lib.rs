@@ -35,6 +35,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod consolidation;
+
 use pomtlb_trace::{LocalityModel, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
