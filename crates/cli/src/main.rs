@@ -12,9 +12,17 @@
 //!                    [--json]
 //! pomtlb trace-store stats|verify|gc --dir DIR [--max-mb N]
 //! pomtlb report-store stats|verify|gc --dir DIR [--max-mb N]
-//! pomtlb serve [--socket PATH] [--trace-cache-dir DIR] [--report-dir DIR]
-//!              [--report-max-mb N] [--jobs N] [--max-connections N]
-//!              [--max-inflight N|auto] [--max-queue N] [--hot-cache-mb N]
+//! pomtlb serve [--socket PATH | --tcp HOST:PORT] [--trace-cache-dir DIR]
+//!              [--report-dir DIR] [--report-max-mb N] [--jobs N]
+//!              [--max-connections N] [--max-inflight N|auto] [--max-queue N]
+//!              [--hot-cache-mb N] [--idle-timeout-secs N]
+//!              [--drain-timeout-secs N] [--max-line-bytes N]
+//!              [--compute-deadline-ms N]
+//! pomtlb client --tcp HOST:PORT [--deadline-ms N] [--max-retries N]
+//!               [--backoff-base-ms N] [--backoff-cap-ms N] [--seed N]
+//! pomtlb chaos-proxy --upstream HOST:PORT [--seed N] [--reset-per-10k N]
+//!                    [--torn-per-10k N] [--stall-per-10k N] [--stall-ms N]
+//!                    [--delay-ms N]
 //! ```
 //!
 //! Batched commands (`compare`, `shootdown-sweep`, `fault-sweep`) accept
@@ -33,9 +41,16 @@
 //! into the exit code for CI.
 //!
 //! `serve` runs the long-lived sweep service (see `pomtlb_serve`): requests
-//! arrive as JSON lines on stdin (default) or a Unix socket — the socket
-//! transport serves up to `--max-connections` conversations concurrently
-//! against one shared warm core. The trace store stays warm across
+//! arrive as JSON lines on stdin (default), a Unix socket, or TCP — both
+//! socket transports serve up to `--max-connections` conversations
+//! concurrently against one shared warm core, with per-connection idle
+//! timeouts, a per-request compute deadline, bounded request lines, and
+//! graceful drain on shutdown (see `DESIGN.md` §12). `client` is the
+//! matching resilient TCP client (reconnect, capped seeded-jitter backoff
+//! on typed `busy`/`deadline_exceeded` refusals, a byte-identity
+//! assertion on retries), and `chaos-proxy` is the deterministic
+//! fault-injection proxy the chaos suite and CI smoke job run them
+//! through. The trace store stays warm across
 //! requests, and finished response bodies are answered from three cache
 //! tiers, each byte-identical to the computed body: an in-memory hot
 //! cache (`"hot"`, sized by `--hot-cache-mb`), the content-addressed
@@ -74,6 +89,8 @@ fn main() -> ExitCode {
         Some("trace-store") => run_trace_store(&args[1..]),
         Some("report-store") => run_report_store(&args[1..]),
         Some("serve") => run_serve(&args[1..]),
+        Some("client") => run_client(&args[1..]),
+        Some("chaos-proxy") => run_chaos_proxy(&args[1..]),
         Some("--help") | Some("-h") | None => {
             help();
             ExitCode::SUCCESS
@@ -1051,19 +1068,24 @@ fn run_report_store(args: &[String]) -> ExitCode {
 /// transport (`None` = stdin).
 struct ServeArgs {
     socket: Option<String>,
+    tcp: Option<String>,
     cfg: ServeConfig,
 }
 
 fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
-    let mut out = ServeArgs { socket: None, cfg: ServeConfig::default() };
+    let mut out = ServeArgs { socket: None, tcp: None, cfg: ServeConfig::default() };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| -> Result<String, String> {
             it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
         };
         match a.as_str() {
-            "--stdin" => out.socket = None,
+            "--stdin" => {
+                out.socket = None;
+                out.tcp = None;
+            }
             "--socket" => out.socket = Some(value("--socket")?),
+            "--tcp" => out.tcp = Some(value("--tcp")?),
             "--trace-cache-dir" => {
                 out.cfg.trace_dir = Some(value("--trace-cache-dir")?.into());
             }
@@ -1087,8 +1109,28 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
             "--hot-cache-mb" => {
                 out.cfg.hot_max_bytes = num(&value("--hot-cache-mb")?)?.saturating_mul(1 << 20);
             }
+            "--idle-timeout-secs" => {
+                let secs = num(&value("--idle-timeout-secs")?)?;
+                out.cfg.idle_timeout =
+                    (secs > 0).then(|| std::time::Duration::from_secs(secs));
+            }
+            "--drain-timeout-secs" => {
+                out.cfg.drain_timeout =
+                    std::time::Duration::from_secs(num(&value("--drain-timeout-secs")?)?);
+            }
+            "--max-line-bytes" => {
+                out.cfg.max_line_bytes = num(&value("--max-line-bytes")?)? as usize;
+            }
+            "--compute-deadline-ms" => {
+                let ms = num(&value("--compute-deadline-ms")?)?;
+                out.cfg.policy.deadline =
+                    (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
             other => return Err(format!("unknown serve flag `{other}`")),
         }
+    }
+    if out.socket.is_some() && out.tcp.is_some() {
+        return Err("--socket and --tcp are mutually exclusive; pick one transport".into());
     }
     Ok(out)
 }
@@ -1113,9 +1155,10 @@ fn run_serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let served = match parsed.socket {
-        Some(path) => serve_on_socket(&service, &path),
-        None => pomtlb_serve::serve_stdin(&mut service),
+    let served = match (&parsed.socket, &parsed.tcp) {
+        (Some(path), _) => serve_on_socket(&service, path),
+        (None, Some(addr)) => serve_on_tcp(&service, addr),
+        (None, None) => pomtlb_serve::serve_stdin(&mut service),
     };
     if let Err(e) = served {
         eprintln!("serve failed: {e}");
@@ -1139,8 +1182,193 @@ fn serve_on_socket(service: &Service, path: &str) -> std::io::Result<()> {
 fn serve_on_socket(_service: &Service, _path: &str) -> std::io::Result<()> {
     Err(std::io::Error::new(
         std::io::ErrorKind::Unsupported,
-        "--socket needs Unix domain sockets; use --stdin on this platform",
+        "--socket needs Unix domain sockets; use --tcp or --stdin on this platform",
     ))
+}
+
+fn serve_on_tcp(service: &Service, addr: &str) -> std::io::Result<()> {
+    let listener = pomtlb_serve::bind_tcp_listener(addr)?;
+    pomtlb_serve::serve_tcp(service, listener)
+}
+
+/// Parsed `client` command line.
+struct ClientArgs {
+    cfg: pomtlb_serve::ClientConfig,
+}
+
+fn parse_client(args: &[String]) -> Result<ClientArgs, String> {
+    let mut addr: Option<String> = None;
+    let mut deadline_ms = 0u64;
+    let mut max_retries = 8u32;
+    let mut backoff_base_ms = 25u64;
+    let mut backoff_cap_ms = 1000u64;
+    let mut seed = 0x5eedu64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--tcp" => addr = Some(value("--tcp")?),
+            "--deadline-ms" => deadline_ms = num(&value("--deadline-ms")?)?,
+            "--max-retries" => max_retries = num(&value("--max-retries")?)? as u32,
+            "--backoff-base-ms" => backoff_base_ms = num(&value("--backoff-base-ms")?)?,
+            "--backoff-cap-ms" => backoff_cap_ms = num(&value("--backoff-cap-ms")?)?,
+            "--seed" => seed = num(&value("--seed")?)?,
+            other => return Err(format!("unknown client flag `{other}`")),
+        }
+    }
+    let addr = addr.ok_or_else(|| "client needs --tcp HOST:PORT".to_string())?;
+    let mut cfg = pomtlb_serve::ClientConfig::new(addr);
+    cfg.deadline = (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms));
+    cfg.max_retries = max_retries;
+    cfg.backoff_base = std::time::Duration::from_millis(backoff_base_ms);
+    cfg.backoff_cap = std::time::Duration::from_millis(backoff_cap_ms);
+    cfg.seed = seed;
+    Ok(ClientArgs { cfg })
+}
+
+/// `pomtlb client` — send JSON request lines from stdin to a TCP daemon
+/// through the resilient client: reconnect on torn connections, capped
+/// jittered backoff on `busy`/`deadline_exceeded`, byte-identity
+/// assertion on retried requests. One response line per request on
+/// stdout; exit 1 if any request exhausted its budget.
+fn run_client(args: &[String]) -> ExitCode {
+    let parsed = match parse_client(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n");
+            help();
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = pomtlb_serve::Client::new(parsed.cfg);
+    let mut failures = 0u64;
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("stdin read failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match client.request(&line) {
+            Ok(response) => println!("{response}"),
+            Err(e) => {
+                failures += 1;
+                eprintln!("request failed: {e}");
+            }
+        }
+    }
+    let c = client.counters();
+    eprintln!(
+        "pomtlb-client: {} request(s), {} attempt(s), {} connect(s), \
+         {} io / {} busy / {} deadline retries, {} identity check(s), {} failure(s)",
+        c.requests,
+        c.attempts,
+        c.connects,
+        c.io_retries,
+        c.busy_retries,
+        c.deadline_retries,
+        c.identity_checks,
+        failures,
+    );
+    if failures > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `pomtlb chaos-proxy` — run the deterministic fault-injection proxy in
+/// front of a TCP daemon. Prints its listen address to stdout, then runs
+/// until stdin reaches EOF (close its stdin to stop it), then prints the
+/// injected-fault counters to stderr.
+fn run_chaos_proxy(args: &[String]) -> ExitCode {
+    let mut upstream: Option<String> = None;
+    let mut cfg = pomtlb_serve::ChaosConfig::stormy(0x000c_0a05);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let parsed = (|| -> Result<(), String> {
+            match a.as_str() {
+                "--upstream" => upstream = Some(value("--upstream")?),
+                "--seed" => cfg.seed = num(&value("--seed")?)?,
+                "--reset-per-10k" => cfg.reset_per_10k = num(&value("--reset-per-10k")?)? as u32,
+                "--torn-per-10k" => {
+                    cfg.torn_write_per_10k = num(&value("--torn-per-10k")?)? as u32;
+                }
+                "--stall-per-10k" => cfg.stall_per_10k = num(&value("--stall-per-10k")?)? as u32,
+                "--stall-ms" => cfg.stall_ms = num(&value("--stall-ms")?)?,
+                "--delay-ms" => cfg.delay_ms = num(&value("--delay-ms")?)?,
+                other => return Err(format!("unknown chaos-proxy flag `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            eprintln!("{e}\n");
+            help();
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(upstream) = upstream else {
+        eprintln!("chaos-proxy needs --upstream HOST:PORT\n");
+        help();
+        return ExitCode::FAILURE;
+    };
+    let upstream_addr = match std::net::ToSocketAddrs::to_socket_addrs(upstream.as_str())
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+    {
+        Some(addr) => addr,
+        None => {
+            eprintln!("cannot resolve upstream `{upstream}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut proxy = match pomtlb_serve::ChaosProxy::start(upstream_addr, cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot start chaos proxy: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Stdout carries exactly the listen address, so scripts can capture
+    // it; diagnostics go to stderr.
+    println!("{}", proxy.addr());
+    eprintln!(
+        "chaos-proxy: {} -> {} (seed {}, reset {}/10k, torn {}/10k, stall {}/10k x {} ms, \
+         delay {} ms); close stdin to stop",
+        proxy.addr(),
+        upstream_addr,
+        cfg.seed,
+        cfg.reset_per_10k,
+        cfg.torn_write_per_10k,
+        cfg.stall_per_10k,
+        cfg.stall_ms,
+        cfg.delay_ms,
+    );
+    let mut sink = String::new();
+    while matches!(std::io::BufRead::read_line(&mut std::io::stdin().lock(), &mut sink), Ok(n) if n > 0)
+    {
+        sink.clear();
+    }
+    proxy.stop();
+    let c = proxy.counters();
+    eprintln!(
+        "chaos-proxy: done ({} connection(s), {} chunk(s), {} reset(s), {} torn write(s), \
+         {} stall(s))",
+        c.connections, c.chunks, c.resets, c.torn_writes, c.stalls,
+    );
+    ExitCode::SUCCESS
 }
 
 fn emit(w: &PaperWorkload, reports: &[SimReport], o: &Options) {
@@ -1234,14 +1462,18 @@ USAGE:
   pomtlb report-store stats|verify|gc --dir DIR [--max-mb N]
                                                    same, for a store of
                                                    memoized serve responses
-  pomtlb serve [--socket PATH] [--trace-cache-dir DIR] [--report-dir DIR]
-               [--report-max-mb N] [--jobs N] [--max-connections N]
-               [--max-inflight N|auto] [--max-queue N] [--hot-cache-mb N]
+  pomtlb serve [--socket PATH | --tcp HOST:PORT] [--trace-cache-dir DIR]
+               [--report-dir DIR] [--report-max-mb N] [--jobs N]
+               [--max-connections N] [--max-inflight N|auto] [--max-queue N]
+               [--hot-cache-mb N] [--idle-timeout-secs N]
+               [--drain-timeout-secs N] [--max-line-bytes N]
+               [--compute-deadline-ms N]
                                                    long-lived sweep service:
                                                    JSON-lines requests on
-                                                   stdin (default) or a Unix
-                                                   socket. The socket serves
-                                                   up to --max-connections
+                                                   stdin (default), a Unix
+                                                   socket, or TCP. Both socket
+                                                   transports serve up to
+                                                   --max-connections
                                                    conversations concurrently
                                                    against one shared warm
                                                    core; identical repeat
@@ -1259,7 +1491,49 @@ USAGE:
                                                    compute at once; past a
                                                    --max-queue backlog the
                                                    daemon answers a typed
-                                                   busy line
+                                                   busy line. A request whose
+                                                   compute blows
+                                                   --compute-deadline-ms gets
+                                                   a typed deadline_exceeded
+                                                   line; a connection idle
+                                                   past --idle-timeout-secs
+                                                   (measured from its last
+                                                   completed request) gets a
+                                                   typed idle_timeout line; a
+                                                   request line over
+                                                   --max-line-bytes gets a
+                                                   typed error. `shutdown`
+                                                   drains in-flight
+                                                   connections for up to
+                                                   --drain-timeout-secs, then
+                                                   persists tier counters
+                                                   exactly once
+  pomtlb client --tcp HOST:PORT [--deadline-ms N] [--max-retries N]
+                [--backoff-base-ms N] [--backoff-cap-ms N] [--seed N]
+                                                   resilient TCP client:
+                                                   JSON request lines on
+                                                   stdin, one response line
+                                                   each on stdout. Reconnects
+                                                   on torn connections,
+                                                   retries busy /
+                                                   deadline_exceeded with
+                                                   capped seeded-jitter
+                                                   backoff inside one
+                                                   --deadline-ms budget, and
+                                                   asserts retried requests
+                                                   answer byte-identically
+  pomtlb chaos-proxy --upstream HOST:PORT [--seed N] [--reset-per-10k N]
+                     [--torn-per-10k N] [--stall-per-10k N] [--stall-ms N]
+                     [--delay-ms N]
+                                                   deterministic TCP fault
+                                                   injector: prints its
+                                                   loopback listen address on
+                                                   stdout, forwards bytes to
+                                                   --upstream while injecting
+                                                   seeded resets, torn
+                                                   writes, stalls and
+                                                   latency; close stdin to
+                                                   stop
 
 FLAGS:
   --scheme S        baseline | pom-tlb | pom-uncached | shared-l2 | tsb
@@ -1494,6 +1768,72 @@ mod tests {
         assert_eq!(parse_serve(&["--jobs".into(), "auto".into()]).unwrap().cfg.jobs, 0);
         let auto = parse_serve(&["--max-inflight".into(), "auto".into()]).unwrap();
         assert_eq!(auto.cfg.max_inflight, 0, "auto admission width");
+    }
+
+    #[test]
+    fn parse_serve_transport_hardening_flags() {
+        let p = parse_serve(&[]).unwrap();
+        assert!(p.tcp.is_none() && p.cfg.idle_timeout.is_none());
+        assert!(p.cfg.policy.deadline.is_none());
+        assert_eq!(p.cfg.max_line_bytes, pomtlb_serve::DEFAULT_MAX_LINE_BYTES);
+        assert_eq!(
+            p.cfg.drain_timeout,
+            std::time::Duration::from_secs(pomtlb_serve::DEFAULT_DRAIN_TIMEOUT_SECS)
+        );
+
+        let args: Vec<String> = [
+            "--tcp", "127.0.0.1:7070", "--idle-timeout-secs", "30",
+            "--drain-timeout-secs", "5", "--max-line-bytes", "4096",
+            "--compute-deadline-ms", "1500",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let p = parse_serve(&args).unwrap();
+        assert_eq!(p.tcp.as_deref(), Some("127.0.0.1:7070"));
+        assert_eq!(p.cfg.idle_timeout, Some(std::time::Duration::from_secs(30)));
+        assert_eq!(p.cfg.drain_timeout, std::time::Duration::from_secs(5));
+        assert_eq!(p.cfg.max_line_bytes, 4096);
+        assert_eq!(p.cfg.policy.deadline, Some(std::time::Duration::from_millis(1500)));
+
+        // Zero means "off" for the optional timeouts, matching "never".
+        let off = parse_serve(&[
+            "--idle-timeout-secs".into(), "0".into(),
+            "--compute-deadline-ms".into(), "0".into(),
+        ])
+        .unwrap();
+        assert!(off.cfg.idle_timeout.is_none() && off.cfg.policy.deadline.is_none());
+
+        // One daemon, one transport.
+        assert!(parse_serve(&[
+            "--socket".into(), "/tmp/x.sock".into(),
+            "--tcp".into(), "127.0.0.1:7070".into(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn parse_client_requires_addr_and_maps_flags() {
+        assert!(parse_client(&[]).is_err(), "--tcp is mandatory");
+        let p = parse_client(&["--tcp".into(), "127.0.0.1:7070".into()]).unwrap();
+        assert_eq!(p.cfg.addr, "127.0.0.1:7070");
+        assert!(p.cfg.deadline.is_none(), "no budget unless asked");
+        assert_eq!(p.cfg.max_retries, 8);
+
+        let args: Vec<String> = [
+            "--tcp", "h:1", "--deadline-ms", "2500", "--max-retries", "3",
+            "--backoff-base-ms", "10", "--backoff-cap-ms", "200", "--seed", "42",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let p = parse_client(&args).unwrap();
+        assert_eq!(p.cfg.deadline, Some(std::time::Duration::from_millis(2500)));
+        assert_eq!(p.cfg.max_retries, 3);
+        assert_eq!(p.cfg.backoff_base, std::time::Duration::from_millis(10));
+        assert_eq!(p.cfg.backoff_cap, std::time::Duration::from_millis(200));
+        assert_eq!(p.cfg.seed, 42);
+        assert!(parse_client(&["--tcp".into(), "h:1".into(), "--bogus".into()]).is_err());
     }
 
     #[test]

@@ -739,7 +739,7 @@ mod tests {
         // Two mid-job panics: the retries must rewind to the pre-chunk
         // checkpoint and end up byte-identical to the clean run.
         jobs[2] = jobs[2].clone().sabotage_panics("chunk glitch", 2);
-        let policy = RunPolicy { max_retries: 3, soft_timeout: None };
+        let policy = RunPolicy { max_retries: 3, ..RunPolicy::strict() };
         let outcomes = run_jobs_chunked_with(jobs, 2, 600, policy, &|_, _| {});
         let JobOutcome::Retried { result, retries } = &outcomes[2] else {
             panic!("slot 2 must be Retried, got {}", outcomes[2].status());
@@ -760,7 +760,7 @@ mod tests {
     fn exhausted_chunk_retries_report_panicked() {
         let mut jobs = batch();
         jobs[1] = jobs[1].clone().sabotage_panics("always down", u32::MAX);
-        let policy = RunPolicy { max_retries: 1, soft_timeout: None };
+        let policy = RunPolicy { max_retries: 1, ..RunPolicy::strict() };
         let outcomes = run_jobs_chunked_with(jobs, 2, 500, policy, &|_, _| {});
         let JobOutcome::Panicked { attempts, message, .. } = &outcomes[1] else {
             panic!("must exhaust retries, got {}", outcomes[1].status());

@@ -322,18 +322,30 @@ pub struct RunPolicy {
     /// kept — the flag marks the job for operator attention, it does not
     /// discard work or abort the attempt mid-flight).
     pub soft_timeout: Option<Duration>,
+    /// Hard wall-clock budget for the *whole batch*, measured from the
+    /// moment [`run_jobs_with`] starts. Jobs are never killed mid-attempt
+    /// — attempts are single-threaded simulation loops with no safe
+    /// preemption point — but once the budget is spent, no *new* attempt
+    /// starts: jobs not yet begun (and retries of panicked attempts) come
+    /// back as [`JobOutcome::DeadlineExceeded`]. `None` means unbounded.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for RunPolicy {
     fn default() -> RunPolicy {
-        RunPolicy { max_retries: 1, soft_timeout: None }
+        RunPolicy { max_retries: 1, soft_timeout: None, deadline: None }
     }
 }
 
 impl RunPolicy {
     /// No retries, no timeout flagging — the historical strict behaviour.
     pub fn strict() -> RunPolicy {
-        RunPolicy { max_retries: 0, soft_timeout: None }
+        RunPolicy { max_retries: 0, soft_timeout: None, deadline: None }
+    }
+
+    /// The strict policy bounded by a whole-batch deadline.
+    pub fn with_deadline(deadline: Duration) -> RunPolicy {
+        RunPolicy { deadline: Some(deadline), ..RunPolicy::strict() }
     }
 }
 
@@ -365,6 +377,12 @@ pub enum JobOutcome {
         /// Attempts made, all panicking.
         attempts: u32,
     },
+    /// The batch deadline ([`RunPolicy::deadline`]) expired before this
+    /// job could start (or restart after a panic); no report was produced.
+    DeadlineExceeded {
+        /// The job's label, for attribution in sweep output.
+        label: String,
+    },
 }
 
 impl JobOutcome {
@@ -374,15 +392,16 @@ impl JobOutcome {
             JobOutcome::Ok(r) | JobOutcome::Retried { result: r, .. } => &r.label,
             JobOutcome::TimedOut { result: r, .. } => &r.label,
             JobOutcome::Panicked { label, .. } => label,
+            JobOutcome::DeadlineExceeded { label } => label,
         }
     }
 
-    /// The completed result, unless the job panicked out.
+    /// The completed result, unless the job panicked or missed the deadline.
     pub fn result(&self) -> Option<&JobResult> {
         match self {
             JobOutcome::Ok(r) | JobOutcome::Retried { result: r, .. } => Some(r),
             JobOutcome::TimedOut { result: r, .. } => Some(r),
-            JobOutcome::Panicked { .. } => None,
+            JobOutcome::Panicked { .. } | JobOutcome::DeadlineExceeded { .. } => None,
         }
     }
 
@@ -391,13 +410,16 @@ impl JobOutcome {
         match self {
             JobOutcome::Ok(r) | JobOutcome::Retried { result: r, .. } => Some(r),
             JobOutcome::TimedOut { result: r, .. } => Some(r),
-            JobOutcome::Panicked { .. } => None,
+            JobOutcome::Panicked { .. } | JobOutcome::DeadlineExceeded { .. } => None,
         }
     }
 
     /// Whether the job produced a report (retried and timed-out jobs did).
     pub fn completed(&self) -> bool {
-        !matches!(self, JobOutcome::Panicked { .. })
+        !matches!(
+            self,
+            JobOutcome::Panicked { .. } | JobOutcome::DeadlineExceeded { .. }
+        )
     }
 
     /// One-word tag for tables and logs.
@@ -407,6 +429,7 @@ impl JobOutcome {
             JobOutcome::Retried { .. } => "retried",
             JobOutcome::TimedOut { .. } => "timed-out",
             JobOutcome::Panicked { .. } => "panicked",
+            JobOutcome::DeadlineExceeded { .. } => "deadline-exceeded",
         }
     }
 }
@@ -434,9 +457,17 @@ pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
 /// discarded wholesale: `SimJob::run` builds a fresh `Simulation` (tables,
 /// system, generators) per call, and the only state shared across attempts
 /// is the sabotage counter, which is atomic.
-fn run_one(job: &SimJob, policy: &RunPolicy) -> JobOutcome {
+fn run_one(job: &SimJob, policy: &RunPolicy, deadline_at: Option<Instant>) -> JobOutcome {
     let mut attempts = 0u32;
     loop {
+        // The deadline gates attempt *starts* (first and retry alike):
+        // a running attempt is never preempted, so a job that begins just
+        // inside the budget may still complete past it.
+        if let Some(at) = deadline_at {
+            if Instant::now() >= at {
+                return JobOutcome::DeadlineExceeded { label: job.label.clone() };
+            }
+        }
         attempts += 1;
         let start = Instant::now();
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run()));
@@ -498,12 +529,13 @@ pub fn run_jobs_with(
     observer: &(dyn Fn(usize, &JobOutcome) + Sync),
 ) -> Vec<JobOutcome> {
     let n_workers = n_workers.max(1).min(jobs.len().max(1));
+    let deadline_at = policy.deadline.map(|d| Instant::now() + d);
     if n_workers <= 1 {
         return jobs
             .iter()
             .enumerate()
             .map(|(idx, job)| {
-                let outcome = run_one(job, &policy);
+                let outcome = run_one(job, &policy, deadline_at);
                 observer(idx, &outcome);
                 outcome
             })
@@ -518,7 +550,7 @@ pub fn run_jobs_with(
             scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(idx) else { break };
-                let outcome = run_one(job, &policy);
+                let outcome = run_one(job, &policy, deadline_at);
                 observer(idx, &outcome);
                 *lock_clean(&slots[idx]) = Some(outcome);
             });
@@ -683,7 +715,7 @@ mod tests {
     fn transient_panic_is_retried_and_reported() {
         let mut jobs = batch();
         jobs[2] = jobs[2].clone().sabotage_panics("transient glitch", 1);
-        let policy = RunPolicy { max_retries: 2, soft_timeout: None };
+        let policy = RunPolicy { max_retries: 2, ..RunPolicy::strict() };
         let outcomes = run_jobs_with(jobs, 2, policy, &|_, _| {});
         let JobOutcome::Retried { result, retries } = &outcomes[2] else {
             panic!("slot 2 must be Retried, got {}", outcomes[2].status());
@@ -696,7 +728,7 @@ mod tests {
     #[test]
     fn exhausted_retries_report_panicked_with_attempts() {
         let jobs = vec![batch()[0].clone().sabotage_panics("always down", u32::MAX)];
-        let policy = RunPolicy { max_retries: 2, soft_timeout: None };
+        let policy = RunPolicy { max_retries: 2, ..RunPolicy::strict() };
         let outcomes = run_jobs_with(jobs, 1, policy, &|_, _| {});
         let JobOutcome::Panicked { attempts, message, .. } = &outcomes[0] else {
             panic!("must exhaust retries");
@@ -707,7 +739,10 @@ mod tests {
 
     #[test]
     fn soft_timeout_flags_but_keeps_results() {
-        let policy = RunPolicy { max_retries: 0, soft_timeout: Some(Duration::ZERO) };
+        let policy = RunPolicy {
+            soft_timeout: Some(Duration::ZERO),
+            ..RunPolicy::strict()
+        };
         let outcomes = run_jobs_with(batch(), 2, policy, &|_, _| {});
         for outcome in &outcomes {
             let JobOutcome::TimedOut { result, limit } = outcome else {
@@ -716,6 +751,27 @@ mod tests {
             assert_eq!(*limit, Duration::ZERO);
             assert!(result.report.refs > 0, "the report is kept");
         }
+    }
+
+    #[test]
+    fn expired_deadline_skips_jobs_without_running_them() {
+        let policy = RunPolicy::with_deadline(Duration::ZERO);
+        let outcomes = run_jobs_with(batch(), 2, policy, &|_, _| {});
+        assert_eq!(outcomes.len(), 4);
+        let expected: Vec<String> = batch().into_iter().map(|j| j.label).collect();
+        for (outcome, label) in outcomes.iter().zip(&expected) {
+            assert_eq!(outcome.status(), "deadline-exceeded");
+            assert_eq!(outcome.label(), label, "labels survive a missed deadline");
+            assert!(outcome.result().is_none(), "no report was produced");
+            assert!(!outcome.completed());
+        }
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let policy = RunPolicy::with_deadline(Duration::from_secs(3600));
+        let outcomes = run_jobs_with(batch(), 2, policy, &|_, _| {});
+        assert!(outcomes.iter().all(|o| matches!(o, JobOutcome::Ok(_))));
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! A deterministic TCP fault-injection proxy for torturing the daemon.
+//!
+//! [`ChaosProxy`] sits between a client and the serve daemon on
+//! loopback and injects the network's greatest hits: abrupt connection
+//! resets, torn writes (a partial line followed by a dead socket),
+//! byte-level stalls (slow-loris pacing), and constant added latency.
+//! Every fault decision is drawn from a splitmix64 stream seeded by
+//! `(seed, connection, direction, chunk)` — the same seed replays the
+//! same carnage, which is what lets the chaos suite and the CI smoke
+//! job pin a seed and assert exact end-state invariants instead of
+//! flaky ones.
+//!
+//! The proxy is intentionally protocol-blind: it forwards opaque byte
+//! chunks and injures them without parsing JSON, because real networks
+//! don't respect line framing either. The invariants under test live on
+//! the other two ends — the daemon must never leak a connection slot,
+//! admission permit, or single-flight leadership, and the
+//! [`Client`](crate::Client) must either deliver a byte-identical body
+//! or a typed error, never a silently corrupted reply.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Fault rates are expressed per 10 000 forwarded chunks, so integer
+/// configs can express 0.01% without floating point.
+const FAULT_SCALE: u64 = 10_000;
+
+/// What the proxy injects, and how often.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+    /// Per-10k chunk probability of severing both directions abruptly.
+    pub reset_per_10k: u32,
+    /// Per-10k chunk probability of forwarding only a prefix of the
+    /// chunk and then severing — the classic torn line.
+    pub torn_write_per_10k: u32,
+    /// Per-10k chunk probability of pausing `stall_ms` before
+    /// forwarding (slow-loris pacing).
+    pub stall_per_10k: u32,
+    /// Length of an injected stall.
+    pub stall_ms: u64,
+    /// Constant latency added to every forwarded chunk.
+    pub delay_ms: u64,
+}
+
+impl ChaosConfig {
+    /// A proxy that forwards faithfully — useful as the control arm.
+    pub fn benign(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            reset_per_10k: 0,
+            torn_write_per_10k: 0,
+            stall_per_10k: 0,
+            stall_ms: 0,
+            delay_ms: 0,
+        }
+    }
+
+    /// The default torture profile used by the chaos suite: ~8% resets,
+    /// ~5% torn writes, ~10% stalls of 20 ms, 1 ms base latency.
+    pub fn stormy(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            reset_per_10k: 800,
+            torn_write_per_10k: 500,
+            stall_per_10k: 1000,
+            stall_ms: 20,
+            delay_ms: 1,
+        }
+    }
+}
+
+/// What the proxy did, cumulatively (all [`Ordering::SeqCst`]).
+#[derive(Debug, Default)]
+struct SharedChaosCounters {
+    connections: AtomicU64,
+    chunks: AtomicU64,
+    resets: AtomicU64,
+    torn_writes: AtomicU64,
+    stalls: AtomicU64,
+}
+
+/// A point-in-time copy of the proxy's activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosCounters {
+    /// Client connections accepted and paired with an upstream.
+    pub connections: u64,
+    /// Byte chunks forwarded (either direction), including injured ones.
+    pub chunks: u64,
+    /// Connections severed abruptly.
+    pub resets: u64,
+    /// Chunks truncated mid-write before severing.
+    pub torn_writes: u64,
+    /// Chunks delayed by an injected stall.
+    pub stalls: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Which injury (if any) a chunk draws.
+enum Fault {
+    None,
+    Reset,
+    Torn,
+    Stall,
+}
+
+impl ChaosConfig {
+    /// Deterministic fault draw for one forwarded chunk.
+    fn draw(&self, conn: u64, direction: u64, chunk: u64) -> Fault {
+        let noise = splitmix64(
+            self.seed ^ conn.rotate_left(24) ^ direction.rotate_left(48) ^ chunk,
+        );
+        let roll = noise % FAULT_SCALE;
+        let reset = u64::from(self.reset_per_10k);
+        let torn = reset + u64::from(self.torn_write_per_10k);
+        let stall = torn + u64::from(self.stall_per_10k);
+        if roll < reset {
+            Fault::Reset
+        } else if roll < torn {
+            Fault::Torn
+        } else if roll < stall {
+            Fault::Stall
+        } else {
+            Fault::None
+        }
+    }
+}
+
+/// One direction of one proxied connection: reads chunks from `from`,
+/// injures them per the fault stream, writes survivors to `to`.
+fn pump(
+    cfg: ChaosConfig,
+    counters: Arc<SharedChaosCounters>,
+    conn: u64,
+    direction: u64,
+    from: TcpStream,
+    to: TcpStream,
+) {
+    let mut from = from;
+    let mut to = to;
+    let mut chunk_idx = 0u64;
+    let mut buf = [0u8; 2048];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        counters.chunks.fetch_add(1, Ordering::SeqCst);
+        let fault = cfg.draw(conn, direction, chunk_idx);
+        chunk_idx += 1;
+        if cfg.delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(cfg.delay_ms));
+        }
+        match fault {
+            Fault::Reset => {
+                counters.resets.fetch_add(1, Ordering::SeqCst);
+                break;
+            }
+            Fault::Torn => {
+                // Forward a strict prefix, then die: the receiver holds
+                // a partial line it must never mistake for a whole one.
+                counters.torn_writes.fetch_add(1, Ordering::SeqCst);
+                let half = (n / 2).max(1).min(n.saturating_sub(1));
+                if half > 0 {
+                    let _ = to.write_all(&buf[..half]);
+                    let _ = to.flush();
+                }
+                break;
+            }
+            Fault::Stall => {
+                counters.stalls.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(cfg.stall_ms));
+            }
+            Fault::None => {}
+        }
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+        let _ = to.flush();
+    }
+    // Sever both sockets so the paired pump thread unblocks too.
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+/// A running chaos proxy; dropping it (or calling [`stop`]) shuts the
+/// accept loop down. In-flight pump threads die with their sockets.
+///
+/// [`stop`]: ChaosProxy::stop
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<SharedChaosCounters>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an ephemeral loopback port forwarding to
+    /// `upstream` with the given fault profile.
+    pub fn start(upstream: SocketAddr, cfg: ChaosConfig) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(SharedChaosCounters::default());
+        let accept_stop = Arc::clone(&stop);
+        let accept_counters = Arc::clone(&counters);
+        let accept_thread = std::thread::spawn(move || {
+            let mut conn_id = 0u64;
+            for incoming in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = incoming else { continue };
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    // Upstream gone: the client sees an immediate close,
+                    // which is just another fault it must survive.
+                    let _ = client.shutdown(Shutdown::Both);
+                    continue;
+                };
+                accept_counters.connections.fetch_add(1, Ordering::SeqCst);
+                conn_id += 1;
+                let (c2, s2) = match (client.try_clone(), server.try_clone()) {
+                    (Ok(c), Ok(s)) => (c, s),
+                    _ => continue,
+                };
+                let (cf, ct) = (cfg, Arc::clone(&accept_counters));
+                let id = conn_id;
+                std::thread::spawn(move || pump(cf, ct, id, 0, client, server));
+                let (cf, ct) = (cfg, Arc::clone(&accept_counters));
+                std::thread::spawn(move || pump(cf, ct, id, 1, s2, c2));
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            counters,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listen address — point clients here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the activity counters.
+    pub fn counters(&self) -> ChaosCounters {
+        ChaosCounters {
+            connections: self.counters.connections.load(Ordering::SeqCst),
+            chunks: self.counters.chunks.load(Ordering::SeqCst),
+            resets: self.counters.resets.load(Ordering::SeqCst),
+            torn_writes: self.counters.torn_writes.load(Ordering::SeqCst),
+            stalls: self.counters.stalls.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stops accepting and joins the accept thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // A self-connect unblocks the blocking accept so the flag is
+        // observed; the accepted socket is dropped immediately.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_stream_is_deterministic_and_seed_sensitive() {
+        let cfg = ChaosConfig::stormy(7);
+        let a: Vec<u64> = (0..64)
+            .map(|i| match cfg.draw(1, 0, i) {
+                Fault::None => 0,
+                Fault::Reset => 1,
+                Fault::Torn => 2,
+                Fault::Stall => 3,
+            })
+            .collect();
+        let b: Vec<u64> = (0..64)
+            .map(|i| match cfg.draw(1, 0, i) {
+                Fault::None => 0,
+                Fault::Reset => 1,
+                Fault::Torn => 2,
+                Fault::Stall => 3,
+            })
+            .collect();
+        assert_eq!(a, b, "same seed replays the same carnage");
+        assert!(a.iter().any(|&f| f != 0), "stormy profile injects faults");
+        let other = ChaosConfig::stormy(8);
+        let c: Vec<u64> = (0..64)
+            .map(|i| match other.draw(1, 0, i) {
+                Fault::None => 0,
+                Fault::Reset => 1,
+                Fault::Torn => 2,
+                Fault::Stall => 3,
+            })
+            .collect();
+        assert_ne!(a, c, "different seeds draw different faults");
+    }
+
+    #[test]
+    fn benign_proxy_forwards_bytes_faithfully() {
+        // Echo upstream: one accept, read a line, write it back.
+        let upstream = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+        let upstream_addr = upstream.local_addr().expect("addr");
+        let echo = std::thread::spawn(move || {
+            let (mut conn, _) = upstream.accept().expect("accept");
+            let mut buf = [0u8; 256];
+            let n = conn.read(&mut buf).expect("read");
+            conn.write_all(&buf[..n]).expect("write");
+        });
+        let mut proxy =
+            ChaosProxy::start(upstream_addr, ChaosConfig::benign(1)).expect("start proxy");
+        let mut client = TcpStream::connect(proxy.addr()).expect("connect");
+        client.write_all(b"hello through the storm\n").expect("send");
+        let mut reply = [0u8; 256];
+        let n = client.read(&mut reply).expect("reply");
+        assert_eq!(&reply[..n], b"hello through the storm\n");
+        echo.join().expect("echo thread");
+        proxy.stop();
+        let counters = proxy.counters();
+        assert_eq!(counters.connections, 1);
+        assert!(counters.chunks >= 2, "one chunk each direction");
+        assert_eq!(counters.resets + counters.torn_writes, 0);
+    }
+}

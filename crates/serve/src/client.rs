@@ -1,0 +1,377 @@
+//! A resilient TCP client for the serve protocol.
+//!
+//! The daemon's caching contract makes retries *safe*: a request's
+//! identity is its [`request_digest`](crate::request_digest) — ids are
+//! not hashed — and every tier splices the stored body back verbatim, so
+//! re-sending a request whose first attempt died mid-connection either
+//! recomputes deterministically or hits a cache, and the body is
+//! byte-identical either way. [`Client`] leans on that: it reconnects on
+//! torn connections, retries typed `busy` and `deadline_exceeded`
+//! refusals with capped exponential backoff (deterministic seeded
+//! jitter, so two clients with different seeds never thundering-herd in
+//! lockstep), spans all attempts with one optional deadline budget, and
+//! *asserts* the idempotency claim — a retried request that ever returns
+//! a body different from an earlier reply for the same digest is a
+//! protocol violation reported as [`ClientError::Inconsistent`], never
+//! silently accepted.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::request::{request_digest, ServeRequest};
+
+/// Ceiling on one connect attempt, independent of the request budget.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Read timeout when no request deadline is set: generous enough for a
+/// cold compute, finite so a dead daemon cannot park the client forever.
+const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// How [`Client`] connects and retries.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Daemon address, `host:port`.
+    pub addr: String,
+    /// Total budget spanning *all* attempts of one request (`None` =
+    /// retry until `max_retries` is spent).
+    pub deadline: Option<Duration>,
+    /// Retries after the first attempt (io errors, `busy`,
+    /// `deadline_exceeded`); other error responses are final answers.
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Jitter seed: backoff delays are deterministic per (seed, request,
+    /// attempt), so runs are reproducible and distinct seeds decorrelate.
+    pub seed: u64,
+}
+
+impl ClientConfig {
+    /// Defaults tuned for a loopback daemon: 8 retries, 25 ms base,
+    /// 1 s cap, no overall deadline.
+    pub fn new(addr: impl Into<String>) -> ClientConfig {
+        ClientConfig {
+            addr: addr.into(),
+            deadline: None,
+            max_retries: 8,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// What the client did, cumulatively.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientCounters {
+    /// Requests submitted via [`Client::request`].
+    pub requests: u64,
+    /// Wire attempts, including the first of each request.
+    pub attempts: u64,
+    /// TCP (re)connects performed.
+    pub connects: u64,
+    /// Retries triggered by transport errors (torn connections, EOF).
+    pub io_retries: u64,
+    /// Retries triggered by typed `busy` refusals.
+    pub busy_retries: u64,
+    /// Retries triggered by typed `deadline_exceeded` refusals.
+    pub deadline_retries: u64,
+    /// Responses whose body was checked byte-identical against an
+    /// earlier reply for the same request digest.
+    pub identity_checks: u64,
+}
+
+/// Why a request produced no response line.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The retry or deadline budget ran out; `last` describes the final
+    /// refusal or transport error.
+    Exhausted {
+        /// Wire attempts made.
+        attempts: u32,
+        /// The last refusal line or transport error text.
+        last: String,
+    },
+    /// Two completed replies for the same request digest differed — the
+    /// daemon broke the byte-identity contract retries rely on.
+    Inconsistent {
+        /// Hex digest of the request whose replies diverged.
+        digest: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "request failed after {attempts} attempt(s); last: {last}")
+            }
+            ClientError::Inconsistent { digest } => {
+                write!(f, "byte-identity violation: replies for digest {digest} diverged")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Extracts the verbatim `body` slice of an ok response line — the part
+/// every tier splices byte-exactly (provenance and wall time legitimately
+/// vary across attempts, the body must not).
+fn body_slice(response: &str) -> Option<&str> {
+    let idx = response.find("\"body\":")?;
+    let end = response.len().checked_sub(1)?;
+    response.get(idx + "\"body\":".len()..end)
+}
+
+/// A serve-protocol client with reconnect, bounded retry, and the
+/// byte-identity assertion. One client is one conversation: requests are
+/// serial (send a line, read a line), which is exactly the daemon's
+/// framing.
+#[derive(Debug)]
+pub struct Client {
+    cfg: ClientConfig,
+    stream: Option<TcpStream>,
+    rxbuf: Vec<u8>,
+    counters: ClientCounters,
+    seen: HashMap<[u8; 32], String>,
+    seq: u64,
+}
+
+impl Client {
+    /// A client for `cfg.addr`; connects lazily on the first request.
+    pub fn new(cfg: ClientConfig) -> Client {
+        Client {
+            cfg,
+            stream: None,
+            rxbuf: Vec::new(),
+            counters: ClientCounters::default(),
+            seen: HashMap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Cumulative counters.
+    pub fn counters(&self) -> ClientCounters {
+        self.counters
+    }
+
+    /// Sends one request line and returns the daemon's response line,
+    /// retrying transport errors and typed `busy`/`deadline_exceeded`
+    /// refusals with capped, jittered exponential backoff inside the
+    /// configured deadline. Error *responses* (`ok:false` without a
+    /// retryable marker) are answers, not failures — they come back `Ok`.
+    pub fn request(&mut self, line: &str) -> Result<String, ClientError> {
+        let started = Instant::now();
+        self.seq += 1;
+        self.counters.requests += 1;
+        // The digest is the retry-safety key: only requests that resolve
+        // and memoize have the byte-identity guarantee to assert.
+        let digest = serde_json::from_str::<ServeRequest>(line)
+            .ok()
+            .and_then(|req| req.resolve().ok())
+            .filter(|resolved| resolved.memoize)
+            .map(|resolved| request_digest(&resolved));
+        let mut attempts = 0u32;
+        let mut last = String::from("never attempted");
+        loop {
+            if attempts > self.cfg.max_retries {
+                return Err(ClientError::Exhausted { attempts, last });
+            }
+            let remaining = match self.remaining(&started) {
+                Some(r) if r < Duration::from_millis(1) => {
+                    return Err(ClientError::Exhausted { attempts, last });
+                }
+                r => r,
+            };
+            attempts += 1;
+            self.counters.attempts += 1;
+            match self.attempt(line, remaining) {
+                Ok(response) => {
+                    if response.contains("\"busy\":true") {
+                        self.counters.busy_retries += 1;
+                        last = response;
+                    } else if response.contains("\"deadline_exceeded\":true") {
+                        self.counters.deadline_retries += 1;
+                        last = response;
+                    } else {
+                        if let Some(digest) = digest {
+                            if response.contains("\"ok\":true") {
+                                self.check_identity(digest, &response)?;
+                            }
+                        }
+                        return Ok(response);
+                    }
+                }
+                Err(e) => {
+                    // A torn connection poisons any buffered partial
+                    // response; drop both and reconnect on the retry.
+                    self.stream = None;
+                    self.rxbuf.clear();
+                    self.counters.io_retries += 1;
+                    last = format!("transport error: {e}");
+                }
+            }
+            self.backoff(attempts, &started);
+        }
+    }
+
+    /// Asserts the byte-identity contract for a completed reply.
+    fn check_identity(&mut self, digest: [u8; 32], response: &str) -> Result<(), ClientError> {
+        let Some(body) = body_slice(response) else { return Ok(()) };
+        match self.seen.get(&digest) {
+            Some(expected) if expected != body => Err(ClientError::Inconsistent {
+                digest: pomtlb_trace::digest::digest_hex(&digest),
+            }),
+            Some(_) => {
+                self.counters.identity_checks += 1;
+                Ok(())
+            }
+            None => {
+                self.seen.insert(digest, body.to_string());
+                Ok(())
+            }
+        }
+    }
+
+    fn remaining(&self, started: &Instant) -> Option<Duration> {
+        self.cfg.deadline.map(|d| d.saturating_sub(started.elapsed()))
+    }
+
+    /// Capped exponential backoff with deterministic jitter in
+    /// [0.5, 1.0): delay for retry `n` is
+    /// `min(cap, base * 2^(n-1)) * jitter(seed, request, n)`.
+    fn backoff(&self, attempts: u32, started: &Instant) {
+        let exp = attempts.saturating_sub(1).min(20);
+        let raw = self
+            .cfg
+            .backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.cfg.backoff_cap);
+        let noise = splitmix64(self.cfg.seed ^ (self.seq << 20) ^ u64::from(attempts));
+        let jitter = 0.5 + ((noise >> 11) as f64 / (1u64 << 53) as f64) * 0.5;
+        let mut delay = raw.mul_f64(jitter);
+        if let Some(remaining) = self.remaining(started) {
+            delay = delay.min(remaining);
+        }
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+
+    fn connect(&mut self, remaining: Option<Duration>) -> io::Result<()> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let addr: SocketAddr = self
+            .cfg
+            .addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("`{}` resolves to no address", self.cfg.addr),
+                )
+            })?;
+        let timeout = remaining
+            .unwrap_or(CONNECT_TIMEOUT)
+            .min(CONNECT_TIMEOUT)
+            .max(Duration::from_millis(1));
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        let _ = stream.set_nodelay(true);
+        self.rxbuf.clear();
+        self.counters.connects += 1;
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    /// One wire attempt: write the line, read one response line.
+    fn attempt(&mut self, line: &str, remaining: Option<Duration>) -> io::Result<String> {
+        self.connect(remaining)?;
+        let io_budget = remaining
+            .unwrap_or(DEFAULT_READ_TIMEOUT)
+            .min(DEFAULT_READ_TIMEOUT)
+            .max(Duration::from_millis(1));
+        let stream = self.stream.as_mut().expect("connected above");
+        stream.set_write_timeout(Some(io_budget))?;
+        stream.set_read_timeout(Some(io_budget))?;
+        // One wire write per request: split writes would invite Nagle +
+        // delayed-ACK stalls if nodelay ever failed, and cost a syscall.
+        let mut wire = line.trim_end().as_bytes().to_vec();
+        wire.push(b'\n');
+        stream.write_all(&wire)?;
+        stream.flush()?;
+        loop {
+            if let Some(pos) = self.rxbuf.iter().position(|&b| b == b'\n') {
+                let raw: Vec<u8> = self.rxbuf.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&raw[..raw.len() - 1]).into_owned();
+                return Ok(text);
+            }
+            let mut chunk = [0u8; 4096];
+            let stream = self.stream.as_mut().expect("connected above");
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before a response line arrived",
+                ));
+            }
+            self.rxbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_slice_extracts_the_verbatim_splice() {
+        let line = "{\"id\":\"a\",\"ok\":true,\"provenance\":\"hot\",\"wall_ms\":1,\
+                    \"body\":{\"kind\":\"sim\",\"rows\":[1,2]}}";
+        assert_eq!(body_slice(line), Some("{\"kind\":\"sim\",\"rows\":[1,2]}"));
+        assert_eq!(body_slice("{\"ok\":false}"), None);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_attempt() {
+        // Same inputs, same jitter — reproducibility is the point.
+        let a = splitmix64(42 ^ (3 << 20) ^ 2);
+        let b = splitmix64(42 ^ (3 << 20) ^ 2);
+        assert_eq!(a, b);
+        assert_ne!(a, splitmix64(43 ^ (3 << 20) ^ 2), "seeds decorrelate");
+    }
+
+    #[test]
+    fn exhausted_connect_refused_reports_transport_error() {
+        // Port 1 on loopback is essentially never listening.
+        let cfg = ClientConfig {
+            max_retries: 1,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            deadline: Some(Duration::from_secs(2)),
+            ..ClientConfig::new("127.0.0.1:1")
+        };
+        let mut client = Client::new(cfg);
+        let err = client
+            .request("{\"id\":\"x\",\"kind\":\"ping\"}")
+            .expect_err("nothing listens on port 1");
+        let ClientError::Exhausted { attempts, last } = err else {
+            panic!("expected Exhausted, got {err:?}");
+        };
+        assert_eq!(attempts, 2, "first attempt + one retry");
+        assert!(last.contains("transport error"), "{last}");
+        assert_eq!(client.counters().io_retries, 2);
+    }
+}

@@ -31,6 +31,9 @@ pub enum FlightFailure {
     },
     /// The leader computed and failed; the message it reported.
     Error(String),
+    /// The leader's compute blew the per-request deadline; followers
+    /// replay the same typed `deadline_exceeded` response.
+    DeadlineExceeded,
     /// The leader unwound or dropped without publishing.
     Abandoned,
 }

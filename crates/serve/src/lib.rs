@@ -4,8 +4,8 @@
 //! generate (or load) the input streams, build the simulators, run the
 //! batch — then throw all of it away. The serve crate keeps that state
 //! alive. A [`Service`] is a daemon-shaped object that accepts sim,
-//! compare, consolidation and fault-sweep requests as JSON lines (over stdin or a Unix
-//! socket), keeps one warm [`pomtlb_trace::TraceStore`] handle and one
+//! compare, consolidation and fault-sweep requests as JSON lines (over
+//! stdin, a Unix socket, or a hardened TCP listener), keeps one warm [`pomtlb_trace::TraceStore`] handle and one
 //! worker-pool policy across requests, and answers *repeated* requests
 //! from a second content-addressed store: the [`ReportStore`], which
 //! memoizes finished response bodies keyed by [`request_digest`] — the
@@ -35,19 +35,32 @@
 //! admission gate in front of the worker pool answers overload with a
 //! typed `busy` line instead of convoying every conversation.
 //!
-//! See `DESIGN.md` §10 for the architecture discussion and the CLI's
-//! `pomtlb serve` / `pomtlb report-store` commands for the operator
-//! surface.
+//! Since PR 10 both socket transports share one hardened connection
+//! loop ([`serve_tcp`] / [`serve_unix`] over `serve_conn`): bounded
+//! request-line reads (`max_line_bytes`), idle timeouts measured from
+//! the last *completed* request, per-request compute deadlines
+//! answering typed `deadline_exceeded` lines, and graceful drain that
+//! persists tier counters exactly once. The [`Client`] speaks the same
+//! protocol with capped seeded-jitter backoff and digest-keyed
+//! idempotent retries, and the deterministic [`ChaosProxy`] injects
+//! seeded resets / torn writes / stalls for failure rehearsal.
+//!
+//! See `DESIGN.md` §10 and §12 for the architecture discussion and the
+//! CLI's `pomtlb serve` / `pomtlb client` / `pomtlb chaos-proxy` /
+//! `pomtlb report-store` commands for the operator surface.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
+mod client;
 mod flight;
 mod hot_cache;
 mod report_store;
 mod request;
 mod service;
 mod tiers;
+mod transport;
 
 pub use flight::{FlightFailure, FlightFollower, FlightLeader, FlightResult, Joined, SingleFlight};
 pub use hot_cache::{HotCache, HotCacheCounters, DEFAULT_HOT_MAX_BYTES};
@@ -59,11 +72,15 @@ pub use request::{
     request_bytes, request_digest, RequestKind, ResolvedRequest, RowMeta, ServeRequest,
     TenantParams, REQUEST_DIGEST_VERSION,
 };
+pub use chaos::{ChaosConfig, ChaosCounters, ChaosProxy};
+pub use client::{Client, ClientConfig, ClientCounters, ClientError};
 pub use service::{
     serve_io, serve_stdin, ServeConfig, Service, ServiceCounters, ServiceShared,
-    DEFAULT_MAX_CONNECTIONS, DEFAULT_MAX_QUEUE,
+    DEFAULT_DRAIN_TIMEOUT_SECS, DEFAULT_MAX_CONNECTIONS, DEFAULT_MAX_LINE_BYTES,
+    DEFAULT_MAX_QUEUE,
 };
 pub use tiers::{TierSnapshot, SERVE_COUNTERS_FILE};
+pub use transport::{bind_tcp_listener, serve_tcp};
 
 #[cfg(unix)]
-pub use service::{bind_unix_listener, serve_unix};
+pub use transport::{bind_unix_listener, serve_unix};

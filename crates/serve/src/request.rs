@@ -17,6 +17,8 @@
 //!   `no_churn` knobs; takes no `workload`),
 //! * `fault-sweep` — every scheme × consistency {on, off} with seeded
 //!   fault injection (never memoized — see [`ResolvedRequest::memoize`]),
+//! * `ping` — liveness probe answering version + uptime; never simulates,
+//!   never memoizes,
 //! * `stats` — service and store counters,
 //! * `shutdown` — stop the daemon after responding.
 //!
@@ -56,7 +58,8 @@ pub struct ServeRequest {
     /// Caller-chosen correlation id, echoed on the response line.
     #[serde(default)]
     pub id: String,
-    /// `sim` | `compare` | `fault-sweep` | `stats` | `shutdown`.
+    /// `sim` | `compare` | `consolidation` | `fault-sweep` | `ping` |
+    /// `stats` | `shutdown`.
     pub kind: String,
     /// Workload name (see `pomtlb list`); required for run kinds.
     #[serde(default)]
@@ -139,6 +142,8 @@ pub enum RequestKind {
     Consolidation,
     /// Every scheme × consistency {on, off}, fault-armed.
     FaultSweep,
+    /// Liveness probe: server version + uptime, no digest, no compute.
+    Ping,
     /// Service/store counters; no simulation.
     Stats,
     /// Stop the daemon after responding.
@@ -152,11 +157,12 @@ impl RequestKind {
             "compare" => Ok(RequestKind::Compare),
             "consolidation" => Ok(RequestKind::Consolidation),
             "fault-sweep" => Ok(RequestKind::FaultSweep),
+            "ping" => Ok(RequestKind::Ping),
             "stats" => Ok(RequestKind::Stats),
             "shutdown" => Ok(RequestKind::Shutdown),
             other => Err(format!(
-                "unknown kind `{other}` (sim | compare | consolidation | fault-sweep | stats | \
-                 shutdown)"
+                "unknown kind `{other}` (sim | compare | consolidation | fault-sweep | ping | \
+                 stats | shutdown)"
             )),
         }
     }
@@ -168,6 +174,7 @@ impl RequestKind {
             RequestKind::Compare => "compare",
             RequestKind::Consolidation => "consolidation",
             RequestKind::FaultSweep => "fault-sweep",
+            RequestKind::Ping => "ping",
             RequestKind::Stats => "stats",
             RequestKind::Shutdown => "shutdown",
         }
@@ -258,7 +265,7 @@ impl ServeRequest {
     /// message for the error response.
     pub fn resolve(&self) -> Result<ResolvedRequest, String> {
         let kind = RequestKind::parse(&self.kind)?;
-        if matches!(kind, RequestKind::Stats | RequestKind::Shutdown) {
+        if matches!(kind, RequestKind::Ping | RequestKind::Stats | RequestKind::Shutdown) {
             return Err(format!("kind `{}` carries no run parameters", self.kind));
         }
         let (workload, tenants) = if kind == RequestKind::Consolidation {
@@ -471,7 +478,7 @@ pub fn request_bytes(r: &ResolvedRequest) -> Vec<u8> {
             RequestKind::Compare => 1,
             RequestKind::FaultSweep => 2,
             RequestKind::Consolidation => 3,
-            RequestKind::Stats | RequestKind::Shutdown => 255,
+            RequestKind::Ping | RequestKind::Stats | RequestKind::Shutdown => 255,
         },
     );
     out.extend_from_slice(&r.trace_key().digest());
@@ -563,6 +570,9 @@ mod tests {
         assert!(ServeRequest { scheme: "nope".into(), ..req("sim") }.resolve().is_err());
         assert!(req("bogus").resolve().is_err());
         assert!(req("stats").resolve().is_err(), "stats carries no run parameters");
+        assert!(req("ping").resolve().is_err(), "ping carries no run parameters");
+        let msg = req("bogus").resolve().expect_err("bogus kind");
+        assert!(msg.contains("ping"), "parse error lists ping: {msg}");
         assert!(
             ServeRequest { unmaps_per_10k: -1.0, ..req("sim") }.resolve().is_err(),
             "negative event rates are rejected"

@@ -7,10 +7,10 @@
 //! (memoized response bodies), the in-memory hot tier, the single-flight
 //! table, and the admission gate in front of the worker pool.
 //! [`Service::handle_line`] maps one request line to one response line;
-//! [`serve_stdin`] drives one conversation, and [`serve_unix`] multiplexes
-//! many — one handler thread per accepted connection (bounded by
-//! `max_connections`), all sharing the same warm core through
-//! [`Service::connection`].
+//! [`serve_stdin`] drives one conversation, and the socket transports in
+//! [`crate::transport`] (`serve_unix`, `serve_tcp`) multiplex many — one
+//! handler thread per accepted connection (bounded by `max_connections`),
+//! all sharing the same warm core through [`Service::connection`].
 //!
 //! # Response lines
 //!
@@ -23,6 +23,7 @@
 //! {"id":"c4","ok":true,"provenance":"coalesced","wall_ms":410,"body":{...}}
 //! {"id":"c5","ok":false,"busy":true,"in_flight":2,"queued":8,"error":"..."}
 //! {"id":"c6","ok":false,"error":"unknown workload `nope`; known: ..."}
+//! {"id":"c7","ok":false,"deadline_exceeded":true,"error":"..."}
 //! ```
 //!
 //! `provenance` says which tier answered: `"computed"` (ran simulations),
@@ -52,9 +53,9 @@
 
 use std::io::{self, BufRead, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pom_tlb::{
     default_jobs, run_jobs_with, share_traces_with_store, AdmissionControl, JobOutcome, RunPolicy,
@@ -75,6 +76,16 @@ pub const DEFAULT_MAX_CONNECTIONS: usize = 16;
 
 /// Default bound on compute requests parked behind the admission gate.
 pub const DEFAULT_MAX_QUEUE: usize = 32;
+
+/// Default bound on one request line's byte length (1 MiB). An oversized
+/// line gets a typed error response and a clean close — never an
+/// unbounded buffer.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Default graceful-drain budget on shutdown: how long the transport
+/// waits for in-flight connections to finish before persisting counters
+/// and returning.
+pub const DEFAULT_DRAIN_TIMEOUT_SECS: u64 = 30;
 
 /// How many recent latency samples feed the p50/p99 stats.
 const LATENCY_WINDOW: usize = 4096;
@@ -105,6 +116,16 @@ pub struct ServeConfig {
     pub max_queue: usize,
     /// In-memory hot report cache budget in bytes (0 disables the tier).
     pub hot_max_bytes: u64,
+    /// Close a connection that has gone this long without completing a
+    /// request (`None` = never). Measured from the last served request,
+    /// not the last byte, so a slow-loris dribble cannot hold a slot open.
+    pub idle_timeout: Option<Duration>,
+    /// Graceful-drain budget: after `shutdown`, how long the transport
+    /// waits for in-flight connections before persisting and returning.
+    pub drain_timeout: Duration,
+    /// Bound on one request line's byte length; oversized lines get a
+    /// typed error and a clean close.
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +140,9 @@ impl Default for ServeConfig {
             max_inflight: 0,
             max_queue: DEFAULT_MAX_QUEUE,
             hot_max_bytes: DEFAULT_HOT_MAX_BYTES,
+            idle_timeout: None,
+            drain_timeout: Duration::from_secs(DEFAULT_DRAIN_TIMEOUT_SECS),
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
         }
     }
 }
@@ -138,6 +162,8 @@ pub struct ServiceCounters {
     pub busy: u64,
     /// Requests answered with an error line.
     pub errors: u64,
+    /// Requests answered with a typed `deadline_exceeded` line.
+    pub deadlines: u64,
 }
 
 impl ServiceCounters {
@@ -156,6 +182,7 @@ struct SharedCounters {
     coalesced: AtomicU64,
     busy: AtomicU64,
     errors: AtomicU64,
+    deadlines: AtomicU64,
 }
 
 impl SharedCounters {
@@ -167,6 +194,7 @@ impl SharedCounters {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             busy: self.busy.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            deadlines: self.deadlines.load(Ordering::Relaxed),
         }
     }
 }
@@ -231,6 +259,12 @@ pub struct ServiceShared {
     jobs: usize,
     policy: RunPolicy,
     max_connections: usize,
+    idle_timeout: Option<Duration>,
+    drain_timeout: Duration,
+    max_line_bytes: usize,
+    started: Instant,
+    active_connections: AtomicUsize,
+    persists: AtomicU64,
     counters: SharedCounters,
     latency: Mutex<LatencyWindows>,
     shutdown: AtomicBool,
@@ -257,6 +291,50 @@ impl ServiceShared {
         self.max_connections
     }
 
+    /// Connection slots currently held by handler threads.
+    pub fn active_connections(&self) -> usize {
+        self.active_connections.load(Ordering::SeqCst)
+    }
+
+    /// The per-connection idle budget (`None` = connections never idle
+    /// out), measured from the last completed request.
+    pub fn idle_timeout(&self) -> Option<Duration> {
+        self.idle_timeout
+    }
+
+    /// How long shutdown waits for in-flight connections to drain.
+    pub fn drain_timeout(&self) -> Duration {
+        self.drain_timeout
+    }
+
+    /// The bound on one request line's byte length.
+    pub fn max_line_bytes(&self) -> usize {
+        self.max_line_bytes
+    }
+
+    /// Wall-clock time since the service was built (the `ping` uptime).
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// How many times tier counters were persisted to disk. The drain
+    /// test pins this to "exactly once" across a shutdown.
+    pub fn persist_count(&self) -> u64 {
+        self.persists.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn connection_opened(&self) {
+        self.active_connections.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn connection_closed(&self) {
+        self.active_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn note_refused_connection(&self) {
+        self.counters.busy.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Whether a `shutdown` request has been served on any connection.
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
@@ -279,6 +357,7 @@ impl ServiceShared {
             coalesced: requests.coalesced,
             busy: requests.busy,
             errors: requests.errors,
+            deadlines: requests.deadlines,
             hot_hits: hot_counters.hits,
             hot_misses: hot_counters.misses,
             hot_evictions: hot_counters.evictions,
@@ -295,6 +374,7 @@ impl ServiceShared {
     /// (see [`crate::TierSnapshot`]); a failure costs observability only.
     pub fn persist_counters(&self) {
         if let Some(store) = &self.report_store {
+            self.persists.fetch_add(1, Ordering::SeqCst);
             if let Err(e) = self.tier_snapshot().save(store.root()) {
                 eprintln!("pomtlb-serve: counter snapshot failed ({e}); continuing");
             }
@@ -383,6 +463,8 @@ struct StatsBody {
     kind: String,
     requests: ServiceCounters,
     max_connections: u64,
+    active_connections: u64,
+    uptime_ms: u64,
     report_store: ReportStoreStats,
     trace_store: TraceStoreStats,
     hot_cache: HotCacheStats,
@@ -418,6 +500,17 @@ fn busy_line(id: &str, in_flight: usize, queued: usize) -> String {
     )
 }
 
+/// The typed refusal when the compute blew the per-request deadline
+/// ([`RunPolicy::deadline`]): the client gets an answer instead of a
+/// hung conversation, and nothing is memoized.
+fn deadline_line(id: &str) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":false,\"deadline_exceeded\":true,\
+         \"error\":\"compute deadline exceeded; retry with a smaller request or higher budget\"}}",
+        json_str(id)
+    )
+}
+
 enum Served {
     Computed,
     Memoized,
@@ -425,6 +518,15 @@ enum Served {
     Coalesced,
     Busy,
     Error,
+    Deadline,
+}
+
+/// Why [`Service::compute_body`] produced no body.
+enum ComputeFailure {
+    /// The batch blew [`RunPolicy::deadline`].
+    Deadline,
+    /// A job failed after retries; the operator-facing message.
+    Error(String),
 }
 
 /// A per-connection handle onto the shared warm core. `new` builds the
@@ -463,6 +565,12 @@ impl Service {
             jobs: cfg.jobs,
             policy: cfg.policy,
             max_connections: cfg.max_connections.max(1),
+            idle_timeout: cfg.idle_timeout,
+            drain_timeout: cfg.drain_timeout,
+            max_line_bytes: cfg.max_line_bytes.max(1),
+            started: Instant::now(),
+            active_connections: AtomicUsize::new(0),
+            persists: AtomicU64::new(0),
             counters: SharedCounters::default(),
             latency: Mutex::new(LatencyWindows::default()),
             shutdown: AtomicBool::new(false),
@@ -519,6 +627,7 @@ impl Service {
             Served::Coalesced => (&mut self.conn.coalesced, &self.shared.counters.coalesced),
             Served::Busy => (&mut self.conn.busy, &self.shared.counters.busy),
             Served::Error => (&mut self.conn.errors, &self.shared.counters.errors),
+            Served::Deadline => (&mut self.conn.deadlines, &self.shared.counters.deadlines),
         };
         *conn_field += 1;
         shared_field.fetch_add(1, Ordering::Relaxed);
@@ -543,6 +652,16 @@ impl Service {
 
     fn handle_request(&mut self, req: &ServeRequest) -> String {
         match req.kind.as_str() {
+            "ping" => {
+                // Liveness only: no digest, no tiers, no compute — safe
+                // for health checks and chaos harnesses at any frequency.
+                let body = format!(
+                    "{{\"kind\":\"ping\",\"version\":{},\"uptime_ms\":{}}}",
+                    json_str(env!("CARGO_PKG_VERSION")),
+                    self.shared.uptime().as_millis()
+                );
+                return ok_line(&req.id, "computed", 0, &body);
+            }
             "stats" => {
                 let body = serde_json::to_string(&self.stats_body())
                     .unwrap_or_else(|_| "{}".to_string());
@@ -550,8 +669,10 @@ impl Service {
                 return ok_line(&req.id, "computed", 0, &body);
             }
             "shutdown" => {
+                // Persistence happens once, at the end of the transport
+                // loop, after the graceful drain — not here, where racing
+                // handlers would snapshot a moving target.
                 self.shared.shutdown.store(true, Ordering::SeqCst);
-                self.shared.persist_counters();
                 return ok_line(&req.id, "computed", 0, "{\"kind\":\"shutdown\"}");
             }
             _ => {}
@@ -599,7 +720,11 @@ impl Service {
                     self.note(Served::Computed);
                     ok_line(&req.id, "computed", started.elapsed().as_millis(), &body)
                 }
-                Err(message) => {
+                Err(ComputeFailure::Deadline) => {
+                    self.note(Served::Deadline);
+                    deadline_line(&req.id)
+                }
+                Err(ComputeFailure::Error(message)) => {
                     self.note(Served::Error);
                     err_line(&req.id, &message)
                 }
@@ -625,6 +750,10 @@ impl Service {
                     Err(FlightFailure::Error(message)) => {
                         self.note(Served::Error);
                         err_line(&req.id, &message)
+                    }
+                    Err(FlightFailure::DeadlineExceeded) => {
+                        self.note(Served::Deadline);
+                        deadline_line(&req.id)
                     }
                     Err(FlightFailure::Abandoned) => {
                         self.note(Served::Error);
@@ -681,7 +810,12 @@ impl Service {
                 self.note(Served::Computed);
                 ok_line(&req.id, "computed", started.elapsed().as_millis(), &body)
             }
-            Err(message) => {
+            Err(ComputeFailure::Deadline) => {
+                leader.publish(Err(FlightFailure::DeadlineExceeded));
+                self.note(Served::Deadline);
+                deadline_line(&req.id)
+            }
+            Err(ComputeFailure::Error(message)) => {
                 leader.publish(Err(FlightFailure::Error(message.clone())));
                 self.note(Served::Error);
                 err_line(&req.id, &message)
@@ -695,15 +829,27 @@ impl Service {
         }
     }
 
-    fn compute_body(&self, resolved: &ResolvedRequest, digest: &[u8; 32]) -> Result<String, String> {
+    fn compute_body(
+        &self,
+        resolved: &ResolvedRequest,
+        digest: &[u8; 32],
+    ) -> Result<String, ComputeFailure> {
         let (mut jobs, rows) = resolved.jobs();
         share_traces_with_store(&mut jobs, self.shared.trace_store.as_ref());
         let workers = if self.shared.jobs == 0 { default_jobs() } else { self.shared.jobs };
         let outcomes = run_jobs_with(jobs, workers, self.shared.policy, &|_, _| {});
         let mut row_bodies = Vec::with_capacity(outcomes.len());
         for (outcome, meta) in outcomes.into_iter().zip(rows) {
-            if let JobOutcome::Panicked { label, message, .. } = &outcome {
-                return Err(format!("job `{label}` failed after retries: {message}"));
+            match &outcome {
+                // A partial batch must never become a body: one row past
+                // the deadline poisons the whole response.
+                JobOutcome::DeadlineExceeded { .. } => return Err(ComputeFailure::Deadline),
+                JobOutcome::Panicked { label, message, .. } => {
+                    return Err(ComputeFailure::Error(format!(
+                        "job `{label}` failed after retries: {message}"
+                    )));
+                }
+                _ => {}
             }
             let Some(result) = outcome.into_result() else { continue };
             row_bodies.push(RowBody {
@@ -718,8 +864,9 @@ impl Service {
             digest: digest_hex(digest),
             rows: row_bodies,
         };
-        serde_json::to_string(&body)
-            .map_err(|_| "internal error: body serialization failed".to_string())
+        serde_json::to_string(&body).map_err(|_| {
+            ComputeFailure::Error("internal error: body serialization failed".to_string())
+        })
     }
 
     fn stats_body(&self) -> StatsBody {
@@ -804,6 +951,8 @@ impl Service {
             kind: "stats".to_string(),
             requests: shared.counters.snapshot(),
             max_connections: shared.max_connections as u64,
+            active_connections: shared.active_connections() as u64,
+            uptime_ms: shared.uptime().as_millis() as u64,
             report_store,
             trace_store,
             hot_cache,
@@ -833,8 +982,10 @@ impl Service {
 
 /// Serves JSON-lines requests from `input` to `output` until EOF or a
 /// `shutdown` request; the core of the stdin transport (the socket
-/// transport layers read timeouts on top so it can observe a shutdown
-/// raised on a *different* connection).
+/// transports layer read timeouts, idle deadlines and line bounds on top
+/// so they can observe a shutdown raised on a *different* connection —
+/// see [`crate::transport`]). Like the socket transports, tier counters
+/// are persisted once, when the conversation ends.
 pub fn serve_io(
     service: &mut Service,
     input: impl BufRead,
@@ -851,6 +1002,7 @@ pub fn serve_io(
             break;
         }
     }
+    service.persist_counters();
     Ok(())
 }
 
@@ -860,147 +1012,6 @@ pub fn serve_stdin(service: &mut Service) -> io::Result<()> {
     let stdin = io::stdin();
     let stdout = io::stdout();
     serve_io(service, stdin.lock(), stdout.lock())
-}
-
-/// Binds the daemon's Unix socket, with stale-socket recovery: if the
-/// path is already bound (`EADDRINUSE`), probe it — a live daemon
-/// answering the connect means the address is genuinely taken (error
-/// out); a refused connect means a previous daemon died without
-/// unlinking, so remove the stale file and bind again.
-#[cfg(unix)]
-pub fn bind_unix_listener(path: &std::path::Path) -> io::Result<std::os::unix::net::UnixListener> {
-    use std::os::unix::net::{UnixListener, UnixStream};
-    match UnixListener::bind(path) {
-        Ok(listener) => Ok(listener),
-        Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
-            if UnixStream::connect(path).is_ok() {
-                return Err(io::Error::new(
-                    io::ErrorKind::AddrInUse,
-                    format!("{} is served by a live daemon", path.display()),
-                ));
-            }
-            std::fs::remove_file(path)?;
-            UnixListener::bind(path)
-        }
-        Err(e) => Err(e),
-    }
-}
-
-/// The per-connection loop of the socket transport: like [`serve_io`],
-/// but reads with a timeout so a shutdown served on another connection
-/// ends this one promptly, and accumulates partial lines across timeouts.
-#[cfg(unix)]
-fn serve_conn(service: &mut Service, stream: &std::os::unix::net::UnixStream) -> io::Result<()> {
-    use std::time::Duration;
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut reader = io::BufReader::new(stream.try_clone()?);
-    let mut out = stream;
-    let mut line = Vec::new();
-    loop {
-        if service.shutdown_requested() {
-            return Ok(());
-        }
-        // `read_until` appends what it consumed even when it then times
-        // out, so a line split across timeouts accumulates intact.
-        match reader.read_until(b'\n', &mut line) {
-            Ok(0) if line.is_empty() => return Ok(()),
-            Ok(_) if !line.ends_with(b"\n") && !line.is_empty() => {
-                // EOF mid-line: serve the final unterminated request.
-                respond(service, &mut out, &line)?;
-                return Ok(());
-            }
-            Ok(_) => {
-                respond(service, &mut out, &line)?;
-                line.clear();
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
-                ) => {}
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-#[cfg(unix)]
-fn respond(service: &mut Service, out: &mut impl Write, raw: &[u8]) -> io::Result<()> {
-    let text = String::from_utf8_lossy(raw);
-    if let Some(response) = service.handle_line(&text) {
-        out.write_all(response.as_bytes())?;
-        out.write_all(b"\n")?;
-        out.flush()?;
-    }
-    Ok(())
-}
-
-/// The Unix-socket transport: binds `path` (recovering stale socket
-/// files, refusing live ones), then serves each accepted connection on
-/// its own handler thread against the shared warm core — up to
-/// `max_connections` at once; further connections receive one typed busy
-/// line and are closed. The loop ends when any connection serves a
-/// `shutdown` request; all handlers drain before the socket file is
-/// removed and tier counters are persisted.
-#[cfg(unix)]
-pub fn serve_unix(service: &Service, path: &std::path::Path) -> io::Result<()> {
-    use std::sync::atomic::AtomicUsize;
-    use std::time::Duration;
-    let listener = bind_unix_listener(path)?;
-    listener.set_nonblocking(true)?;
-    let max_connections = service.shared().max_connections();
-    eprintln!(
-        "pomtlb-serve: listening on {} (max {max_connections} connections)",
-        path.display()
-    );
-    let active = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        loop {
-            if service.shutdown_requested() {
-                break;
-            }
-            match listener.accept() {
-                Ok((stream, _addr)) => {
-                    if active.load(Ordering::SeqCst) >= max_connections {
-                        // Refuse with one typed line; never stall the
-                        // accept loop behind a saturated handler set.
-                        service.shared().counters.busy.fetch_add(1, Ordering::Relaxed);
-                        let line = format!(
-                            "{{\"id\":\"\",\"ok\":false,\"busy\":true,\
-                             \"active_connections\":{},\"max_connections\":{max_connections},\
-                             \"error\":\"server busy: connection limit reached; retry later\"}}\n",
-                            active.load(Ordering::SeqCst)
-                        );
-                        let _ = (&stream).write_all(line.as_bytes());
-                        continue;
-                    }
-                    active.fetch_add(1, Ordering::SeqCst);
-                    let mut conn = service.connection();
-                    let active_ref = &active;
-                    scope.spawn(move || {
-                        // A dropped connection only ends that conversation,
-                        // never the daemon: the shared warm core lives on.
-                        if let Err(e) = serve_conn(&mut conn, &stream) {
-                            eprintln!("pomtlb-serve: connection error: {e}");
-                        }
-                        active_ref.fetch_sub(1, Ordering::SeqCst);
-                    });
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-                Err(e) => {
-                    eprintln!("pomtlb-serve: accept error: {e}");
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-            }
-        }
-    });
-    service.persist_counters();
-    let _ = std::fs::remove_file(path);
-    Ok(())
 }
 
 #[cfg(test)]
@@ -1202,21 +1213,35 @@ mod tests {
         assert!(lines[2].contains("\"id\":\"q\""));
     }
 
-    #[cfg(unix)]
     #[test]
-    fn stale_socket_files_are_recovered_live_ones_are_refused() {
-        use std::os::unix::net::UnixListener;
-        let dir = TempDir::new("sock");
-        let path = dir.0.join("daemon.sock");
-        // A dead daemon's leftover: bound once, listener dropped, file
-        // still on disk.
-        drop(UnixListener::bind(&path).expect("first bind"));
-        assert!(path.exists(), "socket file survives the dead listener");
-        let recovered = bind_unix_listener(&path).expect("stale socket is recovered");
-        // While that daemon is alive, a second bind must refuse.
-        let err = bind_unix_listener(&path).expect_err("live socket is refused");
-        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
-        assert!(err.to_string().contains("live daemon"));
-        drop(recovered);
+    fn ping_answers_version_and_uptime_without_compute() {
+        let mut svc = Service::new(ServeConfig::default()).expect("service");
+        let r = svc.handle_line("{\"id\":\"p\",\"kind\":\"ping\"}").expect("response");
+        assert!(r.contains("\"ok\":true"), "{r}");
+        assert!(r.contains("\"kind\":\"ping\""));
+        assert!(r.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))));
+        assert!(r.contains("\"uptime_ms\":"));
+        let counters = svc.counters();
+        assert_eq!(counters, ServiceCounters::default(), "ping touches no tier counter");
+    }
+
+    #[test]
+    fn deadline_zero_answers_typed_deadline_exceeded() {
+        let cfg = ServeConfig {
+            policy: RunPolicy::with_deadline(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let mut svc = Service::new(cfg).expect("service");
+        let r = svc.handle_line(&quick("d", "sim")).expect("response");
+        assert!(r.contains("\"ok\":false"), "{r}");
+        assert!(r.contains("\"deadline_exceeded\":true"), "{r}");
+        assert_eq!(svc.counters().deadlines, 1);
+        assert_eq!(svc.counters().computed, 0, "nothing was computed");
+        assert_eq!(
+            svc.shared().flights().in_flight(),
+            0,
+            "the flight resolved; no leadership leaked"
+        );
+        assert_eq!(svc.shared().admission().in_flight(), 0, "no permit leaked");
     }
 }

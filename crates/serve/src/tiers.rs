@@ -41,6 +41,8 @@ pub struct TierSnapshot {
     pub busy: u64,
     /// Requests answered with an error line.
     pub errors: u64,
+    /// Requests answered with a typed `deadline_exceeded` line.
+    pub deadlines: u64,
     /// Hot-cache probe hits.
     pub hot_hits: u64,
     /// Hot-cache probe misses.
@@ -62,7 +64,7 @@ pub struct TierSnapshot {
 }
 
 impl TierSnapshot {
-    fn fields(&self) -> [(&'static str, u64); 15] {
+    fn fields(&self) -> [(&'static str, u64); 16] {
         [
             ("computed", self.computed),
             ("memoized", self.memoized),
@@ -70,6 +72,7 @@ impl TierSnapshot {
             ("coalesced", self.coalesced),
             ("busy", self.busy),
             ("errors", self.errors),
+            ("deadlines", self.deadlines),
             ("hot_hits", self.hot_hits),
             ("hot_misses", self.hot_misses),
             ("hot_evictions", self.hot_evictions),
@@ -90,6 +93,7 @@ impl TierSnapshot {
             "coalesced" => self.coalesced = value,
             "busy" => self.busy = value,
             "errors" => self.errors = value,
+            "deadlines" => self.deadlines = value,
             "hot_hits" => self.hot_hits = value,
             "hot_misses" => self.hot_misses = value,
             "hot_evictions" => self.hot_evictions = value,

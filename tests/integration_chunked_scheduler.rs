@@ -115,7 +115,7 @@ fn fault_injected_jobs_survive_chunking_and_chunk_retries() {
     let mut jobs = arm(batch());
     share_traces(&mut jobs);
     jobs[2] = jobs[2].clone().sabotage_panics("injected chunk failure", 2);
-    let policy = RunPolicy { max_retries: 3, soft_timeout: None };
+    let policy = RunPolicy { max_retries: 3, ..RunPolicy::strict() };
     let outcomes = run_jobs_chunked_with(jobs, 2, 800, policy, &|_, _| {});
     assert_eq!(outcomes.len(), serial.len());
     let JobOutcome::Retried { retries, .. } = &outcomes[2] else {
